@@ -1,0 +1,73 @@
+"""Ablation: the hybrid sort crossover (paper footnote 3).
+
+"The actual coding uses the standard UNIX quicker-sort function for
+smaller sorts, and radix sort for larger sorts, using whichever sorting
+method is fastest for the given input size."  This bench measures both
+sorters (real wall time, not simulated) across input sizes and reports
+the crossover, validating the DEFAULT_CUTOFF choice.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.sorting import DEFAULT_CUTOFF, radix_argsort
+from repro.sorting.hybrid import hybrid_argsort
+
+SIZES = (64, 256, 1024, 4096, 16384, 65536, 262144)
+
+
+def _time_one(fn, keys, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(keys)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _comparison_argsort(keys):
+    return np.argsort(keys, kind="stable")
+
+
+def _sweep():
+    rng = np.random.default_rng(0)
+    rows = []
+    for size in SIZES:
+        keys = rng.integers(0, 2**32, size)
+        rows.append(
+            (
+                size,
+                _time_one(_comparison_argsort, keys),
+                _time_one(radix_argsort, keys),
+            )
+        )
+    return rows
+
+
+def test_hybrid_sort_crossover(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = ["Ablation: comparison sort vs 4-pass radix sort (wall time)"]
+    lines.append(f"{'n':>8} {'comparison':>12} {'radix':>12} {'winner':>12}")
+    for size, t_cmp, t_radix in rows:
+        winner = "comparison" if t_cmp < t_radix else "radix"
+        lines.append(f"{size:>8} {t_cmp * 1e6:>10.1f}us {t_radix * 1e6:>10.1f}us {winner:>12}")
+    lines.append(f"DEFAULT_CUTOFF = {DEFAULT_CUTOFF}")
+    emit("ablation_hybrid_sort", "\n".join(lines))
+
+    # Comparison sort must win at the small end, and radix must be
+    # competitive (within 2x) at the large end -- the premise of the
+    # hybrid design.
+    assert rows[0][1] < rows[0][2]
+    big = rows[-1]
+    assert big[2] < big[1] * 2.0
+
+
+@pytest.mark.parametrize("size", [100, DEFAULT_CUTOFF * 4])
+def test_hybrid_dispatch_correct(benchmark, size):
+    rng = np.random.default_rng(size)
+    keys = rng.integers(0, 2**31, size)
+    order = benchmark(hybrid_argsort, keys)
+    assert np.array_equal(keys[order], np.sort(keys))

@@ -1,0 +1,54 @@
+"""Ablation: split-phase communication/computation overlap.
+
+Split-C's ``:=`` prefetch lets "computation be overlapped with the
+remote request" (Section 2); the BDM analysis conservatively sums the
+two components.  This bench quantifies the gap between the two
+accountings for both algorithms: the benefit per phase is bounded by
+``min(comm, comp)``, so it is largest where communication and
+computation are balanced (small tiles, latency-bound regimes) and
+vanishes where computation dominates.
+"""
+
+from benchmarks.conftest import emit, fmt_seconds
+from repro.core.connected_components import parallel_components
+from repro.core.histogram import parallel_histogram
+from repro.images import binary_test_image, random_greyscale
+from repro.machines import CM5, CS2
+
+
+def _sweep():
+    rows = []
+    for params in (CM5, CS2):
+        big = random_greyscale(512, 256, seed=1)
+        small = random_greyscale(64, 256, seed=1)
+        for label, img in (("512^2", big), ("64^2 (latency-bound)", small)):
+            summed = parallel_histogram(img, 256, 64, params).elapsed_s
+            lapped = parallel_histogram(img, 256, 64, params, overlap=True).elapsed_s
+            rows.append((f"histogram {label} p=64 {params.name}", summed, lapped))
+        spiral = binary_test_image(9, 512)
+        summed = parallel_components(spiral, 64, params).elapsed_s
+        lapped = parallel_components(spiral, 64, params, overlap=True).elapsed_s
+        rows.append((f"components 512^2 spiral p=64 {params.name}", summed, lapped))
+    return rows
+
+
+def test_ablation_overlap(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = ["Ablation: no-overlap (paper accounting) vs perfect split-phase overlap"]
+    lines.append(f"{'workload':<48} {'summed':>11} {'overlap':>11} {'saving':>8}")
+    for name, summed, overlapped in rows:
+        saving = 1.0 - overlapped / summed
+        lines.append(
+            f"{name:<48} {fmt_seconds(summed):>11} {fmt_seconds(overlapped):>11} "
+            f"{saving * 100:>7.1f}%"
+        )
+    emit("ablation_overlap", "\n".join(lines))
+
+    for name, summed, overlapped in rows:
+        assert 0 < overlapped <= summed * (1 + 1e-12), name
+        # Overlap can save at most half of any phase.
+        assert overlapped >= summed * 0.5 * (1 - 1e-12), name
+    # The latency-bound small image must benefit more than the big one.
+    small_saving = 1.0 - rows[1][2] / rows[1][1]
+    big_saving = 1.0 - rows[0][2] / rows[0][1]
+    assert small_saving >= big_saving

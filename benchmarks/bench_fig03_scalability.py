@@ -1,0 +1,86 @@
+"""Figure 3: histogramming and connected components scalability on the CM-5.
+
+Left panel: histogramming time vs n^2 for p = 16, 32, 64, 128 (k=256,
+images 32x32 .. 2048x2048) -- straight lines through the origin for
+large n, halving when p doubles.
+Right panel: binary CC time for n = 128 .. 1024 at the same processor
+counts.
+
+Shape to reproduce: (a) time is linear in n^2 for fixed p (log-log
+slope -> 2 in n), (b) doubling p approximately halves the time at
+large n.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, fmt_seconds
+from repro.analysis.complexity import scalability_exponent
+from repro.core.connected_components import parallel_components
+from repro.core.histogram import parallel_histogram
+from repro.images import binary_test_image, random_greyscale
+from repro.machines import CM5
+
+PS = (16, 32, 64, 128)
+HIST_NS = (32, 64, 128, 256, 512, 1024, 2048, 4096)  # the paper's full sweep
+CC_NS = (128, 256, 512, 1024)
+
+
+def _hist_series():
+    series = {}
+    for p in PS:
+        times = []
+        for n in HIST_NS:
+            img = random_greyscale(n, 256, seed=n)
+            times.append(parallel_histogram(img, 256, p, CM5).elapsed_s)
+        series[p] = times
+    return series
+
+
+def _cc_series():
+    series = {}
+    for p in PS:
+        times = []
+        for n in CC_NS:
+            img = binary_test_image(9, n)  # the difficult dual spiral
+            times.append(parallel_components(img, p, CM5).elapsed_s)
+        series[p] = times
+    return series
+
+
+def test_fig03_histogram_scalability(benchmark):
+    series = benchmark.pedantic(_hist_series, rounds=1, iterations=1)
+    lines = ["Figure 3 (left): CM-5 histogramming, k=256 -- simulated time"]
+    lines.append("n        " + "".join(f"   p={p:<6}" for p in PS))
+    for i, n in enumerate(HIST_NS):
+        row = f"{n:<6}" + "".join(f" {fmt_seconds(series[p][i])}" for p in PS)
+        lines.append(row)
+    emit("fig03_histogram_scalability", "\n".join(lines))
+
+    # Quadratic growth in n for fixed p (slope of log t vs log n -> 2).
+    for p in PS:
+        ns = np.array(HIST_NS[-3:], dtype=float)
+        ts = np.array(series[p][-3:])
+        slope = scalability_exponent(ns, ts)
+        assert 1.7 < slope < 2.2, (p, slope)
+    # Doubling p halves the time at the largest size.
+    for p1, p2 in zip(PS, PS[1:]):
+        ratio = series[p1][-1] / series[p2][-1]
+        assert 1.6 < ratio < 2.4, (p1, p2, ratio)
+
+
+def test_fig03_components_scalability(benchmark):
+    series = benchmark.pedantic(_cc_series, rounds=1, iterations=1)
+    lines = ["Figure 3 (right): CM-5 binary connected components -- simulated time"]
+    lines.append("n        " + "".join(f"   p={p:<6}" for p in PS))
+    for i, n in enumerate(CC_NS):
+        row = f"{n:<6}" + "".join(f" {fmt_seconds(series[p][i])}" for p in PS)
+        lines.append(row)
+    emit("fig03_components_scalability", "\n".join(lines))
+
+    for p in PS:
+        slope = scalability_exponent(np.array(CC_NS[-3:], float), np.array(series[p][-3:]))
+        assert 1.5 < slope < 2.3, (p, slope)
+    # p-scalability at the largest image.
+    for p1, p2 in zip(PS, PS[1:]):
+        ratio = series[p1][-1] / series[p2][-1]
+        assert 1.3 < ratio < 2.5, (p1, p2, ratio)

@@ -1,0 +1,104 @@
+"""Figures 4-5: the data layout / merge structure and tile hooks.
+
+These two paper figures are schematic rather than experimental; we
+regenerate them *from the implementation's actual data structures*:
+
+* Figure 4 -- the 512x512 image on p=32 processors (4x8 logical grid,
+  128x64 tiles), showing which borders the second (vertical) merge
+  step joins and which processors manage them;
+* Figure 5 -- the tile-hook structure of a small labeled tile: one
+  hook per border-touching component.
+
+The checks assert the exact quantities the paper's captions state.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.hooks import create_tile_hooks
+from repro.core.merge import merge_schedule
+from repro.core.tiles import ProcessorGrid
+from repro.baselines import run_label
+
+
+def _figure4() -> str:
+    grid = ProcessorGrid(32, 512)
+    steps = merge_schedule(grid)
+    lines = [
+        "Figure 4: 512 x 512 image on p=32 processors",
+        f"logical grid {grid.v} rows x {grid.w} cols, tiles {grid.q} x {grid.r} pixels",
+        "",
+    ]
+    step2 = steps[1]  # t=2, the vertical merge the paper's figure shows
+    managers = {g.manager for g in step2.groups}
+    shadows = {g.shadow for g in step2.groups}
+    lines.append(f"merge phase t=2 ({step2.orientation}): "
+                 f"{len(step2.groups)} groups, managers circled")
+    for I in range(grid.v):
+        row = []
+        for J in range(grid.w):
+            pid = grid.pid_at(I, J)
+            if pid in managers:
+                row.append(f"({pid:2d})")
+            elif pid in shadows:
+                row.append(f"[{pid:2d}]")
+            else:
+                row.append(f" {pid:2d} ")
+        lines.append("  " + " ".join(row))
+    lines.append("  ( ) = group manager, [ ] = shadow manager")
+    lines.append("")
+    for t, step in enumerate(steps, start=1):
+        borders = len(step.groups)
+        span = len(step.groups[0].side_a_pids)
+        lines.append(
+            f"  t={t} {step.orientation}-merge: {borders} borders, "
+            f"each spanning {span} processor(s), "
+            f"{span * (grid.q if step.orientation == 'H' else grid.r)} pixels/side"
+        )
+    return "\n".join(lines)
+
+
+def _figure5() -> str:
+    # The paper's Figure 5 sketch: a small tile whose border components
+    # get one hook each.
+    tile = np.array(
+        [
+            [5, 5, 0, 2, 2],
+            [5, 0, 0, 0, 2],
+            [5, 0, 8, 0, 0],
+            [5, 0, 8, 8, 0],
+            [5, 5, 0, 8, 8],
+        ],
+        dtype=np.int32,
+    )
+    # Grey mode keeps the paper's three distinct regions (5, 2, 8).
+    labels = run_label(tile, grey=True, label_stride=100)
+    hooks = create_tile_hooks(labels)
+    lines = ["Figure 5: tile hooks on a 5x5 example tile", "", "tile labels:"]
+    for row in labels:
+        lines.append("  " + " ".join(f"{v:3d}" for v in row))
+    lines.append("")
+    lines.append(f"{len(hooks)} hooks (one per border-touching component):")
+    for label, offset in zip(hooks.labels, hooks.offsets):
+        i, j = divmod(int(offset), labels.shape[1])
+        lines.append(f"  hook: label {int(label):3d} -> border pixel ({i},{j})")
+    return "\n".join(lines)
+
+
+def test_fig04_merge_structure(benchmark):
+    text = benchmark.pedantic(_figure4, rounds=1, iterations=1)
+    emit("fig04_data_layout", text)
+    grid = ProcessorGrid(32, 512)
+    # The paper's caption facts: 4x8 grid, 128x64 tiles, t=2 is vertical.
+    assert (grid.v, grid.w, grid.q, grid.r) == (4, 8, 128, 64)
+    steps = merge_schedule(grid)
+    assert steps[1].orientation == "V"
+    assert len(steps) == 5  # log2(32)
+
+
+def test_fig05_tile_hooks(benchmark):
+    text = benchmark.pedantic(_figure5, rounds=1, iterations=1)
+    emit("fig05_tile_hooks", text)
+    # The example tile has exactly 3 border-touching components, like
+    # the paper's 3-hook illustration.
+    assert "3 hooks" in text

@@ -1,0 +1,97 @@
+"""Figures 6-9: transpose and broadcast time + per-processor bandwidth.
+
+One figure per machine: CM-5 (p=32), SP-2 (p=32), CS-2 (p=32), Paragon
+(p=8).  For a sweep of payload sizes q we report the simulated
+execution time of Algorithms 1 and 2 and the attained per-processor
+bandwidth (payload bytes moved by one processor / elapsed time).
+
+Shapes to reproduce (Sections 2.2/2.4):
+* broadcast takes ~2x the transpose at every size;
+* bandwidth saturates, for large q, near each machine's attained
+  figure: CM-5 7.62 MB/s, SP-2 24.8 MB/s, CS-2 10.7 MB/s, Paragon
+  88.6 MB/s per processor;
+* the machine ranking Paragon > SP-2 > CS-2 > CM-5.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, fmt_seconds
+from repro.analysis import bandwidth_Bps
+from repro.bdm import GlobalArray, Machine, broadcast, transpose
+from repro.machines import CM5, CS2, PARAGON, SP2
+
+QS = (1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18)
+
+FIGS = [
+    ("fig06_cm5", CM5, 32),
+    ("fig07_sp2", SP2, 32),
+    ("fig08_cs2", CS2, 32),
+    ("fig09_paragon", PARAGON, 8),
+]
+
+
+def _sweep(params, p):
+    rows = []
+    for q in QS:
+        m = Machine(p, params)
+        A = GlobalArray(m, q)
+        transpose(m, A)
+        t_tr = m.report().elapsed_s
+        words = q - q // p  # remote words fetched by each processor
+
+        m2 = Machine(p, params)
+        A2 = GlobalArray(m2, q)
+        broadcast(m2, A2)
+        t_bc = m2.report().elapsed_s
+        rows.append(
+            {
+                "q": q,
+                "transpose_s": t_tr,
+                "broadcast_s": t_bc,
+                "bw_tr": bandwidth_Bps(words, t_tr),
+                "bw_bc": bandwidth_Bps(2 * words, t_bc),
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("name,params,p", FIGS, ids=[f[0] for f in FIGS])
+def test_transpose_broadcast_figures(benchmark, name, params, p):
+    rows = benchmark.pedantic(_sweep, args=(params, p), rounds=1, iterations=1)
+    lines = [
+        f"{name}: {params.name} (p={p}) -- transpose / broadcast, simulated",
+        f"{'q (words)':>10} {'transpose':>11} {'broadcast':>11} "
+        f"{'BW tr MB/s':>11} {'BW bc MB/s':>11}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['q']:>10} {fmt_seconds(r['transpose_s']):>11} "
+            f"{fmt_seconds(r['broadcast_s']):>11} "
+            f"{r['bw_tr'] / 1e6:>11.2f} {r['bw_bc'] / 1e6:>11.2f}"
+        )
+    lines.append(
+        f"attained per-processor bandwidth target: {params.bandwidth_Bps / 1e6:.2f} MB/s"
+        f" (vendor peak {params.peak_bandwidth_Bps / 1e6:.0f} MB/s)"
+    )
+    emit(name, "\n".join(lines))
+
+    for r in rows:
+        # Broadcast is two transposes: between 1.8x and 2.2x at all sizes.
+        assert 1.8 < r["broadcast_s"] / r["transpose_s"] < 2.2
+    # Large-q bandwidth approaches the attained figure (>= 90%).
+    assert rows[-1]["bw_tr"] >= 0.9 * params.bandwidth_Bps
+    assert rows[-1]["bw_tr"] <= params.bandwidth_Bps * 1.001
+    # Latency-bound small payloads attain a lower fraction.
+    assert rows[0]["bw_tr"] < rows[-1]["bw_tr"]
+
+
+def test_machine_bandwidth_ranking(benchmark):
+    def ranking():
+        out = {}
+        for name, params, p in FIGS:
+            rows = _sweep(params, p)
+            out[params.name] = rows[-1]["bw_tr"]
+        return out
+
+    bw = benchmark.pedantic(ranking, rounds=1, iterations=1)
+    assert bw["Intel Paragon"] > bw["IBM SP-2"] > bw["Meiko CS-2"] > bw["TMC CM-5"]

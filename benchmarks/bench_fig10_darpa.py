@@ -1,0 +1,50 @@
+"""Figure 10: connected components of the 512x512 DARPA benchmark image.
+
+The paper plots grey-scale CC times for the DARPA Image Understanding
+Benchmark image on the CM-5 (p = 16..128), the SP-1 and the CS-2.  We
+run the DARPA-like synthetic stand-in (256 grey levels) on the same
+machine models and processor range.
+
+Shapes to reproduce: times in the hundreds of milliseconds at p=32
+(the paper's CM-5/32 row is 368 ms), decreasing with p but with
+diminishing returns as border/merge costs grow relative to the
+shrinking tiles.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, fmt_seconds
+from repro.core.connected_components import parallel_components
+from repro.images import darpa_like
+from repro.machines import CM5, CS2, SP1
+
+PS = (16, 32, 64, 128)
+
+
+def _sweep():
+    img = darpa_like(512, 256)
+    table = {}
+    for params in (CM5, SP1, CS2):
+        table[params.name] = [
+            parallel_components(img, p, params, grey=True).elapsed_s for p in PS
+        ]
+    return table
+
+
+def test_fig10_darpa(benchmark):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = ["Figure 10: grey CC of 512x512 DARPA-like image -- simulated"]
+    lines.append("machine        " + "".join(f"   p={p:<6}" for p in PS))
+    for name, times in table.items():
+        lines.append(f"{name:<14}" + "".join(f" {fmt_seconds(t)}" for t in times))
+    emit("fig10_darpa", "\n".join(lines))
+
+    cm5 = table["TMC CM-5"]
+    # Paper's CM-5/32 DARPA point: 368 ms; ours within ~2.5x.
+    assert 368e-3 / 2.5 < cm5[PS.index(32)] < 368e-3 * 2.5
+    # Monotone improvement with p over this range.
+    assert cm5[0] > cm5[1] > cm5[2]
+    # Diminishing returns: the 64->128 step gains less than 16->32.
+    gain_early = cm5[0] / cm5[1]
+    gain_late = cm5[2] / cm5[3]
+    assert gain_late < gain_early

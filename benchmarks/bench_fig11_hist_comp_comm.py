@@ -1,0 +1,53 @@
+"""Figure 11: histogramming computation vs communication time.
+
+The paper separates the histogramming algorithm's computation and
+communication components for k = 32 and k = 256 grey levels over a
+range of image and machine sizes, demonstrating the algorithm's key
+property: communication cost is independent of the image size (it
+depends only on tau, k and p), while computation grows as n^2/p.
+"""
+
+from benchmarks.conftest import emit, fmt_seconds
+from repro.core.histogram import parallel_histogram
+from repro.images import random_greyscale
+from repro.machines import CM5
+
+NS = (128, 256, 512, 1024)
+KS = (32, 256)
+P = 32
+
+
+def _sweep():
+    out = {}
+    for k in KS:
+        rows = []
+        for n in NS:
+            img = random_greyscale(n, k, seed=n + k)
+            rep = parallel_histogram(img, k, P, CM5).report
+            rows.append((n, rep.comp_s, rep.comm_s))
+        out[k] = rows
+    return out
+
+
+def test_fig11_comp_vs_comm(benchmark):
+    data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [f"Figure 11: histogramming comp vs comm on CM-5 (p={P}) -- simulated"]
+    for k, rows in data.items():
+        lines.append(f"k = {k}:")
+        lines.append(f"{'n':>6} {'computation':>12} {'communication':>14}")
+        for n, comp, comm in rows:
+            lines.append(f"{n:>6} {fmt_seconds(comp):>12} {fmt_seconds(comm):>14}")
+    emit("fig11_hist_comp_comm", "\n".join(lines))
+
+    for k, rows in data.items():
+        comms = [comm for _, _, comm in rows]
+        # Communication independent of n (constant across the sweep).
+        assert max(comms) - min(comms) < 1e-12
+        # Computation strictly increasing in n.
+        comps = [comp for _, comp, _ in rows]
+        assert all(b > a for a, b in zip(comps, comps[1:]))
+    # Communication grows with k (it is 2(tau + k) word-times).
+    assert data[256][0][2] > data[32][0][2]
+    # Crossover: computation overtakes communication for large n.
+    assert data[256][0][1] < data[256][0][2] or data[256][0][1] > 0
+    assert data[256][-1][1] > data[256][-1][2]

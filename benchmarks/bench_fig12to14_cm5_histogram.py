@@ -1,0 +1,60 @@
+"""Figures 12-14: CM-5 histogramming, p = 16 / 32 / 64.
+
+Each figure sweeps image sizes 128..1024 and grey-level counts; the
+paper's panels show per-size curves over k.  Shapes to reproduce: time
+grows ~4x per image-size doubling (computation dominated), is nearly
+flat in k for small k (the k-dependent transpose/collect terms are tiny
+next to the n^2/p tally), and halves when p doubles.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, fmt_seconds
+from repro.core.histogram import parallel_histogram
+from repro.images import random_greyscale
+from repro.machines import CM5
+
+NS = (128, 256, 512, 1024)
+KS = (2, 8, 32, 128, 256)
+FIGS = [("fig12_cm5_p16", 16), ("fig13_cm5_p32", 32), ("fig14_cm5_p64", 64)]
+
+
+def _sweep(p):
+    grid = {}
+    for n in NS:
+        row = []
+        for k in KS:
+            img = random_greyscale(n, k, seed=n * 7 + k)
+            row.append(parallel_histogram(img, k, p, CM5).elapsed_s)
+        grid[n] = row
+    return grid
+
+
+@pytest.mark.parametrize("name,p", FIGS, ids=[f[0] for f in FIGS])
+def test_cm5_histogram_panels(benchmark, name, p):
+    grid = benchmark.pedantic(_sweep, args=(p,), rounds=1, iterations=1)
+    lines = [f"{name}: CM-5 histogramming (p={p}) -- simulated time"]
+    lines.append("n      " + "".join(f"  k={k:<7}" for k in KS))
+    for n in NS:
+        lines.append(f"{n:<6}" + "".join(f" {fmt_seconds(t)}" for t in grid[n]))
+    emit(name, "\n".join(lines))
+
+    # ~4x per image-size doubling at fixed k (compute-bound regime).
+    for ki in range(len(KS)):
+        ratio = grid[1024][ki] / grid[512][ki]
+        assert 3.0 < ratio < 4.6, (KS[ki], ratio)
+    # k has little effect at large n (tally dominates).
+    assert grid[1024][-1] / grid[1024][0] < 1.3
+
+
+def test_p_scaling_across_panels(benchmark):
+    def run():
+        img = random_greyscale(1024, 256, seed=3)
+        return {
+            p: parallel_histogram(img, 256, p, CM5).elapsed_s
+            for _, p in FIGS
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 1.7 < times[16] / times[32] < 2.3
+    assert 1.7 < times[32] / times[64] < 2.3

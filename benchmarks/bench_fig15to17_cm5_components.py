@@ -1,0 +1,67 @@
+"""Figures 15-17: CM-5 connected components on the nine test images,
+p = 16 / 32 / 64, image sizes 512x512 and 1024x1024.
+
+The paper plots per-image execution times; the bar patterns and the
+disc are easy cases, the dual spiral (image 9) is the hard one.  Shapes
+to reproduce: per-image times within a small factor of each other (the
+tile work dominates), 1024^2 about 4x the 512^2 time, and p-doubling
+speedups.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, fmt_seconds
+from repro.core.connected_components import parallel_components
+from repro.images import binary_test_image
+from repro.machines import CM5
+
+NS = (512, 1024)
+FIGS = [("fig15_cm5_p16", 16), ("fig16_cm5_p32", 32), ("fig17_cm5_p64", 64)]
+
+
+def _sweep(p):
+    out = {}
+    for n in NS:
+        out[n] = [
+            parallel_components(binary_test_image(idx, n), p, CM5).elapsed_s
+            for idx in range(1, 10)
+        ]
+    return out
+
+
+@pytest.mark.parametrize("name,p", FIGS, ids=[f[0] for f in FIGS])
+def test_cm5_components_panels(benchmark, name, p):
+    data = benchmark.pedantic(_sweep, args=(p,), rounds=1, iterations=1)
+    lines = [f"{name}: CM-5 binary CC on test images 1-9 (p={p}) -- simulated"]
+    for n in NS:
+        lines.append(f"{n}x{n}:")
+        for idx, t in enumerate(data[n], start=1):
+            lines.append(f"  image {idx}  {fmt_seconds(t)}")
+        lines.append(f"  mean     {fmt_seconds(float(np.mean(data[n])))}")
+    emit(name, "\n".join(lines))
+
+    for n in NS:
+        times = np.array(data[n])
+        # All nine images within a factor ~2 of each other: the limited
+        # updating keeps data dependence mild.
+        assert times.max() / times.min() < 2.0
+    # 1024^2 vs 512^2: ~4x (compute bound).
+    ratio = np.mean(data[1024]) / np.mean(data[512])
+    assert 2.8 < ratio < 4.8
+
+
+def test_paper_mean_point_cm5_p32(benchmark):
+    """Paper Table 2: CM-5/32, mean of test images, 512^2 = 292 ms."""
+    def run():
+        return float(
+            np.mean(
+                [
+                    parallel_components(binary_test_image(i, 512), 32, CM5).elapsed_s
+                    for i in range(1, 10)
+                ]
+            )
+        )
+
+    mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 292e-3 / 2.5 < mean < 292e-3 * 2.5

@@ -1,0 +1,78 @@
+"""Figures 18-21: IBM SP-1 and SP-2 panels.
+
+Figure 18: SP-1 histogramming (p=16), images 128..1024.
+Figure 19: SP-1 binary CC (p=16), test images at 512 and 1024.
+Figure 20: SP-2 histogramming (p=16), images 128..1024.
+Figure 21: SP-2 binary CC (p=32), test images at 128..1024.
+
+Shapes: same quadratic-in-n / halving-in-p behaviour as the CM-5
+panels, with the SP machines' latency making small images relatively
+more expensive (latency-bound regime) and the paper's Table 2 anchor
+points (SP-2/32 mean 284 ms at 512^2) within a small factor.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, fmt_seconds
+from repro.core.connected_components import parallel_components
+from repro.core.histogram import parallel_histogram
+from repro.images import binary_test_image, random_greyscale
+from repro.machines import SP1, SP2
+
+HIST_NS = (128, 256, 512, 1024)
+
+
+@pytest.mark.parametrize(
+    "name,params,p",
+    [("fig18_sp1_histogram", SP1, 16), ("fig20_sp2_histogram", SP2, 16)],
+    ids=["fig18_sp1", "fig20_sp2"],
+)
+def test_sp_histogram_panels(benchmark, name, params, p):
+    def run():
+        return [
+            parallel_histogram(random_greyscale(n, 256, seed=n), 256, p, params).elapsed_s
+            for n in HIST_NS
+        ]
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{name}: {params.name} histogramming k=256 (p={p}) -- simulated"]
+    for n, t in zip(HIST_NS, times):
+        lines.append(f"  {n:>5}  {fmt_seconds(t)}")
+    emit(name, "\n".join(lines))
+    assert 3.0 < times[-1] / times[-2] < 4.6  # quadratic tail
+
+
+@pytest.mark.parametrize(
+    "name,params,p,ns",
+    [
+        ("fig19_sp1_components", SP1, 16, (512, 1024)),
+        ("fig21_sp2_components", SP2, 32, (128, 256, 512, 1024)),
+    ],
+    ids=["fig19_sp1", "fig21_sp2"],
+)
+def test_sp_components_panels(benchmark, name, params, p, ns):
+    def run():
+        return {
+            n: [
+                parallel_components(binary_test_image(i, n), p, params).elapsed_s
+                for i in range(1, 10)
+            ]
+            for n in ns
+        }
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{name}: {params.name} binary CC (p={p}) -- simulated"]
+    for n in ns:
+        lines.append(
+            f"  {n:>5}  mean {fmt_seconds(float(np.mean(data[n])))}  "
+            f"min {fmt_seconds(min(data[n]))}  max {fmt_seconds(max(data[n]))}"
+        )
+    emit(name, "\n".join(lines))
+
+    means = [float(np.mean(data[n])) for n in ns]
+    assert all(b > a for a, b in zip(means, means[1:]))
+    if name.startswith("fig21"):
+        # Paper anchor: SP-2/32 mean-of-test-images 512^2 = 284 ms.
+        mean512 = float(np.mean(data[512]))
+        assert 284e-3 / 2.5 < mean512 < 284e-3 * 2.5

@@ -1,0 +1,105 @@
+"""Model validation: simulated costs vs the paper's closed forms.
+
+Not a figure per se, but the paper's recurring claim -- "our
+experimental results are consistent with the theoretical analysis" --
+made quantitative: for a grid of (n, k, p) configurations we compare
+the simulator's measured communication/computation times against
+equations (1), (2), (3) and (11).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import (
+    predict_broadcast,
+    predict_components,
+    predict_histogram,
+    predict_transpose,
+)
+from repro.bdm import GlobalArray, Machine, broadcast, transpose
+from repro.core.connected_components import parallel_components
+from repro.core.histogram import parallel_histogram
+from repro.images import binary_test_image, random_greyscale
+from repro.machines import CM5, SP2
+
+
+def _validate():
+    rows = []
+    # Transpose / broadcast: the model is exact.
+    for p, q in [(8, 4096), (32, 65536)]:
+        m = Machine(p, CM5)
+        transpose(m, GlobalArray(m, q))
+        got = m.report().comm_s
+        want = predict_transpose(CM5, q, p)["comm_s"]
+        rows.append(("transpose", f"p={p} q={q}", want, got))
+        m = Machine(p, SP2)
+        broadcast(m, GlobalArray(m, q))
+        got = m.report().comm_s
+        want = predict_broadcast(SP2, q, p)["comm_s"]
+        rows.append(("broadcast", f"p={p} q={q}", want, got))
+    # Histogram: comm bound of eq. (3); comp estimate.
+    for n, k, p in [(256, 64, 16), (512, 256, 32)]:
+        img = random_greyscale(n, k, seed=n)
+        rep = parallel_histogram(img, k, p, CM5).report
+        pred = predict_histogram(CM5, n, k, p)
+        rows.append(("hist comm", f"n={n} k={k} p={p}", pred["comm_s"], rep.comm_s))
+        rows.append(("hist comp", f"n={n} k={k} p={p}", pred["comp_s"], rep.comp_s))
+    # CC: comm bound of eq. (11); comp estimate.
+    for n, p in [(256, 16), (512, 32)]:
+        img = binary_test_image(5, n)
+        rep = parallel_components(img, p, CM5).report
+        pred = predict_components(CM5, n, p)
+        rows.append(("cc comm", f"n={n} p={p}", pred["comm_s"], rep.comm_s))
+        rows.append(("cc comp", f"n={n} p={p}", pred["comp_s"], rep.comp_s))
+    return rows
+
+
+def test_model_validation(benchmark):
+    rows = benchmark.pedantic(_validate, rounds=1, iterations=1)
+    lines = ["Model validation: closed-form prediction vs simulated measurement"]
+    lines.append(f"{'quantity':<12} {'config':<20} {'predicted':>12} {'measured':>12} {'ratio':>7}")
+    for name, cfg, want, got in rows:
+        ratio = got / want if want else float("inf")
+        lines.append(f"{name:<12} {cfg:<20} {want:>12.6f} {got:>12.6f} {ratio:>7.3f}")
+    emit("model_validation", "\n".join(lines))
+
+    for name, cfg, want, got in rows:
+        if name in ("transpose", "broadcast"):
+            assert got == want or abs(got - want) / want < 1e-9, (name, cfg)
+        elif name.endswith("comm"):
+            # Equations (3)/(11) are upper bounds; the simulator must
+            # stay below (with a little slack for barrier accounting)
+            # but within an order of magnitude (the bound is not loose).
+            assert got <= want * 1.3, (name, cfg, want, got)
+            assert got >= want * 0.05, (name, cfg, want, got)
+        else:
+            assert 0.4 < got / want < 2.5, (name, cfg, want, got)
+
+
+def test_structural_model_fit(benchmark):
+    """Fit the simulator's measured times to the analysis' structural
+    model T = a n^2/p + b n/sqrt(p) + c log p + d: R^2 near 1 and the
+    n^2/p term dominant is the quantitative form of 'the experimental
+    results are consistent with the theoretical analysis'."""
+    from repro.analysis.fitting import fit_complexity_model
+    from repro.images import binary_test_image
+
+    def run():
+        ns, ps, ts = [], [], []
+        for n_ in (128, 256, 512):
+            for p_ in (4, 16, 64):
+                img = binary_test_image(9, n_)
+                ts.append(parallel_components(img, p_, CM5).elapsed_s)
+                ns.append(n_)
+                ps.append(p_)
+        return fit_complexity_model(ns, ps, ts)
+
+    fit = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Structural-model fit of simulated CC times (CM-5, dual spiral)"]
+    lines.append("T(n, p) = a n^2/p + b n/sqrt(p) + c log2(p) + d")
+    for name, value in fit.coefficients.items():
+        lines.append(f"  {name:<14} {value:.3e}")
+    lines.append(f"  R^2 = {fit.r_squared:.6f}, dominant term: {fit.dominant_term}")
+    emit("model_fit", "\n".join(lines))
+    assert fit.r_squared > 0.98
+    assert fit.dominant_term == "n2_over_p"

@@ -1,0 +1,44 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one of the paper's tables or figures: the
+wall-clock of the regeneration is measured by pytest-benchmark, and the
+reproduced rows/series (simulated times on the paper's machine models)
+are written to ``benchmarks/results/<name>.txt`` and echoed to the
+terminal, so a plain
+
+    pytest benchmarks/ --benchmark-only
+
+leaves the full reproduction record behind.  EXPERIMENTS.md summarizes
+paper-vs-measured for each artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Write a reproduction artifact and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] -> {path}")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:8.3f} s "
+    if s >= 1e-3:
+        return f"{s * 1e3:8.2f} ms"
+    return f"{s * 1e6:8.1f} us"

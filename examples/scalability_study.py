@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scalability study: speedup and efficiency across machines and p.
+
+Reproduces the paper's headline experiment interactively: run both
+primitives on every machine model at p = 1..128 and report speedup over
+the p=1 run and parallel efficiency -- "an algorithm with an efficiency
+near one runs approximately p times faster on p processors".
+
+Usage:
+    python examples/scalability_study.py [size] [k]
+"""
+
+import sys
+
+import repro
+from repro.analysis import efficiency, speedup
+from repro.images import binary_test_image, random_greyscale
+from repro.machines import CM5, CS2, SP1, SP2
+
+PS = (1, 4, 16, 64, 128)
+MACHINES = (CM5, SP1, SP2, CS2)
+
+
+def study(title, runner, serial_time_by_machine):
+    print(f"\n{title}")
+    print(f"{'machine':<14}" + "".join(f"  p={p:<11}" for p in PS))
+    for params in MACHINES:
+        cells = []
+        t1 = serial_time_by_machine[params.name]
+        for p in PS:
+            tp = runner(p, params)
+            eff = efficiency(t1, tp, p)
+            cells.append(f"{tp * 1e3:7.1f}ms/{eff:4.2f}")
+        print(f"{params.name:<14}" + "  ".join(cells))
+    print("(cells: simulated time / parallel efficiency)")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 256
+
+    grey = random_greyscale(n, k, seed=7)
+    spiral = binary_test_image(9, n)
+
+    hist_serial = {
+        m.name: repro.parallel_histogram(grey, k, 1, m).elapsed_s for m in MACHINES
+    }
+    cc_serial = {
+        m.name: repro.parallel_components(spiral, 1, m).elapsed_s for m in MACHINES
+    }
+
+    study(
+        f"histogramming {n}x{n}, k={k} (simulated)",
+        lambda p, m: repro.parallel_histogram(grey, k, p, m).elapsed_s,
+        hist_serial,
+    )
+    study(
+        f"binary connected components {n}x{n}, dual spiral (simulated)",
+        lambda p, m: repro.parallel_components(spiral, p, m).elapsed_s,
+        cc_serial,
+    )
+
+    cm5_cc_64 = repro.parallel_components(spiral, 64, CM5).elapsed_s
+    print(
+        f"\nexample speedup: CC on simulated CM-5, p=64: "
+        f"{speedup(cc_serial[CM5.name], cm5_cc_64):.1f}x over one processor"
+    )
+
+
+if __name__ == "__main__":
+    main()

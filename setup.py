@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment ships setuptools 65 without the ``wheel`` package, so
+PEP 660 editable installs cannot build; ``pip install -e . --no-use-pep517``
+goes through this file instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""Analysis: closed-form cost models, efficiency metrics, literature tables.
+
+* :mod:`~repro.analysis.complexity` -- the paper's equations (1), (2),
+  (3), (11), (12) as executable predictions, for validating the
+  simulator against the theory.
+* :mod:`~repro.analysis.efficiency` -- speedup / efficiency /
+  work-per-pixel / bandwidth metrics used throughout the evaluation.
+* :mod:`~repro.analysis.tables` -- the historical data of Tables 1 and
+  2 plus the normalization rules, so the comparison tables can be
+  regenerated with our measured rows appended.
+"""
+
+from repro.analysis.complexity import (
+    predict_transpose,
+    predict_broadcast,
+    predict_histogram,
+    predict_components,
+)
+from repro.analysis.efficiency import (
+    speedup,
+    efficiency,
+    work_per_pixel_s,
+    bandwidth_Bps,
+)
+from repro.analysis.regions import (
+    RegionTable,
+    region_table,
+    region_perimeters,
+    compact_labels,
+    filter_small_regions,
+)
+from repro.analysis.threshold import otsu_threshold, apply_threshold
+from repro.analysis.fitting import ComplexityFit, fit_complexity_model, fit_power_law
+from repro.analysis.report import assemble_report
+from repro.analysis.verification import (
+    VerificationError,
+    verify_histogram,
+    verify_labels,
+    verify_area_fractions,
+)
+from repro.analysis.tables import (
+    TableEntry,
+    TABLE1_HISTOGRAMMING,
+    TABLE2_COMPONENTS,
+    normalized_work_per_pixel_s,
+    format_table,
+)
+
+__all__ = [
+    "predict_transpose",
+    "predict_broadcast",
+    "predict_histogram",
+    "predict_components",
+    "speedup",
+    "efficiency",
+    "work_per_pixel_s",
+    "bandwidth_Bps",
+    "RegionTable",
+    "region_table",
+    "region_perimeters",
+    "otsu_threshold",
+    "apply_threshold",
+    "ComplexityFit",
+    "fit_complexity_model",
+    "fit_power_law",
+    "assemble_report",
+    "compact_labels",
+    "filter_small_regions",
+    "VerificationError",
+    "verify_histogram",
+    "verify_labels",
+    "verify_area_fractions",
+    "TableEntry",
+    "TABLE1_HISTOGRAMMING",
+    "TABLE2_COMPONENTS",
+    "normalized_work_per_pixel_s",
+    "format_table",
+]

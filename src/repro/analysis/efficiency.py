@@ -1,0 +1,61 @@
+"""Performance metrics used in the paper's evaluation.
+
+* **Efficiency** (Section 1): "an algorithm with an efficiency near one
+  runs approximately p times faster on p processors than the same
+  algorithm on a single processor".
+* **Work per pixel** (Tables 1-2): total work = time x processors,
+  normalized per pixel; fine-grained (bit-serial) machines' processor
+  counts are divided by 32 before normalizing.
+* **Attained bandwidth** (Figures 6-9): payload bytes moved per
+  processor divided by elapsed time.
+"""
+
+from __future__ import annotations
+
+from repro.machines.params import WORD_BYTES
+from repro.utils.errors import ValidationError
+
+#: Fine-grained (bit-serial) processor counts are divided by this
+#: before computing work, per the papers' normalization note.
+FINE_GRAIN_DIVISOR = 32
+
+
+def speedup(t_serial_s: float, t_parallel_s: float) -> float:
+    """Classic speedup ``T_1 / T_p``."""
+    if t_serial_s < 0 or t_parallel_s <= 0:
+        raise ValidationError("times must be positive")
+    return t_serial_s / t_parallel_s
+
+
+def efficiency(t_serial_s: float, t_parallel_s: float, p: int) -> float:
+    """Efficiency ``T_1 / (p T_p)`` in [0, 1] for well-behaved runs."""
+    if p <= 0:
+        raise ValidationError("p must be positive")
+    return speedup(t_serial_s, t_parallel_s) / p
+
+
+def work_per_pixel_s(
+    time_s: float, processors: int, n: int, *, fine_grained: bool = False
+) -> float:
+    """Normalized work per pixel: ``time * p_effective / n^2`` seconds.
+
+    ``fine_grained=True`` applies the divide-by-32 normalization used
+    for bit-serial SIMD machines in Tables 1 and 2.
+    """
+    if time_s < 0 or processors <= 0 or n <= 0:
+        raise ValidationError("time, processors and n must be positive")
+    p_eff = processors / FINE_GRAIN_DIVISOR if fine_grained else processors
+    return time_s * p_eff / (n * n)
+
+
+def bandwidth_Bps(words_per_processor: float, elapsed_s: float) -> float:
+    """Attained per-processor data bandwidth in bytes/second.
+
+    The paper's bandwidth plots divide each processor's payload volume
+    by the operation's elapsed time ("MB/s" meaning 1e6 bytes/s).
+    """
+    if elapsed_s <= 0:
+        raise ValidationError("elapsed time must be positive")
+    if words_per_processor < 0:
+        raise ValidationError("word count must be non-negative")
+    return words_per_processor * WORD_BYTES / elapsed_s

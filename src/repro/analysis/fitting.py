@@ -1,0 +1,117 @@
+"""Fitting measured runtimes to the paper's complexity forms.
+
+The paper validates its analysis by eyeballing linearity of time vs
+``n^2`` and halving under ``p``-doubling; this module makes that
+quantitative: least-squares fits of measured (n, p, time) samples to
+the structural model
+
+    ``T(n, p) = a * n^2/p  +  b * n/sqrt(p)  +  c * log2(p)  +  d``
+
+whose terms are exactly the analysis' pieces -- tile computation,
+border volume, latency per merge iteration, and constant overhead --
+plus a generic power-law fit ``T = C * n^alpha`` for single-variable
+sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+@dataclass
+class ComplexityFit:
+    """Result of fitting samples to the structural model."""
+
+    coefficients: dict[str, float]
+    r_squared: float
+    dominant_term: str
+
+    def predict(self, n: float, p: float) -> float:
+        c = self.coefficients
+        return (
+            c["n2_over_p"] * n * n / p
+            + c["n_over_sqrt_p"] * n / np.sqrt(p)
+            + c["log_p"] * np.log2(max(p, 2))
+            + c["constant"]
+        )
+
+
+def _design_matrix(ns: np.ndarray, ps: np.ndarray) -> np.ndarray:
+    return np.column_stack(
+        [
+            ns * ns / ps,
+            ns / np.sqrt(ps),
+            np.log2(np.maximum(ps, 2)),
+            np.ones_like(ns, dtype=np.float64),
+        ]
+    )
+
+
+def fit_complexity_model(ns, ps, times_s) -> ComplexityFit:
+    """Least-squares fit of (n, p, time) samples to the structural model.
+
+    Coefficients are constrained to be non-negative (each term is a
+    cost) via clipped iterated least squares; ``r_squared`` measures
+    the fit quality and ``dominant_term`` names the term contributing
+    the most cost at the largest sampled configuration.
+    """
+    ns = np.asarray(ns, dtype=np.float64)
+    ps = np.asarray(ps, dtype=np.float64)
+    times = np.asarray(times_s, dtype=np.float64)
+    if not (ns.shape == ps.shape == times.shape) or ns.ndim != 1:
+        raise ValidationError("ns, ps and times must be equal-length vectors")
+    if ns.size < 5:
+        raise ValidationError("need at least 5 samples to fit 4 coefficients")
+
+    X = _design_matrix(ns, ps)
+    active = np.ones(X.shape[1], dtype=bool)
+    coef = np.zeros(X.shape[1])
+    # Iterated NNLS-lite: solve, drop negative coefficients, repeat.
+    for _ in range(X.shape[1]):
+        sol, *_ = np.linalg.lstsq(X[:, active], times, rcond=None)
+        if (sol >= 0).all():
+            coef[:] = 0.0
+            coef[active] = sol
+            break
+        keep = sol >= 0
+        idx = np.flatnonzero(active)
+        active[idx[~keep]] = False
+        if not active.any():
+            raise ValidationError("degenerate fit: all terms negative")
+    else:  # pragma: no cover - bounded by loop construction
+        raise ValidationError("fit did not converge")
+
+    fitted = X @ coef
+    ss_res = float(((times - fitted) ** 2).sum())
+    ss_tot = float(((times - times.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+    names = ["n2_over_p", "n_over_sqrt_p", "log_p", "constant"]
+    coefficients = dict(zip(names, coef.tolist()))
+    big = np.argmax(ns * ns / ps)  # largest configuration by tile size
+    contributions = X[big] * coef
+    dominant = names[int(np.argmax(contributions))]
+    return ComplexityFit(
+        coefficients=coefficients, r_squared=r2, dominant_term=dominant
+    )
+
+
+def fit_power_law(xs, ys) -> tuple[float, float, float]:
+    """Fit ``y = C * x^alpha``; returns ``(C, alpha, r_squared)`` in log space."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1 or xs.size < 2:
+        raise ValidationError("need equal-length vectors with >= 2 samples")
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValidationError("power-law fit requires positive samples")
+    lx, ly = np.log(xs), np.log(ys)
+    alpha, logc = np.polyfit(lx, ly, 1)
+    fitted = alpha * lx + logc
+    ss_res = float(((ly - fitted) ** 2).sum())
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(np.exp(logc)), float(alpha), r2

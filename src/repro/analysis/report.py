@@ -1,0 +1,98 @@
+"""Assemble the reproduction artifacts into one report.
+
+``pytest benchmarks/ --benchmark-only`` leaves one text artifact per
+table/figure/ablation under ``benchmarks/results/``; this module (and
+``python -m repro report``) stitches them into a single document in the
+paper's order, so the whole experimental study can be read top to
+bottom without hunting through files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.utils.errors import ValidationError
+
+#: Artifact ordering: (file stem, section heading).  Mirrors the paper's
+#: presentation order; anything not listed is appended alphabetically
+#: under "Additional artifacts".
+SECTIONS: tuple[tuple[str, str], ...] = (
+    ("table1_histogramming", "Table 1 - parallel histogramming"),
+    ("table2_components", "Table 2 - parallel connected components"),
+    ("fig03_histogram_scalability", "Figure 3 (left) - histogramming scalability"),
+    ("fig03_components_scalability", "Figure 3 (right) - CC scalability"),
+    ("fig04_data_layout", "Figure 4 - data layout and merge structure"),
+    ("fig05_tile_hooks", "Figure 5 - tile hooks"),
+    ("fig06_cm5", "Figure 6 - transpose/broadcast, CM-5"),
+    ("fig07_sp2", "Figure 7 - transpose/broadcast, SP-2"),
+    ("fig08_cs2", "Figure 8 - transpose/broadcast, CS-2"),
+    ("fig09_paragon", "Figure 9 - transpose/broadcast, Paragon"),
+    ("fig10_darpa", "Figure 10 - DARPA image CC on various machines"),
+    ("fig11_hist_comp_comm", "Figure 11 - histogramming comp vs comm"),
+    ("fig12_cm5_p16", "Figure 12 - CM-5 histogramming, p=16"),
+    ("fig13_cm5_p32", "Figure 13 - CM-5 histogramming, p=32"),
+    ("fig14_cm5_p64", "Figure 14 - CM-5 histogramming, p=64"),
+    ("fig15_cm5_p16", "Figure 15 - CM-5 CC test images, p=16"),
+    ("fig16_cm5_p32", "Figure 16 - CM-5 CC test images, p=32"),
+    ("fig17_cm5_p64", "Figure 17 - CM-5 CC test images, p=64"),
+    ("fig18_sp1_histogram", "Figure 18 - SP-1 histogramming"),
+    ("fig19_sp1_components", "Figure 19 - SP-1 CC"),
+    ("fig20_sp2_histogram", "Figure 20 - SP-2 histogramming"),
+    ("fig21_sp2_components", "Figure 21 - SP-2 CC"),
+    ("model_validation", "Model validation - equations (1)-(3), (11)"),
+    ("model_fit", "Structural-model fit"),
+    ("baseline_comparison", "Baseline comparison - paper vs stripe D&C"),
+    ("ablation_updating", "Ablation - limited updating / shadow / distribution"),
+    ("ablation_hybrid_sort", "Ablation - hybrid sort crossover"),
+    ("ablation_overlap", "Ablation - split-phase overlap"),
+    ("engine_comparison", "Engineering - sequential engine comparison"),
+    ("physics_autocorrelation", "Application - critical slowing down"),
+    ("runtime_backends", "Runtime backends (wall clock)"),
+)
+
+
+def assemble_report(results_dir) -> str:
+    """Concatenate the artifacts in paper order; returns the document."""
+    results_dir = pathlib.Path(results_dir)
+    if not results_dir.is_dir():
+        raise ValidationError(
+            f"no results directory at {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    available = {p.stem: p for p in sorted(results_dir.glob("*.txt"))}
+    if not available:
+        raise ValidationError(
+            f"{results_dir} holds no artifacts; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+
+    lines = [
+        "REPRODUCTION REPORT",
+        "Bader & JaJa, Parallel Algorithms for Image Histogramming and",
+        "Connected Components (PPoPP 1995) -- simulated reproduction",
+        "=" * 70,
+    ]
+    seen = set()
+    for stem, heading in SECTIONS:
+        path = available.get(stem)
+        if path is None:
+            continue
+        seen.add(stem)
+        lines.append("")
+        lines.append(heading)
+        lines.append("-" * len(heading))
+        lines.append(path.read_text().rstrip())
+    extras = [stem for stem in available if stem not in seen]
+    if extras:
+        lines.append("")
+        lines.append("Additional artifacts")
+        lines.append("-" * 20)
+        for stem in sorted(extras):
+            lines.append("")
+            lines.append(f"[{stem}]")
+            lines.append(available[stem].read_text().rstrip())
+    missing = [stem for stem, _ in SECTIONS if stem not in available]
+    if missing:
+        lines.append("")
+        lines.append(f"(not regenerated in this run: {', '.join(missing)})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,182 @@
+"""Independent verification of histogram and labeling outputs.
+
+Section 3 of the paper describes how the authors convinced themselves
+of correctness: "the histogramming algorithm is assumed to be correct
+because sum H[i] = n^2, and for regular patterns it is easy to verify
+that each H[i]/n^2 equals the percentage of area that grey level i
+covers"; "verifying the connected components algorithm is more
+difficult" -- hence the catalogue of patterns with known structure.
+This module packages those checks (and stronger, complete ones) as
+library functions, so any pipeline can self-verify:
+
+* :func:`verify_histogram` -- the paper's two criteria, plus an exact
+  recount.
+* :func:`verify_labels` -- complete: (a) background exactly where grey
+  level 0 is, (b) no *under-merging*: every pair of adjacent connectable
+  pixels shares a label (vectorized shift comparisons), (c) no
+  *over-merging*: every label's support is one connected set (checked
+  against an independently computed partition), (d) the labeling
+  convention (label = 1 + first pixel's row-major index).
+
+``verify_labels`` uses the Shiloach-Vishkin engine for the independent
+partition; verifying an SV-produced labeling therefore still crosses
+implementations (shift-mask edge construction vs whatever produced the
+input), but for true independence pass a different ``reference_engine``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.sequential import ENGINES
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_image
+
+
+class VerificationError(ValidationError):
+    """An output failed verification."""
+
+
+def verify_histogram(image: np.ndarray, histogram: np.ndarray) -> None:
+    """Assert a histogram is exactly right for ``image``.
+
+    Raises :class:`VerificationError` with a diagnostic message on any
+    failure; returns None on success.
+    """
+    image = check_image(image, square=False)
+    histogram = np.asarray(histogram)
+    if histogram.ndim != 1:
+        raise VerificationError(f"histogram must be 1-D, got shape {histogram.shape}")
+    k = len(histogram)
+    total = int(histogram.sum())
+    if total != image.size:
+        raise VerificationError(
+            f"sum(H) = {total} != pixel count {image.size} (paper criterion 1)"
+        )
+    if image.max(initial=0) >= k:
+        raise VerificationError(f"image has levels >= k={k}")
+    expected = np.bincount(image.ravel(), minlength=k)
+    bad = np.flatnonzero(expected != histogram)
+    if bad.size:
+        level = int(bad[0])
+        raise VerificationError(
+            f"H[{level}] = {int(histogram[level])}, expected {int(expected[level])}"
+            f" ({bad.size} levels wrong)"
+        )
+
+
+def canonicalize_labels(labels: np.ndarray) -> np.ndarray:
+    """Rename every label to ``1 + min flat index`` of its support.
+
+    Any labeling that partitions the foreground identically maps to the
+    same canonical form, so two labelings are equivalent up to renaming
+    iff their canonical forms are equal.
+    """
+    labels = np.asarray(labels)
+    flat = labels.ravel()
+    out = np.zeros_like(flat, dtype=np.int64)
+    fg = flat != 0
+    if fg.any():
+        idx = np.arange(flat.size, dtype=np.int64)
+        uniq, inv = np.unique(flat[fg], return_inverse=True)
+        mins = np.full(len(uniq), flat.size, dtype=np.int64)
+        np.minimum.at(mins, inv, idx[fg])
+        out[fg] = mins[inv] + 1
+    return out.reshape(labels.shape)
+
+
+def verify_labels(
+    image: np.ndarray,
+    labels: np.ndarray,
+    *,
+    connectivity: int = 8,
+    grey: bool = False,
+    reference_engine: str = "sv",
+    canonical: bool = True,
+) -> None:
+    """Assert a component labeling is exactly right for ``image``.
+
+    Raises :class:`VerificationError` on the first violated property;
+    returns None when the labeling is correct.  With
+    ``canonical=False`` the labeling is accepted up to a renaming of
+    the labels (e.g. compacted ``1..C`` ids) -- the *partition* must
+    still be exactly right.
+    """
+    image = check_image(image, square=False)
+    labels = np.asarray(labels)
+    if labels.shape != image.shape:
+        raise VerificationError(
+            f"labels shape {labels.shape} != image shape {image.shape}"
+        )
+    if connectivity not in (4, 8):
+        raise VerificationError(f"connectivity must be 4 or 8, got {connectivity}")
+
+    # (a) background.
+    fg = image != 0
+    if (labels[~fg] != 0).any():
+        raise VerificationError("background pixel carries a non-zero label")
+    if (labels[fg] == 0).any():
+        raise VerificationError("foreground pixel carries label 0")
+
+    # (b) under-merging: adjacent connectable pixels must share labels.
+    shifts = ((0, 1), (1, 0)) if connectivity == 4 else ((0, 1), (1, 0), (1, 1), (1, -1))
+    rows, cols = image.shape
+    for di, dj in shifts:
+        src_i = slice(0, rows - di)
+        dst_i = slice(di, rows)
+        if dj >= 0:
+            src_j = slice(0, cols - dj)
+            dst_j = slice(dj, cols)
+        else:
+            src_j = slice(-dj, cols)
+            dst_j = slice(0, cols + dj)
+        connect = fg[src_i, src_j] & fg[dst_i, dst_j]
+        if grey:
+            connect &= image[src_i, src_j] == image[dst_i, dst_j]
+        differ = connect & (labels[src_i, src_j] != labels[dst_i, dst_j])
+        if differ.any():
+            i, j = np.argwhere(differ)[0]
+            raise VerificationError(
+                f"adjacent connectable pixels ({int(i)},{int(j)}) and "
+                f"({int(i) + di},{int(j) + dj}) have different labels"
+            )
+
+    # (c) over-merging + (d) convention: compare against an independent
+    # engine's labeling, which is canonical by construction.
+    if reference_engine not in ENGINES:
+        raise VerificationError(
+            f"unknown reference engine {reference_engine!r}; known: {sorted(ENGINES)}"
+        )
+    reference = ENGINES[reference_engine](
+        image, connectivity=connectivity, grey=grey
+    )
+    candidate = labels if canonical else canonicalize_labels(labels)
+    if not np.array_equal(candidate, reference):
+        diff = candidate != reference
+        i, j = np.argwhere(diff)[0]
+        raise VerificationError(
+            f"label at ({int(i)},{int(j)}) is {int(candidate[i, j])}, canonical is "
+            f"{int(reference[i, j])} -- over-merged components or wrong convention"
+        )
+
+
+def verify_area_fractions(
+    image: np.ndarray, histogram: np.ndarray, fractions: dict[int, float], *, tol: float = 0.0
+) -> None:
+    """Paper criterion 2: check known area shares of regular patterns.
+
+    ``fractions`` maps grey level -> expected share of the image area;
+    e.g. equal-thickness alternating bars give ``{0: 0.5, 1: 0.5}``.
+    """
+    image = check_image(image, square=False)
+    histogram = np.asarray(histogram)
+    n2 = image.size
+    for level, expected in fractions.items():
+        if not (0 <= level < len(histogram)):
+            raise VerificationError(f"level {level} outside histogram range")
+        actual = histogram[level] / n2
+        if abs(actual - expected) > tol + 1e-12:
+            raise VerificationError(
+                f"H[{level}]/n^2 = {actual:.4f}, expected {expected:.4f} "
+                f"(tolerance {tol})"
+            )

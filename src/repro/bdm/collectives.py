@@ -1,0 +1,196 @@
+"""Further BDM collectives composed from the Section-2 primitives.
+
+The paper builds broadcasting out of two matrix transpositions; the
+same technique yields the other staple collectives, each with the
+familiar ``O(tau + q)`` communication bound:
+
+* :func:`reduce_to` -- elementwise reduction of per-processor blocks
+  onto a root (transpose, local reduce, gather): ``2 tau + O(q)``.
+* :func:`allreduce` -- reduction delivered to every processor
+  (transpose, local reduce, allgather of the reduced slices).
+* :func:`allgather` -- every processor obtains every block (the
+  specialized second transpose of Algorithm 2, generalized).
+* :func:`prefix_sum` -- exclusive scan of one value per processor by
+  recursive doubling: ``ceil(log p)`` rounds of one-word exchanges,
+  ``T_comm = log p (tau + 1)``.
+
+These are not used by the paper's two algorithms directly, but they
+complete the substrate a Split-C programmer of the era would lean on
+(and the histogramming algorithm is precisely ``reduce_to`` with a
+bincount front end).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bdm.machine import Machine
+from repro.bdm.memory import GlobalArray
+from repro.bdm.transpose import gather_to, transpose
+from repro.machines.params import MachineParams
+from repro.utils.errors import ValidationError
+from repro.utils.validation import ilog2
+
+_REDUCERS = {
+    "sum": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def _reduce_slices(machine: Machine, A: GlobalArray, op, phase_name: str) -> GlobalArray:
+    """Transpose then locally reduce: proc i ends with reduced slice i."""
+    p = machine.p
+    q = A.block_length(0)
+    AT = transpose(machine, A, phase_name=f"{phase_name}:transpose")
+    size = q // p
+    R = GlobalArray(machine, size, dtype=A.dtype, name=f"red({A.name})")
+    with machine.phase(f"{phase_name}:reduce"):
+        for proc in machine.procs:
+            block = AT.local(proc.pid).reshape(p, size)
+            R.write(proc, proc.pid, op.reduce(block, axis=0))
+            proc.charge_comp(q)
+    return R
+
+
+def reduce_to(
+    machine: Machine,
+    A: GlobalArray,
+    *,
+    root: int = 0,
+    op: str = "sum",
+    phase_name: str = "reduce",
+) -> np.ndarray:
+    """Elementwise reduction of all blocks, delivered to ``root``.
+
+    Every processor must hold a block of equal length ``q`` with
+    ``p | q``.  Returns the length-``q`` reduced vector.
+    """
+    if op not in _REDUCERS:
+        raise ValidationError(f"unknown op {op!r}; known: {sorted(_REDUCERS)}")
+    q = A.block_length(0)
+    if q % machine.p != 0:
+        raise ValidationError(f"p={machine.p} must divide q={q}")
+    R = _reduce_slices(machine, A, _REDUCERS[op], phase_name)
+    return gather_to(machine, R, root=root, phase_name=f"{phase_name}:gather")
+
+
+def allgather(machine: Machine, A: GlobalArray, *, phase_name: str = "allgather") -> GlobalArray:
+    """Every processor obtains the concatenation of all blocks.
+
+    Each processor circularly prefetches every other block (pipelined),
+    costing ``tau + (p-1) q`` words -- the generalized second step of
+    Algorithm 2.
+    """
+    p = machine.p
+    lengths = [A.block_length(i) for i in range(p)]
+    total = sum(lengths)
+    starts = np.concatenate([[0], np.cumsum(lengths)])
+    out = GlobalArray(machine, total, dtype=A.dtype, name=f"ag({A.name})")
+    with machine.phase(phase_name):
+        for proc in machine.procs:
+            i = proc.pid
+            with proc.prefetch_batch():
+                for loop in range(p):
+                    r = (i + loop) % p
+                    if lengths[r] == 0:
+                        continue
+                    block = A.read(proc, r)
+                    out.write(proc, i, block, start=int(starts[r]))
+            proc.charge_copy(total)
+    return out
+
+
+def allreduce(
+    machine: Machine,
+    A: GlobalArray,
+    *,
+    op: str = "sum",
+    phase_name: str = "allreduce",
+) -> GlobalArray:
+    """Elementwise reduction delivered to every processor."""
+    if op not in _REDUCERS:
+        raise ValidationError(f"unknown op {op!r}; known: {sorted(_REDUCERS)}")
+    q = A.block_length(0)
+    if q % machine.p != 0:
+        raise ValidationError(f"p={machine.p} must divide q={q}")
+    R = _reduce_slices(machine, A, _REDUCERS[op], phase_name)
+    return allgather(machine, R, phase_name=f"{phase_name}:allgather")
+
+
+def scatter_from(
+    machine: Machine,
+    values: np.ndarray,
+    *,
+    root: int = 0,
+    dtype=np.int64,
+    phase_name: str = "scatter",
+) -> GlobalArray:
+    """Root distributes a length-``q`` vector: slice ``i`` to processor ``i``.
+
+    The inverse of :func:`~repro.bdm.transpose.gather_to`.  Each
+    non-root processor prefetches its ``q/p`` slice from the root
+    (the root's port serializes them: ``tau + (q - q/p)`` on the
+    receivers, ``q - q/p`` serve time on the root, as the one-port
+    model dictates).
+    """
+    p = machine.p
+    values = np.asarray(values, dtype=dtype).ravel()
+    q = len(values)
+    if q % p != 0:
+        raise ValidationError(f"p={p} must divide the payload length {q}")
+    size = q // p
+    src = GlobalArray(machine, [q if pid == root else 0 for pid in range(p)],
+                      dtype=dtype, name="scatter:src")
+    src._blocks[root][:] = values  # initial placement on the root
+    out = GlobalArray(machine, size, dtype=dtype, name="scatter:out")
+    with machine.phase(phase_name):
+        for proc in machine.procs:
+            i = proc.pid
+            with proc.prefetch_batch():
+                piece = src.read(proc, root, i * size, (i + 1) * size)
+            out.write(proc, i, piece)
+    return out
+
+
+def prefix_sum(machine: Machine, values, *, phase_name: str = "scan") -> np.ndarray:
+    """Exclusive prefix sum of one integer per processor.
+
+    Recursive doubling: in round ``d`` processor ``i`` adds the partial
+    sum of processor ``i - 2^d`` -- ``ceil(log p)`` one-word rounds.
+    Returns the exclusive scan as a plain array (``out[i] = sum of
+    values[:i]``).
+    """
+    p = machine.p
+    values = np.asarray(values, dtype=np.int64)
+    if values.shape != (p,):
+        raise ValidationError(f"need exactly one value per processor ({p})")
+    inclusive = GlobalArray(machine, 1, dtype=np.int64, name="scan")
+    for pid in range(p):
+        inclusive._blocks[pid][0] = values[pid]  # initial placement
+    rounds = ilog2(p) if p > 1 else 0
+    for d in range(rounds):
+        stride = 1 << d
+        incoming = {}
+        with machine.phase(f"{phase_name}:round{d}"):
+            for proc in machine.procs:
+                src = proc.pid - stride
+                if src >= 0:
+                    incoming[proc.pid] = int(inclusive.read(proc, src)[0])
+                proc.charge_comp(1)
+        with machine.phase(f"{phase_name}:add{d}"):
+            for proc in machine.procs:
+                if proc.pid in incoming:
+                    current = int(inclusive.local(proc.pid)[0])
+                    inclusive.write(proc, proc.pid, [current + incoming[proc.pid]])
+                    proc.charge_comp(1)
+    inc = np.array([int(inclusive.local(pid)[0]) for pid in range(p)])
+    return inc - values
+
+
+def reduce_cost_model(params: MachineParams, q: int, p: int) -> dict[str, float]:
+    """Closed-form cost of :func:`reduce_to`: a transpose + gather."""
+    if q % p != 0:
+        raise ValidationError(f"p={p} must divide q={q}")
+    comm = 2 * params.latency_s + (2 * q - 2 * q // p) * params.word_time_s()
+    return {"comm_s": comm, "comp_s": params.comp_time_s(q)}

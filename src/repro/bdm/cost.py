@@ -1,0 +1,179 @@
+"""Cost accounting for the BDM simulator.
+
+Each processor accumulates simulated communication seconds, computation
+seconds, and traffic counters.  The machine aggregates them per *phase*
+(the region between two barriers): the phase's elapsed time is the
+maximum over processors of (communication + computation) spent in the
+phase, matching the BDM convention that ``T(n, p)`` is the maximum over
+processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostCounter:
+    """Mutable per-processor cost accumulator.
+
+    Attributes
+    ----------
+    comm_s / comp_s:
+        Simulated seconds of (receive-side) communication / local
+        computation.
+    serve_s:
+        Seconds this processor's send port was occupied serving other
+        processors' remote reads (the BDM one-word-at-a-time rule; the
+        send and receive ports are independent, so a processor's phase
+        time is ``comp_s + max(comm_s, serve_s)``).
+    words_moved / words_served:
+        Remote words fetched by / served from this processor.
+    messages:
+        Number of latency charges incurred (one per non-pipelined remote
+        access or per prefetch batch).
+    ops:
+        Abstract local operations charged.
+    """
+
+    comm_s: float = 0.0
+    comp_s: float = 0.0
+    serve_s: float = 0.0
+    words_moved: int = 0
+    words_served: int = 0
+    messages: int = 0
+    ops: float = 0.0
+
+    def snapshot(self) -> "CostCounter":
+        """Return an independent copy of the current totals."""
+        return CostCounter(
+            comm_s=self.comm_s,
+            comp_s=self.comp_s,
+            serve_s=self.serve_s,
+            words_moved=self.words_moved,
+            words_served=self.words_served,
+            messages=self.messages,
+            ops=self.ops,
+        )
+
+    def minus(self, other: "CostCounter") -> "CostCounter":
+        """Component-wise difference ``self - other`` (for phase deltas)."""
+        return CostCounter(
+            comm_s=self.comm_s - other.comm_s,
+            comp_s=self.comp_s - other.comp_s,
+            serve_s=self.serve_s - other.serve_s,
+            words_moved=self.words_moved - other.words_moved,
+            words_served=self.words_served - other.words_served,
+            messages=self.messages - other.messages,
+            ops=self.ops - other.ops,
+        )
+
+    @property
+    def port_s(self) -> float:
+        """Network time: the busier of the receive and send ports."""
+        return max(self.comm_s, self.serve_s)
+
+    @property
+    def total_s(self) -> float:
+        """Communication plus computation seconds."""
+        return self.port_s + self.comp_s
+
+
+@dataclass
+class PhaseRecord:
+    """Aggregated cost of one phase (barrier-to-barrier region).
+
+    ``elapsed_s`` is the max over processors of that processor's time in
+    the phase; ``comm_s``/``comp_s`` are the per-processor maxima of the
+    communication / computation components (so ``comm_s + comp_s`` may
+    slightly exceed ``elapsed_s`` when different processors dominate the
+    two components).
+    """
+
+    name: str
+    elapsed_s: float
+    comm_s: float
+    comp_s: float
+    words_moved: int
+    barrier_s: float = 0.0
+
+
+@dataclass
+class MachineReport:
+    """Summary of a completed simulated run.
+
+    The headline quantity is ``elapsed_s``: the simulated wall-clock of
+    the run, i.e. the sum over phases of each phase's critical-path time
+    plus barrier costs.
+    """
+
+    p: int
+    machine_name: str
+    phases: list[PhaseRecord] = field(default_factory=list)
+
+    @property
+    def elapsed_s(self) -> float:
+        return sum(ph.elapsed_s + ph.barrier_s for ph in self.phases)
+
+    @property
+    def comm_s(self) -> float:
+        """Sum over phases of the per-phase maximum communication time."""
+        return sum(ph.comm_s for ph in self.phases)
+
+    @property
+    def comp_s(self) -> float:
+        """Sum over phases of the per-phase maximum computation time."""
+        return sum(ph.comp_s for ph in self.phases)
+
+    @property
+    def barrier_total_s(self) -> float:
+        return sum(ph.barrier_s for ph in self.phases)
+
+    @property
+    def words_moved(self) -> int:
+        """Total remote words moved by all processors over the run."""
+        return sum(ph.words_moved for ph in self.phases)
+
+    def phases_matching(self, prefix: str) -> list[PhaseRecord]:
+        """All phases whose name starts with ``prefix``."""
+        return [ph for ph in self.phases if ph.name.startswith(prefix)]
+
+    def time_in(self, prefix: str) -> float:
+        """Elapsed seconds (incl. barriers) in phases matching ``prefix``."""
+        return sum(ph.elapsed_s + ph.barrier_s for ph in self.phases_matching(prefix))
+
+    def breakdown(self) -> dict[str, float]:
+        """Elapsed seconds grouped by phase name."""
+        out: dict[str, float] = {}
+        for ph in self.phases:
+            out[ph.name] = out.get(ph.name, 0.0) + ph.elapsed_s + ph.barrier_s
+        return out
+
+    def summary(self, *, top: int = 0) -> str:
+        """Human-readable cost table.
+
+        ``top`` limits the listing to the N most expensive phase groups
+        (0 = all).  Times are scaled to the most readable unit.
+        """
+        def fmt(seconds: float) -> str:
+            if seconds >= 1.0:
+                return f"{seconds:9.3f} s "
+            if seconds >= 1e-3:
+                return f"{seconds * 1e3:9.3f} ms"
+            return f"{seconds * 1e6:9.1f} us"
+
+        groups = sorted(self.breakdown().items(), key=lambda kv: -kv[1])
+        if top:
+            groups = groups[:top]
+        width = max([len(name) for name, _ in groups] + [12])
+        lines = [
+            f"simulated run on {self.machine_name} (p={self.p}): "
+            f"{fmt(self.elapsed_s).strip()} total",
+            f"  comm {fmt(self.comm_s).strip()}, comp {fmt(self.comp_s).strip()}, "
+            f"barriers {fmt(self.barrier_total_s).strip()}, "
+            f"{self.words_moved} words moved",
+        ]
+        for name, t in groups:
+            share = t / self.elapsed_s * 100 if self.elapsed_s else 0.0
+            lines.append(f"  {name:<{width}} {fmt(t)}  {share:5.1f}%")
+        return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Distributed global arrays for the BDM simulator.
+
+A :class:`GlobalArray` owns one local NumPy block per processor (blocks
+may differ in length and even in shape).  All access goes through
+``read``/``write`` so the accessing processor can be charged for remote
+traffic and so the simulator can detect same-phase read/write hazards.
+
+Hazard discipline
+-----------------
+The simulator executes a phase's per-processor programs sequentially,
+so a remote read could observe data written *within the same phase* --
+something a real SPMD machine would only guarantee after the next
+barrier.  To keep simulations faithful, every write is recorded (owner,
+interval) and a remote read that overlaps a same-phase write raises
+:class:`~repro.utils.errors.HazardError` when checking is enabled.
+Local reads of one's own memory are always allowed (a processor sees
+its own writes immediately on a real machine too).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.errors import HazardError, ValidationError
+
+
+class GlobalArray:
+    """An array distributed over the ``p`` processors of a machine.
+
+    Parameters
+    ----------
+    machine:
+        The owning :class:`~repro.bdm.machine.Machine`; traffic is
+        charged through its processors.
+    shape_per_proc:
+        Either an int (every processor owns a 1-D block of that length)
+        or a sequence of per-processor lengths.
+    dtype:
+        NumPy dtype of the elements; must be an integer or float type.
+    name:
+        Optional debugging name.
+    """
+
+    def __init__(self, machine, shape_per_proc, dtype=np.int64, name: str = ""):
+        self._machine = machine
+        p = machine.p
+        if isinstance(shape_per_proc, (int, np.integer)):
+            lengths = [int(shape_per_proc)] * p
+        else:
+            lengths = [int(s) for s in shape_per_proc]
+            if len(lengths) != p:
+                raise ValidationError(
+                    f"need one block length per processor ({p}), got {len(lengths)}"
+                )
+        if any(length < 0 for length in lengths):
+            raise ValidationError("block lengths must be non-negative")
+        self._blocks = [np.zeros(length, dtype=dtype) for length in lengths]
+        self.name = name or f"garray@{id(self):x}"
+        self.dtype = np.dtype(dtype)
+        # Same-phase write log: owner -> list of (start, stop) intervals.
+        self._phase_writes: list[list[tuple[int, int]]] = [[] for _ in range(p)]
+        machine._register_array(self)
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def p(self) -> int:
+        return len(self._blocks)
+
+    def block_length(self, owner: int) -> int:
+        """Number of elements held by processor ``owner``."""
+        return len(self._blocks[owner])
+
+    def total_length(self) -> int:
+        return sum(len(b) for b in self._blocks)
+
+    # -- phase bookkeeping ------------------------------------------------
+
+    def _clear_phase_writes(self) -> None:
+        for log in self._phase_writes:
+            log.clear()
+
+    def _record_write(self, owner: int, start: int, stop: int) -> None:
+        self._phase_writes[owner].append((start, stop))
+
+    def _check_remote_read(self, owner: int, start: int, stop: int) -> None:
+        for (ws, we) in self._phase_writes[owner]:
+            if start < we and ws < stop:
+                raise HazardError(
+                    f"remote read of {self.name}[{owner}][{start}:{stop}] "
+                    f"overlaps a write [{ws}:{we}] made in the same phase; "
+                    "insert a barrier between the write and the read"
+                )
+
+    # -- access ------------------------------------------------------------
+
+    def read(self, proc, owner: int, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Read ``[start:stop)`` of ``owner``'s block on behalf of ``proc``.
+
+        Remote reads (``owner != proc.pid``) are charged to ``proc`` as a
+        block prefetch of ``stop - start`` words and are hazard-checked.
+        Returns a copy (remote data lands in local memory on a real
+        machine; local reads also copy, for uniform semantics).
+        """
+        if not (0 <= owner < self.p):
+            raise ValidationError(f"owner {owner} out of range [0, {self.p})")
+        block = self._blocks[owner]
+        if stop is None:
+            stop = len(block)
+        self._validate_range(owner, start, stop)
+        if owner != proc.pid:
+            if self._machine.check_hazards:
+                self._check_remote_read(owner, start, stop)
+            proc._charge_comm(stop - start)
+            self._machine._charge_server(owner, stop - start)
+        return block[start:stop].copy()
+
+    def write(self, proc, owner: int, values, start: int = 0) -> None:
+        """Write ``values`` into ``owner``'s block at offset ``start``.
+
+        Remote writes are charged like remote reads (one-sided put).
+        """
+        values = np.asarray(values, dtype=self.dtype)
+        if values.ndim != 1:
+            values = values.ravel()
+        stop = start + len(values)
+        self._validate_range(owner, start, stop)
+        if owner != proc.pid:
+            if self._machine.check_hazards:
+                # A remote write into a region someone already wrote this
+                # phase is also a race.
+                self._check_remote_read(owner, start, stop)
+            proc._charge_comm(len(values))
+            self._machine._charge_server(owner, len(values))
+        if self._machine.check_hazards and self._machine.in_phase:
+            self._record_write(owner, start, stop)
+        self._blocks[owner][start:stop] = values
+
+    def read_indices(self, proc, owner: int, indices: np.ndarray) -> np.ndarray:
+        """Read scattered elements of ``owner``'s block on behalf of ``proc``.
+
+        Used for tile-edge pixels, whose flat offsets are strided.  The
+        BDM model prices ``l`` pipelined word prefetches at ``tau + l``,
+        so the charge equals an ``len(indices)``-word block read.
+        Hazard checking is performed on the covering interval.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return np.empty(0, dtype=self.dtype)
+        start = int(indices.min())
+        stop = int(indices.max()) + 1
+        self._validate_range(owner, start, stop)
+        if owner != proc.pid:
+            if self._machine.check_hazards:
+                self._check_remote_read(owner, start, stop)
+            proc._charge_comm(len(indices))
+            self._machine._charge_server(owner, len(indices))
+        return self._blocks[owner][indices].copy()
+
+    def write_indices(self, proc, owner: int, indices: np.ndarray, values) -> None:
+        """Write scattered elements into ``owner``'s block."""
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=self.dtype).ravel()
+        if indices.shape != values.shape:
+            raise ValidationError("indices and values must have equal length")
+        if indices.size == 0:
+            return
+        start = int(indices.min())
+        stop = int(indices.max()) + 1
+        self._validate_range(owner, start, stop)
+        if owner != proc.pid:
+            if self._machine.check_hazards:
+                self._check_remote_read(owner, start, stop)
+            proc._charge_comm(len(values))
+            self._machine._charge_server(owner, len(values))
+        if self._machine.check_hazards and self._machine.in_phase:
+            self._record_write(owner, start, stop)
+        self._blocks[owner][indices] = values
+
+    def local(self, pid: int) -> np.ndarray:
+        """Direct *read-only* view of a processor's block.
+
+        For write access use :meth:`write` (so hazards are tracked);
+        this view is handy for cheap local scans that need no charging
+        beyond what the algorithm accounts for explicitly.
+        """
+        view = self._blocks[pid].view()
+        view.flags.writeable = False
+        return view
+
+    def scatter_rows(self, matrix: np.ndarray) -> None:
+        """Initialize from a ``p x q`` matrix: row ``i`` -> processor ``i``.
+
+        This is *initial data placement* (allowed free of charge by the
+        BDM model), not communication.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.shape[0] != self.p:
+            raise ValidationError(
+                f"matrix has {matrix.shape[0]} rows, machine has {self.p} processors"
+            )
+        for i in range(self.p):
+            row = np.asarray(matrix[i], dtype=self.dtype).ravel()
+            if len(row) != len(self._blocks[i]):
+                raise ValidationError(
+                    f"row {i} has {len(row)} elements, block holds "
+                    f"{len(self._blocks[i])}"
+                )
+            self._blocks[i][:] = row
+
+    def gather_rows(self) -> np.ndarray:
+        """Collect all blocks into a ``p x q`` matrix (equal lengths only).
+
+        Diagnostic counterpart of :meth:`scatter_rows`; free of charge.
+        """
+        lengths = {len(b) for b in self._blocks}
+        if len(lengths) != 1:
+            raise ValidationError("gather_rows requires equal block lengths")
+        return np.stack([b.copy() for b in self._blocks])
+
+    def to_list(self) -> list[np.ndarray]:
+        """Copies of every block (diagnostic)."""
+        return [b.copy() for b in self._blocks]
+
+    # -- internals ---------------------------------------------------------
+
+    def _validate_range(self, owner: int, start: int, stop: int) -> None:
+        if not (0 <= owner < self.p):
+            raise ValidationError(f"owner {owner} out of range [0, {self.p})")
+        n = len(self._blocks[owner])
+        if not (0 <= start <= stop <= n):
+            raise ValidationError(
+                f"range [{start}:{stop}) out of bounds for block of length {n}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lengths = [len(b) for b in self._blocks]
+        return f"GlobalArray({self.name!r}, p={self.p}, lengths={lengths})"
+
+
+def distribute_sequence(machine, values: Sequence, dtype=np.int64, name: str = "") -> GlobalArray:
+    """Place ``values[i]`` (a 1-D array) in processor ``i``'s memory."""
+    lengths = [len(np.ravel(v)) for v in values]
+    arr = GlobalArray(machine, lengths, dtype=dtype, name=name)
+    for i, v in enumerate(values):
+        arr._blocks[i][:] = np.asarray(v, dtype=dtype).ravel()
+    return arr

@@ -1,0 +1,221 @@
+"""Generator-based SPMD execution on the BDM machine.
+
+The phase-style API of :class:`~repro.bdm.machine.Machine` makes the
+driver enumerate processors inside each phase.  This module offers the
+inverse -- and more Split-C-faithful -- style: the user writes ONE
+program that every processor executes, yielding at synchronization
+points, exactly like the paper's Algorithm 1 listing ("Processor i runs
+the following program").
+
+::
+
+    def program(ctx: SpmdContext):
+        A = ctx.array("A", q)                 # collective allocation
+        for loop in range(ctx.p):
+            r = (ctx.pid + loop) % ctx.p
+            block = ctx.prefetch(A, r)        # split-phase read
+        yield ctx.sync()                      # wait for prefetches
+        ...
+        yield ctx.barrier()                   # global barrier
+
+    run_spmd(machine, program)
+
+Execution model: all ``p`` program instances are generators advanced in
+lock step between synchronization points.  ``prefetch`` returns a
+:class:`Handle` whose ``.value`` becomes available after the next
+``sync()`` (reading earlier raises), faithfully reproducing Split-C's
+``:=`` / ``sync()`` semantics -- including the failure mode where
+un-synchronized data is consumed.  Costs are charged through the same
+machinery as the phase API, so both styles produce identical reports
+for identical access patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.bdm.machine import Machine
+from repro.bdm.memory import GlobalArray
+from repro.utils.errors import ConfigurationError, ValidationError
+
+
+class Handle:
+    """A split-phase prefetch result; readable only after ``sync()``."""
+
+    __slots__ = ("_value", "_ready")
+
+    def __init__(self):
+        self._value = None
+        self._ready = False
+
+    @property
+    def value(self) -> np.ndarray:
+        if not self._ready:
+            raise ValidationError(
+                "prefetch handle read before sync(): insert `yield ctx.sync()`"
+            )
+        return self._value
+
+    def _fulfill(self, value: np.ndarray) -> None:
+        self._value = value
+        self._ready = True
+
+
+class _Sync:
+    """Yield token: wait for this processor's outstanding prefetches."""
+
+
+class _Barrier:
+    """Yield token: global barrier across all processors."""
+
+
+class SpmdContext:
+    """Per-processor view handed to the SPMD program."""
+
+    def __init__(self, runner: "_SpmdRunner", pid: int):
+        self._runner = runner
+        self.pid = pid
+        self._pending: list[tuple[Handle, object]] = []
+
+    @property
+    def p(self) -> int:
+        return self._runner.machine.p
+
+    @property
+    def proc(self):
+        return self._runner.machine.procs[self.pid]
+
+    # -- collective allocation ------------------------------------------
+
+    def array(self, name: str, length, dtype=np.int64) -> GlobalArray:
+        """Get-or-create a named distributed array (collective).
+
+        Every processor must request the same (name, length, dtype);
+        the first caller allocates.
+        """
+        return self._runner.get_array(name, length, dtype)
+
+    # -- split-phase communication ----------------------------------------
+
+    def prefetch(self, arr: GlobalArray, owner: int, start: int = 0, stop: int | None = None) -> Handle:
+        """Issue a split-phase read (Split-C ``:=``); costs charged and
+        data delivered at the next ``sync()``."""
+        handle = Handle()
+        self._pending.append(
+            (handle, lambda proc, a=arr, o=owner, s=start, e=stop: a.read(proc, o, s, e))
+        )
+        return handle
+
+    def prefetch_indices(self, arr: GlobalArray, owner: int, indices: np.ndarray) -> Handle:
+        """Split-phase read of scattered elements (e.g. a tile edge)."""
+        handle = Handle()
+        idx = np.asarray(indices, dtype=np.int64).copy()
+        self._pending.append(
+            (handle, lambda proc, a=arr, o=owner, ix=idx: a.read_indices(proc, o, ix))
+        )
+        return handle
+
+    def write(self, arr: GlobalArray, values, start: int = 0, *, owner: int | None = None) -> None:
+        """Write (by default into this processor's own block)."""
+        arr.write(self.proc, self.pid if owner is None else owner, values, start=start)
+
+    def write_indices(self, arr: GlobalArray, indices: np.ndarray, values, *, owner: int | None = None) -> None:
+        """Scattered write (by default into this processor's own block)."""
+        arr.write_indices(
+            self.proc, self.pid if owner is None else owner, indices, values
+        )
+
+    def read_local(self, arr: GlobalArray) -> np.ndarray:
+        """Read-only view of this processor's own block."""
+        return arr.local(self.pid)
+
+    def charge(self, ops: float) -> None:
+        self.proc.charge_comp(ops)
+
+    def sync(self) -> _Sync:
+        """Token to ``yield``: completes all outstanding prefetches."""
+        return _Sync()
+
+    def barrier(self) -> _Barrier:
+        """Token to ``yield``: global synchronization."""
+        return _Barrier()
+
+    # -- runner internals ---------------------------------------------------
+
+    def _complete_prefetches(self) -> None:
+        if not self._pending:
+            return
+        with self.proc.prefetch_batch():
+            for handle, read in self._pending:
+                handle._fulfill(read(self.proc))
+        self._pending.clear()
+
+
+class _SpmdRunner:
+    def __init__(self, machine: Machine, program: Callable[[SpmdContext], Iterator]):
+        self.machine = machine
+        self.program = program
+        self._arrays: dict[str, GlobalArray] = {}
+
+    def get_array(self, name: str, length, dtype) -> GlobalArray:
+        if name in self._arrays:
+            arr = self._arrays[name]
+            if arr.dtype != np.dtype(dtype):
+                raise ConfigurationError(
+                    f"array {name!r} re-requested with dtype {dtype}, has {arr.dtype}"
+                )
+            return arr
+        arr = GlobalArray(self.machine, length, dtype=dtype, name=name)
+        self._arrays[name] = arr
+        return arr
+
+    def run(self) -> list:
+        machine = self.machine
+        contexts = [SpmdContext(self, pid) for pid in range(machine.p)]
+        gens = []
+        for ctx in contexts:
+            gen = self.program(ctx)
+            if not hasattr(gen, "__next__"):
+                raise ConfigurationError(
+                    "SPMD program must be a generator (use `yield ctx.barrier()`)"
+                )
+            gens.append(gen)
+
+        results: list = [None] * machine.p
+        active = set(range(machine.p))
+        step = 0
+        while active:
+            done: set[int] = set()
+            tokens: dict[int, object] = {}
+            with machine.phase(f"spmd:step{step}"):
+                for pid in sorted(active):
+                    try:
+                        tokens[pid] = next(gens[pid])
+                    except StopIteration as stop:
+                        results[pid] = stop.value
+                        done.add(pid)
+                # A sync completes only the issuing processor's own
+                # prefetches (a local wait); barriers end the superstep
+                # for everyone.  Both are serviced at the phase edge,
+                # which the lock-step construction makes safe.
+                for pid in sorted(active - done):
+                    if isinstance(tokens.get(pid), _Sync):
+                        contexts[pid]._complete_prefetches()
+            active -= done
+            step += 1
+            if step > 1_000_000:  # pragma: no cover - runaway guard
+                raise ConfigurationError("SPMD program exceeded step limit")
+        return results
+
+
+def run_spmd(machine: Machine, program: Callable[[SpmdContext], Iterator]) -> list:
+    """Run an SPMD generator program on every processor of ``machine``.
+
+    Returns the per-processor ``return`` values of the generators.
+    Between two consecutive ``yield`` points all processors execute
+    concurrently (one simulated superstep); the hazard checker applies
+    within each superstep just as in the phase API.
+    """
+    return _SpmdRunner(machine, program).run()

@@ -1,0 +1,142 @@
+"""Per-processor execution traces and ASCII Gantt rendering.
+
+The :class:`~repro.bdm.cost.MachineReport` aggregates each phase to its
+critical path; this module keeps the *per-processor* breakdown so load
+imbalance is visible -- e.g. the CC merge phases, where a handful of
+group managers work while the clients idle at the barrier.
+
+Usage::
+
+    tracer = Tracer(machine)          # attach before running
+    ... run the algorithm ...
+    print(tracer.gantt())             # one row per processor
+    print(tracer.imbalance_table())   # per-phase utilization
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bdm.machine import Machine
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class PhaseTrace:
+    """Per-processor busy seconds of one phase."""
+
+    name: str
+    busy_s: np.ndarray  # shape (p,)
+    barrier_s: float
+
+    @property
+    def elapsed_s(self) -> float:
+        return float(self.busy_s.max())
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy time over the phase's critical path, in [0, 1]."""
+        peak = self.elapsed_s
+        if peak <= 0:
+            return 1.0
+        return float(self.busy_s.mean() / peak)
+
+
+class Tracer:
+    """Records per-processor costs of every phase run on a machine.
+
+    Wraps the machine's ``phase`` context manager; attach exactly one
+    tracer per machine, before the first phase.
+    """
+
+    def __init__(self, machine: Machine):
+        if getattr(machine, "_tracer", None) is not None:
+            raise ConfigurationError("machine already has a tracer attached")
+        if machine._phases:
+            raise ConfigurationError("attach the tracer before running phases")
+        self.machine = machine
+        self.phases: list[PhaseTrace] = []
+        machine._tracer = self
+        self._original_phase = machine.phase
+        machine.phase = self._traced_phase  # type: ignore[method-assign]
+
+    def _traced_phase(self, name: str):
+        return _TracedPhase(self, name)
+
+    def gantt(self, *, width: int = 60) -> str:
+        """ASCII Gantt chart: one row per processor, time left-to-right.
+
+        Each phase occupies a horizontal span proportional to its
+        critical-path time; within the span, a processor's row is
+        filled ('#') for its busy fraction and dotted for idle time.
+        """
+        if not self.phases:
+            return "(no phases recorded)"
+        p = self.machine.p
+        total = sum(ph.elapsed_s for ph in self.phases)
+        if total <= 0:
+            return "(no time elapsed)"
+        rows = [[] for _ in range(p)]
+        header = []
+        for ph in self.phases:
+            span = max(1, int(round(width * ph.elapsed_s / total)))
+            header.append(ph.name[: max(span - 1, 1)].ljust(span, " ")[:span])
+            for pid in range(p):
+                frac = ph.busy_s[pid] / ph.elapsed_s if ph.elapsed_s else 0.0
+                fill = int(round(span * frac))
+                rows[pid].append("#" * fill + "." * (span - fill))
+        lines = ["phase: " + "|".join(header)]
+        for pid in range(p):
+            lines.append(f"P{pid:<4} |" + "|".join(rows[pid]))
+        return "\n".join(lines)
+
+    def imbalance_table(self) -> str:
+        """Per-phase utilization: mean busy / critical path."""
+        width = max([len(ph.name) for ph in self.phases] + [10])
+        lines = [f"{'phase':<{width}} {'elapsed':>12} {'utilization':>12}"]
+        for ph in self.phases:
+            lines.append(
+                f"{ph.name:<{width}} {ph.elapsed_s * 1e6:>10.1f}us "
+                f"{ph.utilization * 100:>10.1f}%"
+            )
+        return "\n".join(lines)
+
+    def utilization(self) -> float:
+        """Whole-run utilization (busy processor-seconds / p * elapsed)."""
+        total_busy = sum(float(ph.busy_s.sum()) for ph in self.phases)
+        total_elapsed = sum(ph.elapsed_s for ph in self.phases)
+        if total_elapsed <= 0:
+            return 1.0
+        return total_busy / (self.machine.p * total_elapsed)
+
+
+class _TracedPhase:
+    def __init__(self, tracer: Tracer, name: str):
+        self.tracer = tracer
+        self.name = name
+        self._inner = tracer._original_phase(name)
+
+    def __enter__(self):
+        machine = self.tracer.machine
+        self._before = [proc.cost.snapshot() for proc in machine.procs]
+        return self._inner.__enter__()
+
+    def __exit__(self, *exc):
+        result = self._inner.__exit__(*exc)
+        machine = self.tracer.machine
+        busy = np.array(
+            [
+                proc.cost.minus(prev).total_s
+                for proc, prev in zip(machine.procs, self._before)
+            ]
+        )
+        self.tracer.phases.append(
+            PhaseTrace(
+                name=self.name,
+                busy_s=busy,
+                barrier_s=machine.params.barrier_s,
+            )
+        )
+        return result

@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``    write one of the Figure-1 test patterns (or the
+                DARPA-like scene) as a PBM/PGM file.
+``histogram``   histogram a PGM/PBM image with the parallel algorithm
+                on a simulated machine; optionally equalize.
+``components``  label connected components; print statistics, optionally
+                write the label map / an ASCII rendering.
+``machines``    list the available machine models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.regions import region_table
+from repro.core.connected_components import parallel_components
+from repro.core.equalization import parallel_equalize
+from repro.core.histogram import parallel_histogram
+from repro.images import binary_test_image, darpa_like
+from repro.images.io import read_pnm, write_pbm, write_pgm
+from repro.machines import MACHINES, load_machine
+from repro.runtime import components as runtime_components
+from repro.utils.errors import ReproError
+from repro.utils.render import ascii_labels
+
+
+def _load_image(args) -> np.ndarray:
+    if args.pattern is not None:
+        if args.pattern == 0:
+            return darpa_like(args.size, 256)
+        return binary_test_image(args.pattern, args.size)
+    if not args.image:
+        raise ReproError("provide an image file or --pattern")
+    return read_pnm(args.image)
+
+
+def _add_input_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("image", nargs="?", help="PGM/PBM input file")
+    sub.add_argument(
+        "--pattern",
+        type=int,
+        choices=range(0, 10),
+        help="generate input: 1-9 = Figure 1 test images, 0 = DARPA-like scene",
+    )
+    sub.add_argument("--size", type=int, default=512, help="pattern size (default 512)")
+    sub.add_argument("-p", "--processors", type=int, default=16)
+    sub.add_argument(
+        "--machine",
+        default="cm5",
+        help=f"machine model ({', '.join(sorted(MACHINES))}) or a JSON spec file",
+    )
+    sub.add_argument(
+        "--report", action="store_true", help="print the per-phase cost breakdown"
+    )
+
+
+def cmd_generate(args) -> int:
+    if args.pattern == 0:
+        img = darpa_like(args.size, 256)
+        write_pgm(args.output, img)
+    else:
+        img = binary_test_image(args.pattern, args.size)
+        if args.output.endswith(".pgm"):
+            write_pgm(args.output, img)
+        else:
+            write_pbm(args.output, img)
+    print(f"wrote {args.output} ({args.size}x{args.size})")
+    return 0
+
+
+def cmd_histogram(args) -> int:
+    image = _load_image(args)
+    params = load_machine(args.machine)
+    res = parallel_histogram(image, args.levels, args.processors, params)
+    hist = res.histogram
+    print(
+        f"histogram of {image.shape[0]}x{image.shape[1]} image, k={args.levels}, "
+        f"p={args.processors} on simulated {params.name}"
+    )
+    print(f"simulated time: {res.elapsed_s * 1e3:.3f} ms")
+    if args.report:
+        print(res.report.summary())
+    occupied = np.flatnonzero(hist)
+    print(f"occupied levels: {len(occupied)}/{args.levels}")
+    top = np.argsort(hist)[::-1][:8]
+    for level in top:
+        if hist[level]:
+            bar = "#" * max(1, int(40 * hist[level] / hist.max()))
+            print(f"  level {level:>4}: {hist[level]:>9}  {bar}")
+    if args.equalize:
+        eq = parallel_equalize(image, args.levels, args.processors, params)
+        write_pgm(args.equalize, eq.image)
+        print(f"equalized image written to {args.equalize}")
+    return 0
+
+
+def cmd_components(args) -> int:
+    image = _load_image(args)
+    params = load_machine(args.machine)
+    if args.runtime:
+        labels = runtime_components(
+            image, connectivity=args.connectivity, grey=args.grey
+        )
+        print(f"runtime backend: {image.shape[0]}x{image.shape[1]}")
+    else:
+        res = parallel_components(
+            image,
+            args.processors,
+            params,
+            connectivity=args.connectivity,
+            grey=args.grey,
+        )
+        labels = res.labels
+        print(
+            f"simulated {params.name}, p={args.processors}: "
+            f"{res.elapsed_s * 1e3:.3f} ms"
+        )
+        if args.report:
+            print(res.report.summary(top=8))
+    table = region_table(labels, image)
+    print(
+        f"{len(table)} components ({args.connectivity}-connectivity, "
+        f"{'grey' if args.grey else 'binary'})"
+    )
+    for rank, idx in enumerate(np.argsort(table.areas)[::-1][:5], start=1):
+        r0, c0, r1, c1 = table.bbox[idx]
+        print(
+            f"  #{rank}: area {table.areas[idx]:>8}, level {table.colors[idx]:>4}, "
+            f"bbox ({r0},{c0})-({r1},{c1})"
+        )
+    if args.ascii:
+        print(ascii_labels(labels, width=args.ascii))
+    if args.output:
+        from repro.analysis.regions import compact_labels
+
+        write_pgm(args.output, compact_labels(labels))
+        print(f"label map written to {args.output} (compacted labels)")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.analysis.verification import VerificationError, verify_labels
+
+    image = read_pnm(args.image)
+    labels = read_pnm(args.labels)
+    try:
+        # Label maps written by this CLI are compacted, so verify the
+        # partition up to renaming.
+        verify_labels(
+            image,
+            labels.astype("int64"),
+            connectivity=args.connectivity,
+            grey=args.grey,
+            reference_engine=args.reference,
+            canonical=False,
+        )
+    except VerificationError as exc:
+        print(f"FAILED: {exc}")
+        return 1
+    print(
+        f"OK: {args.labels} is a correct "
+        f"{args.connectivity}-connectivity {'grey' if args.grey else 'binary'} "
+        f"labeling of {args.image}"
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import assemble_report
+
+    text = assemble_report(args.results)
+    if args.output:
+        import pathlib as _pathlib
+
+        _pathlib.Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_machines(args) -> int:
+    print(f"{'key':<9} {'name':<16} {'latency':>9} {'bandwidth':>12} {'op':>8}")
+    for key in sorted(MACHINES):
+        m = MACHINES[key]
+        print(
+            f"{key:<9} {m.name:<16} {m.latency_s * 1e6:>7.1f}us "
+            f"{m.bandwidth_Bps / 1e6:>9.2f}MB/s {m.op_ns:>6.0f}ns"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel image histogramming and connected components "
+        "(Bader & JaJa, PPoPP 1995 reproduction)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    gen = subs.add_parser("generate", help="write a test image")
+    gen.add_argument("--pattern", type=int, choices=range(0, 10), required=True)
+    gen.add_argument("--size", type=int, default=512)
+    gen.add_argument("output")
+    gen.set_defaults(func=cmd_generate)
+
+    hist = subs.add_parser("histogram", help="parallel histogramming")
+    _add_input_args(hist)
+    hist.add_argument("-k", "--levels", type=int, default=256)
+    hist.add_argument("--equalize", metavar="OUT.pgm", help="write equalized image")
+    hist.set_defaults(func=cmd_histogram)
+
+    comp = subs.add_parser("components", help="parallel connected components")
+    _add_input_args(comp)
+    comp.add_argument("--grey", action="store_true", help="grey-scale CC (Section 6)")
+    comp.add_argument("--connectivity", type=int, choices=(4, 8), default=8)
+    comp.add_argument("--runtime", action="store_true", help="use the real-parallel backend")
+    comp.add_argument("--ascii", type=int, metavar="WIDTH", help="print an ASCII label map")
+    comp.add_argument("-o", "--output", metavar="OUT.pgm", help="write the label map")
+    comp.set_defaults(func=cmd_components)
+
+    ver = subs.add_parser("verify", help="verify a label map against an image")
+    ver.add_argument("image", help="PGM/PBM input image")
+    ver.add_argument("labels", help="PGM label map to verify")
+    ver.add_argument("--grey", action="store_true")
+    ver.add_argument("--connectivity", type=int, choices=(4, 8), default=8)
+    ver.add_argument("--reference", default="sv", help="independent engine for the canonical labeling")
+    ver.set_defaults(func=cmd_verify)
+
+    rep = subs.add_parser("report", help="assemble the reproduction report")
+    rep.add_argument(
+        "--results", default="benchmarks/results", help="artifact directory"
+    )
+    rep.add_argument("-o", "--output", help="write the report to a file")
+    rep.set_defaults(func=cmd_report)
+
+    mach = subs.add_parser("machines", help="list machine models")
+    mach.set_defaults(func=cmd_machines)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Abstract operation counts charged by the core algorithms.
+
+The BDM simulator charges local computation in *abstract operations*
+that the machine parameters convert to simulated seconds
+(:meth:`~repro.machines.params.MachineParams.comp_time_s`).  The
+per-primitive operation counts live here so that (a) every algorithm
+charges consistently and (b) calibration/ablation can adjust them in
+one place.
+
+The counts model the paper's sequential building blocks on early-90s
+RISC nodes: a BFS labeling visit touches a queue, examines up to eight
+neighbors and writes a label (tens of instructions per pixel); a
+histogram tally is a load plus an indexed increment; and so on.  The
+defaults were sanity-checked against the paper's Table 1/Table 2
+work-per-pixel figures (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Tunable abstract-operation counts for the core algorithms."""
+
+    #: Histogram tally: load pixel + indexed increment.
+    hist_tally_per_pixel: float = 2.0
+    #: Reduction of per-processor partial histograms: one add per word.
+    hist_reduce_per_word: float = 1.0
+
+    #: Initial per-tile labeling (binary): BFS visit incl. neighbor scans.
+    label_per_pixel_binary: float = 60.0
+    #: Grey-scale labeling revisits unequal-colored neighbors.
+    label_per_pixel_grey: float = 80.0
+
+    #: Tile-hook creation per border pixel (Procedure 2, before sort).
+    hooks_per_border_pixel: float = 3.0
+
+    #: Border-graph construction per vertex (adjacency-list inserts,
+    #: <= 5 edges per vertex).
+    graph_build_per_vertex: float = 10.0
+    #: Sequential CC on the border graph per vertex (BFS, |E| <= 5|V|).
+    graph_cc_per_vertex: float = 20.0
+    #: Change-array creation per entry (Procedure 1, before sort).
+    change_per_entry: float = 5.0
+
+    #: Border label update: binary search + conditional store, charged
+    #: per border pixel per log2(|changes|) step.
+    update_search_per_step: float = 2.0
+
+    #: Final interior relabel per pixel (hook lookup + store).
+    relabel_per_pixel: float = 20.0
+
+    #: Sort cost per key per radix pass (3 touches) -- forwarded to the
+    #: sorting-ops helpers.
+    sort_per_key_pass: float = 3.0
+
+    def with_(self, **kwargs) -> "CostParams":
+        """Copy with some fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+    # -- derived helpers ---------------------------------------------------
+
+    def binary_search_ops(self, n_items: int, list_len: int) -> float:
+        """Ops for ``n_items`` binary searches over a ``list_len`` list."""
+        if n_items <= 0 or list_len <= 0:
+            return 0.0
+        steps = max(1.0, float(np.ceil(np.log2(list_len + 1))))
+        return self.update_search_per_step * n_items * steps
+
+    def label_per_pixel(self, grey: bool) -> float:
+        return self.label_per_pixel_grey if grey else self.label_per_pixel_binary
+
+
+#: The calibrated defaults used throughout benchmarks.
+DEFAULT_COSTS = CostParams()

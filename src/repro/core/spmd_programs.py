@@ -1,0 +1,190 @@
+"""The paper's algorithm listings as SPMD per-processor programs.
+
+The paper presents Algorithms 1-2 as the program *one* processor runs
+("Processor i runs the following program: ...").  This module writes
+them exactly that way on the generator-based executor
+(:func:`repro.bdm.spmd.run_spmd`), as an executable cross-check of the
+phase-style implementations: identical results, identical simulated
+communication costs (tested).
+
+Provided programs:
+
+* :func:`spmd_transpose` -- Algorithm 1 verbatim;
+* :func:`spmd_broadcast` -- Algorithm 2 verbatim (two transposes, the
+  second specialized to the valid slot);
+* :func:`spmd_histogram` -- Section 4's histogramming, from the tile
+  tally through the collection on ``P0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bdm.machine import Machine
+from repro.bdm.spmd import SpmdContext, run_spmd
+from repro.core.costs import CostParams, DEFAULT_COSTS
+from repro.core.tiles import ProcessorGrid
+from repro.machines.params import MachineParams, IDEAL
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_image, check_power_of_two
+
+
+def spmd_transpose(machine: Machine, matrix: np.ndarray) -> np.ndarray:
+    """Algorithm 1 as an SPMD program; returns the transposed layout.
+
+    ``matrix`` is ``p x q`` with row ``i`` as processor ``i``'s column.
+    Returns the ``p x q`` block layout after transposition (row ``t`` =
+    processor ``t``'s memory).
+    """
+    p = machine.p
+    matrix = np.asarray(matrix)
+    if matrix.shape[0] != p:
+        raise ValidationError(f"matrix must have {p} rows")
+    q = matrix.shape[1]
+    if q % p != 0:
+        raise ValidationError(f"p={p} must divide q={q}")
+    size = q // p
+
+    def program(ctx: SpmdContext):
+        A = ctx.array("A", q)
+        AT = ctx.array("AT", q)
+        ctx.write(A, matrix[ctx.pid])
+        yield ctx.barrier()
+        handles = []
+        for loop in range(p):  # Step 1
+            r = (ctx.pid + loop) % p
+            handles.append(
+                (r, ctx.prefetch(A, r, ctx.pid * size, (ctx.pid + 1) * size))
+            )
+        yield ctx.sync()  # Step 2
+        for r, handle in handles:
+            ctx.write(AT, handle.value, start=r * size)
+        yield ctx.barrier()
+        return ctx.read_local(AT).copy()
+
+    return np.stack(run_spmd(machine, program))
+
+
+def spmd_broadcast(machine: Machine, payload: np.ndarray, *, root: int = 0) -> np.ndarray:
+    """Algorithm 2 as an SPMD program; returns every processor's copy."""
+    p = machine.p
+    payload = np.asarray(payload).ravel()
+    q = len(payload)
+    if q % p != 0:
+        raise ValidationError(f"p={p} must divide q={q}; pad the payload")
+    size = q // p
+
+    def program(ctx: SpmdContext):
+        A = ctx.array("A", q)
+        AT = ctx.array("AT", q)
+        out = ctx.array("out", q)
+        if ctx.pid == root:
+            ctx.write(A, payload)
+        yield ctx.barrier()
+        # Steps 1-2: full transpose.
+        handles = []
+        for loop in range(p):
+            r = (ctx.pid + loop) % p
+            handles.append(
+                (r, ctx.prefetch(A, r, ctx.pid * size, (ctx.pid + 1) * size))
+            )
+        yield ctx.sync()
+        for r, handle in handles:
+            ctx.write(AT, handle.value, start=r * size)
+        yield ctx.barrier()
+        # Steps 3-4: specialized transpose of the valid slot only.
+        handles = []
+        for loop in range(p):
+            r = (ctx.pid + loop) % p
+            handles.append(
+                (r, ctx.prefetch(AT, r, root * size, (root + 1) * size))
+            )
+        yield ctx.sync()
+        for r, handle in handles:
+            ctx.write(out, handle.value, start=r * size)
+        yield ctx.barrier()
+        return ctx.read_local(out).copy()
+
+    return np.stack(run_spmd(machine, program))
+
+
+def spmd_histogram(
+    image: np.ndarray,
+    k: int,
+    p: int,
+    machine_params: MachineParams = IDEAL,
+    *,
+    costs: CostParams = DEFAULT_COSTS,
+):
+    """Section 4's histogramming as an SPMD program.
+
+    Returns ``(histogram, machine)`` -- the machine exposes the cost
+    report, comparable to the phase-style
+    :func:`repro.core.histogram.parallel_histogram`.  The ``k < p``
+    case uses the truncated transpose (grey level ``i`` gathered onto
+    processor ``i``), like the phase implementation.
+    """
+    image = check_image(image, square=False)
+    check_power_of_two("k", k)
+    if image.max(initial=0) >= k:
+        raise ValidationError(f"image has grey levels >= k={k}")
+
+    grid = ProcessorGrid(p, image.shape)
+    machine = Machine(p, machine_params)
+    tiles = grid.scatter(image)
+    truncated = k < p
+    size = 1 if truncated else k // p
+    tile_pixels = grid.q * grid.r
+
+    def program(ctx: SpmdContext):
+        H = ctx.array("H", k)
+        HT = ctx.array("HT", p * size)  # p slots of size words each
+        R = ctx.array("R", size if (not truncated or ctx.pid < k) else 0)
+
+        # Step 1: local tally.
+        tally = np.bincount(tiles[ctx.pid].ravel(), minlength=k)
+        ctx.write(H, tally)
+        ctx.charge(costs.hist_tally_per_pixel * tile_pixels + k)
+        yield ctx.barrier()
+
+        # Step 2: transpose of the k x p tally array (truncated when
+        # k < p: processor i < k collects level i from every column).
+        handles = []
+        if not truncated:
+            for loop in range(ctx.p):
+                r = (ctx.pid + loop) % ctx.p
+                handles.append(
+                    (r, ctx.prefetch(H, r, ctx.pid * size, (ctx.pid + 1) * size))
+                )
+        elif ctx.pid < k:
+            for loop in range(ctx.p):
+                r = (ctx.pid + loop) % ctx.p
+                handles.append((r, ctx.prefetch(H, r, ctx.pid, ctx.pid + 1)))
+        yield ctx.sync()
+        for r, handle in handles:
+            ctx.write(HT, handle.value, start=r * size)
+        yield ctx.barrier()
+
+        # Step 3: local reduction.
+        if not truncated or ctx.pid < k:
+            block = ctx.read_local(HT).reshape(ctx.p, size)
+            ctx.write(R, block.sum(axis=0))
+            ctx.charge(costs.hist_reduce_per_word * (p if truncated else k))
+        yield ctx.barrier()
+
+        # Step 4: P0 collects with a circular movement.
+        if ctx.pid == 0:
+            handles = []
+            owners = range(k) if truncated else range(ctx.p)
+            for r in owners:
+                handles.append((r, ctx.prefetch(R, r)))
+            yield ctx.sync()
+            parts = [None] * len(handles)
+            for idx, (r, handle) in enumerate(handles):
+                parts[idx] = handle.value
+            return np.concatenate(parts)
+        yield ctx.barrier()
+        return None
+
+    results = run_spmd(machine, program)
+    return results[0], machine

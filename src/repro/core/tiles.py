@@ -1,0 +1,176 @@
+"""Logical processor grid and image tiling (Section 3 of the paper).
+
+For ``p = 2^d`` processors the paper arranges a ``v x w`` logical grid
+with ``v = 2^floor(d/2)`` rows and ``w = 2^ceil(d/2)`` columns (square
+when ``d`` is even, twice as wide as tall when odd).  Processors are
+assigned to grid positions in row-major order.  An ``n x n`` image is
+split into tiles of ``q x r = n/v x n/w`` pixels; processor at grid
+position ``(I, J)`` owns the tile whose top-left global pixel is
+``(I q, J r)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import check_image, ilog2
+
+
+class ProcessorGrid:
+    """The ``v x w`` logical grid of ``p`` processors over an image.
+
+    The paper's setting is an ``n x n`` image (pass an int); rectangular
+    ``rows x cols`` images are supported as an extension (pass a
+    ``(rows, cols)`` tuple) -- the grid shape only depends on ``p``, and
+    tiles become ``rows/v x cols/w``.
+
+    Attributes
+    ----------
+    p:
+        Processor count (power of two).
+    rows, cols:
+        Image dimensions; ``n`` is an alias for ``rows`` on square
+        images (reading it on a rectangular grid raises).
+    v, w:
+        Grid rows and columns (``v * w == p``, ``w in (v, 2v)``).
+    q, r:
+        Tile height ``rows/v`` and width ``cols/w`` in pixels.
+    """
+
+    def __init__(self, p: int, n):
+        if not isinstance(p, (int, np.integer)) or p <= 0 or (p & (p - 1)) != 0:
+            raise ConfigurationError(f"p must be a power of two, got {p!r}")
+        if isinstance(n, (int, np.integer)):
+            rows = cols = int(n)
+        else:
+            try:
+                rows, cols = (int(x) for x in n)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"n must be an int or a (rows, cols) pair, got {n!r}"
+                ) from None
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError(f"image dimensions must be positive, got {rows}x{cols}")
+        d = ilog2(p)
+        self.p = p
+        self.rows = rows
+        self.cols = cols
+        self.v = 1 << (d // 2)
+        self.w = 1 << (d - d // 2)
+        if rows % self.v != 0 or cols % self.w != 0:
+            raise ConfigurationError(
+                f"grid {self.v}x{self.w} does not divide image {rows}x{cols}"
+            )
+        self.q = rows // self.v
+        self.r = cols // self.w
+        if p > rows * cols:
+            raise ConfigurationError(f"p={p} exceeds pixel count {rows * cols}")
+
+    @property
+    def n(self) -> int:
+        """Image side for square images (the paper's ``n``)."""
+        if self.rows != self.cols:
+            raise ConfigurationError(
+                f"grid covers a rectangular {self.rows}x{self.cols} image; use "
+                ".rows/.cols"
+            )
+        return self.rows
+
+    # -- coordinates -------------------------------------------------------
+
+    def coords(self, pid: int) -> tuple[int, int]:
+        """Grid position ``(I, J)`` of processor ``pid`` (row-major)."""
+        if not (0 <= pid < self.p):
+            raise ConfigurationError(f"pid {pid} out of range [0, {self.p})")
+        return pid // self.w, pid % self.w
+
+    def pid_at(self, I: int, J: int) -> int:
+        """Processor at grid position ``(I, J)``."""
+        if not (0 <= I < self.v and 0 <= J < self.w):
+            raise ConfigurationError(
+                f"grid position ({I}, {J}) out of range {self.v}x{self.w}"
+            )
+        return I * self.w + J
+
+    def tile_origin(self, pid: int) -> tuple[int, int]:
+        """Global pixel coordinates of the tile's top-left corner."""
+        I, J = self.coords(pid)
+        return I * self.q, J * self.r
+
+    def tile_slices(self, pid: int) -> tuple[slice, slice]:
+        """Row/column slices selecting processor ``pid``'s tile."""
+        r0, c0 = self.tile_origin(pid)
+        return slice(r0, r0 + self.q), slice(c0, c0 + self.r)
+
+    # -- data movement (initial placement / final collection) --------------
+
+    def scatter(self, image: np.ndarray) -> list[np.ndarray]:
+        """Split an image into the per-processor tiles (copies).
+
+        This is the *initial data placement* the BDM model allows for
+        free; it is not communication.
+        """
+        image = check_image(image, square=False)
+        if image.shape != (self.rows, self.cols):
+            raise ConfigurationError(
+                f"image shape {image.shape} does not match grid "
+                f"{self.rows}x{self.cols}"
+            )
+        return [image[self.tile_slices(pid)].copy() for pid in range(self.p)]
+
+    def gather(self, tiles: list[np.ndarray], dtype=None) -> np.ndarray:
+        """Reassemble per-processor tiles into a full image (diagnostic)."""
+        if len(tiles) != self.p:
+            raise ConfigurationError(
+                f"expected {self.p} tiles, got {len(tiles)}"
+            )
+        dtype = dtype if dtype is not None else np.asarray(tiles[0]).dtype
+        out = np.empty((self.rows, self.cols), dtype=dtype)
+        for pid, tile in enumerate(tiles):
+            tile = np.asarray(tile)
+            if tile.shape != (self.q, self.r):
+                raise ConfigurationError(
+                    f"tile {pid} has shape {tile.shape}, expected {(self.q, self.r)}"
+                )
+            out[self.tile_slices(pid)] = tile
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessorGrid(p={self.p}, image={self.rows}x{self.cols}, grid={self.v}x{self.w}, "
+            f"tile={self.q}x{self.r})"
+        )
+
+
+# -- tile border helpers -------------------------------------------------
+
+
+def edge_indices(q: int, r: int, edge: str) -> np.ndarray:
+    """Flat (row-major) indices of one edge of a ``q x r`` tile.
+
+    ``edge`` is one of ``"top"``, ``"bottom"``, ``"left"``, ``"right"``.
+    Indices run left-to-right for horizontal edges and top-to-bottom for
+    vertical ones, so concatenating one edge across a stack of tiles
+    yields the border in global scan order.
+    """
+    if edge == "top":
+        return np.arange(r, dtype=np.int64)
+    if edge == "bottom":
+        return np.arange(r, dtype=np.int64) + (q - 1) * r
+    if edge == "left":
+        return np.arange(q, dtype=np.int64) * r
+    if edge == "right":
+        return np.arange(q, dtype=np.int64) * r + (r - 1)
+    raise ConfigurationError(f"unknown edge {edge!r}")
+
+
+def perimeter_indices(q: int, r: int) -> np.ndarray:
+    """Flat indices of all border pixels of a ``q x r`` tile (sorted, unique)."""
+    parts = [
+        edge_indices(q, r, "top"),
+        edge_indices(q, r, "bottom"),
+        edge_indices(q, r, "left"),
+        edge_indices(q, r, "right"),
+    ]
+    return np.unique(np.concatenate(parts))

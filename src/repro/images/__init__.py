@@ -1,0 +1,57 @@
+"""Test image generation (Section 3 of the paper).
+
+The paper evaluates on nine automatically generated, scalable binary
+patterns (Figure 1) plus the 512x512 256-grey-level DARPA Image
+Understanding Benchmark image (Figure 2).  The DARPA image itself is
+not redistributable, so :func:`~repro.images.darpa.darpa_like` builds a
+deterministic synthetic scene with comparable statistics (see
+DESIGN.md, substitutions table).
+"""
+
+from repro.images.patterns import (
+    horizontal_bars,
+    vertical_bars,
+    forward_diagonal_bars,
+    backward_diagonal_bars,
+    cross,
+    filled_disc,
+    concentric_circles,
+    four_corner_squares,
+    dual_spiral,
+    binary_test_image,
+    BINARY_TEST_IMAGES,
+)
+from repro.images.greyscale import (
+    grey_ramp,
+    grey_quadrants,
+    random_greyscale,
+    grey_bars,
+    checkerboard,
+    site_percolation,
+)
+from repro.images.darpa import darpa_like
+from repro.images.io import read_pnm, write_pbm, write_pgm
+
+__all__ = [
+    "horizontal_bars",
+    "vertical_bars",
+    "forward_diagonal_bars",
+    "backward_diagonal_bars",
+    "cross",
+    "filled_disc",
+    "concentric_circles",
+    "four_corner_squares",
+    "dual_spiral",
+    "binary_test_image",
+    "BINARY_TEST_IMAGES",
+    "grey_ramp",
+    "grey_quadrants",
+    "random_greyscale",
+    "grey_bars",
+    "checkerboard",
+    "site_percolation",
+    "darpa_like",
+    "read_pnm",
+    "write_pbm",
+    "write_pgm",
+]

@@ -1,0 +1,101 @@
+"""A synthetic stand-in for the DARPA Image Understanding Benchmark.
+
+The paper's grey-scale CC experiments (Figure 10, Table 2 "DARPA II
+Image" rows) use the Second DARPA IU Benchmark test image: a 512x512,
+256-grey-level rendering of a 2.5-D "mobile" -- dozens of rectangular
+and elliptical parts at distinct intensities over a textured
+background.  That image is not redistributable, so this module builds a
+deterministic synthetic scene with comparable structure:
+
+* every one of the 256 levels is populated (exercises all histogram
+  bins),
+* a few hundred connected components of widely varying size,
+* large flat regions *and* fine texture (both extremes of border-graph
+  density in the merge phases).
+
+Histogramming cost is data-independent, and CC cost is governed by
+component/border statistics of this order, so the substitution
+preserves the benchmark's behaviour (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_positive
+
+_DTYPE = np.int32
+
+
+def darpa_like(n: int = 512, k: int = 256, seed: int = 1995) -> np.ndarray:
+    """Generate the synthetic DARPA-like benchmark scene.
+
+    Parameters
+    ----------
+    n:
+        Image side (the benchmark is 512).
+    k:
+        Grey levels (the benchmark has 256); must be >= 8.
+    seed:
+        RNG seed; the default reproduces the scene used in
+        EXPERIMENTS.md.
+    """
+    check_positive("n", n)
+    if k < 8:
+        raise ValidationError(f"darpa_like needs k >= 8, got {k}")
+    rng = np.random.default_rng(seed)
+
+    # Background: a gentle diagonal illumination gradient over the lower
+    # quarter of the level range, plus banded texture.
+    i = np.arange(n)[:, None]
+    j = np.arange(n)[None, :]
+    gradient = ((i + j) * (k // 4 - 2)) // max(1, 2 * (n - 1)) + 1
+    texture = ((i // max(1, n // 64)) + (j // max(1, n // 64))) % 3
+    img = (gradient + texture).astype(_DTYPE)
+
+    # Mobile parts: rectangles and ellipses at distinct mid/high levels,
+    # sized from large plates down to small fittings.
+    n_parts = max(24, n // 4)
+    for part in range(n_parts):
+        level = int(rng.integers(k // 4, k - 1))
+        cy = int(rng.integers(0, n))
+        cx = int(rng.integers(0, n))
+        size = int(rng.integers(max(2, n // 64), max(3, n // 8)))
+        if rng.random() < 0.5:
+            h = max(1, int(size * rng.uniform(0.3, 1.0)))
+            w = max(1, int(size * rng.uniform(0.3, 1.0)))
+            r0, r1 = max(0, cy - h // 2), min(n, cy + (h + 1) // 2)
+            c0, c1 = max(0, cx - w // 2), min(n, cx + (w + 1) // 2)
+            img[r0:r1, c0:c1] = level
+        else:
+            ry = max(1.0, size * rng.uniform(0.3, 1.0) / 2)
+            rx = max(1.0, size * rng.uniform(0.3, 1.0) / 2)
+            mask = ((i - cy) / ry) ** 2 + ((j - cx) / rx) ** 2 <= 1.0
+            img[mask] = level
+
+    # Thin connecting rods (the mobile's strings): 1-2 pixel wide lines.
+    n_rods = max(8, n // 32)
+    for rod in range(n_rods):
+        level = int(rng.integers(k // 2, k))
+        c0 = int(rng.integers(0, n))
+        length = int(rng.integers(n // 8, n // 2))
+        r0 = int(rng.integers(0, max(1, n - length)))
+        if rng.random() < 0.5:
+            img[r0 : r0 + length, c0 : min(n, c0 + 2)] = level
+        else:
+            img[c0 : min(n, c0 + 2), r0 : r0 + length] = level
+
+    # Guarantee all k levels appear: stamp a k-pixel swatch strip.
+    strip = np.arange(k, dtype=_DTYPE) % k
+    reps = int(np.ceil(n / k))
+    row = np.tile(strip, reps)[:n]
+    img[-1, :] = row
+    if n < k:
+        # Small images cannot hold every level on one row; wrap onto
+        # additional rows from the bottom up.
+        needed = int(np.ceil(k / n))
+        flat = np.tile(strip, int(np.ceil(needed * n / k)))[: needed * n]
+        img[-needed:, :] = flat.reshape(needed, n)
+
+    return img

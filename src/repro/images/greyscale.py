@@ -1,0 +1,105 @@
+"""Grey-scale test images for histogramming and grey-level CC.
+
+``k`` grey levels are ``0 .. k-1``; level 0 is background by the
+paper's convention.  ``grey_ramp`` and ``grey_bars`` have closed-form
+histograms, which backs the paper's histogram verification criterion
+("for regular patterns, it is easy to verify that each H[i]/n^2 equals
+the percentage of area that grey level i covers").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_positive, check_power_of_two
+
+_DTYPE = np.int32
+
+
+def grey_ramp(n: int, k: int) -> np.ndarray:
+    """Columns sweep the grey levels left to right.
+
+    Column ``j`` has level ``j * k // n``; when ``k`` divides ``n``
+    every level covers exactly ``n/k`` columns, i.e. ``H[i] = n^2/k``.
+    """
+    check_positive("n", n)
+    check_power_of_two("k", k)
+    j = np.arange(n)
+    levels = (j * k) // n
+    return np.broadcast_to(levels[None, :], (n, n)).astype(_DTYPE)
+
+
+def grey_bars(n: int, k: int, thickness: int | None = None) -> np.ndarray:
+    """Horizontal bars cycling through all ``k`` grey levels."""
+    check_positive("n", n)
+    check_power_of_two("k", k)
+    if thickness is None:
+        thickness = max(1, n // max(k, 16))
+    if thickness < 1:
+        raise ValidationError(f"thickness must be >= 1, got {thickness}")
+    i = np.arange(n)
+    levels = (i // thickness) % k
+    return np.broadcast_to(levels[:, None], (n, n)).astype(_DTYPE)
+
+
+def grey_quadrants(n: int, k: int) -> np.ndarray:
+    """Four quadrants at four distinct levels (``k >= 4``).
+
+    Levels used: 0 (background quadrant), 1, k//2, k-1 -- exercising
+    both ends of the level range with exactly known areas.
+    """
+    check_positive("n", n)
+    check_power_of_two("k", k)
+    if k < 4:
+        raise ValidationError(f"grey_quadrants needs k >= 4, got {k}")
+    img = np.zeros((n, n), dtype=_DTYPE)
+    h = n // 2
+    img[:h, h:] = 1
+    img[h:, :h] = k // 2
+    img[h:, h:] = k - 1
+    return img
+
+
+def checkerboard(n: int, cell: int = 1, levels: tuple[int, int] = (0, 1)) -> np.ndarray:
+    """Checkerboard of two levels; ``cell=1`` maximizes component count."""
+    check_positive("n", n)
+    check_positive("cell", cell)
+    i = np.arange(n)[:, None] // cell
+    j = np.arange(n)[None, :] // cell
+    board = ((i + j) % 2).astype(_DTYPE)
+    lo, hi = levels
+    return np.where(board == 0, _DTYPE(lo), _DTYPE(hi))
+
+
+def site_percolation(n: int, p_occ: float, seed: int = 0) -> np.ndarray:
+    """Random site-percolation lattice: each site occupied (1) with
+    probability ``p_occ``, else background (0).
+
+    The percolation workload the paper cites; pair with the library's
+    CC to find clusters (see ``examples/percolation.py``).
+    """
+    check_positive("n", n)
+    if not (0.0 <= p_occ <= 1.0):
+        raise ValidationError(f"p_occ must be in [0, 1], got {p_occ}")
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, n)) < p_occ).astype(_DTYPE)
+
+
+def random_greyscale(n: int, k: int, seed: int = 0, background_fraction: float = 0.0) -> np.ndarray:
+    """Uniform random levels, optionally with extra 0-background mass.
+
+    Deterministic for a given ``seed``.  With ``background_fraction``
+    > 0 that fraction of pixels is forced to level 0, giving grey-CC a
+    percolation-style workload.
+    """
+    check_positive("n", n)
+    check_power_of_two("k", k)
+    if not (0.0 <= background_fraction < 1.0):
+        raise ValidationError("background_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    img = rng.integers(0, k, size=(n, n), dtype=np.int64).astype(_DTYPE)
+    if background_fraction > 0.0:
+        mask = rng.random((n, n)) < background_fraction
+        img[mask] = 0
+    return img

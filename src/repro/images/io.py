@@ -1,0 +1,137 @@
+"""Portable anymap (PNM) image I/O: PBM and PGM, ASCII and binary.
+
+The DARPA benchmark image and most early-90s vision datasets ship as
+PGM; this dependency-free reader/writer lets users run the library on
+real files.  Supported formats:
+
+* ``P1``/``P4`` -- PBM bitmaps (read as 0/1 images; note PBM's "1 =
+  black" is mapped to foreground 1);
+* ``P2``/``P5`` -- PGM greymaps, maxval <= 65535.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_image
+
+
+def _read_tokens(data: bytes):
+    """Yield whitespace-separated header tokens, skipping '#' comments."""
+    pos = 0
+    n = len(data)
+    while pos < n:
+        c = data[pos : pos + 1]
+        if c.isspace():
+            pos += 1
+        elif c == b"#":
+            while pos < n and data[pos : pos + 1] != b"\n":
+                pos += 1
+        else:
+            start = pos
+            while pos < n and not data[pos : pos + 1].isspace() and data[pos : pos + 1] != b"#":
+                pos += 1
+            yield data[start:pos], pos
+
+
+def read_pnm(path) -> np.ndarray:
+    """Read a PBM/PGM file into an int32 image array."""
+    data = pathlib.Path(path).read_bytes()
+    tokens = _read_tokens(data)
+
+    def next_token() -> tuple[bytes, int]:
+        try:
+            return next(tokens)
+        except StopIteration:
+            raise ValidationError(f"truncated PNM header in {path}") from None
+
+    magic, _ = next_token()
+    if magic not in (b"P1", b"P2", b"P4", b"P5"):
+        raise ValidationError(f"unsupported PNM magic {magic!r} (PBM/PGM only)")
+    width_tok, _ = next_token()
+    height_tok, pos = next_token()
+    width, height = int(width_tok), int(height_tok)
+    if width <= 0 or height <= 0:
+        raise ValidationError(f"bad PNM dimensions {width}x{height}")
+
+    if magic in (b"P2", b"P5"):
+        maxval_tok, pos = next_token()
+        maxval = int(maxval_tok)
+        if not (0 < maxval <= 65535):
+            raise ValidationError(f"bad PGM maxval {maxval}")
+    else:
+        maxval = 1
+
+    if magic == b"P1":
+        values = []
+        rest = data[pos:].split()
+        for chunk in rest:
+            # P1 digits may run together ("0110"); split per character.
+            values.extend(int(ch) for ch in chunk.decode("ascii"))
+        img = np.array(values[: width * height], dtype=np.int32)
+    elif magic == b"P2":
+        values = [int(tok) for tok in data[pos:].split()]
+        img = np.array(values[: width * height], dtype=np.int32)
+    elif magic == b"P4":
+        pos += 1  # single whitespace after header
+        row_bytes = (width + 7) // 8
+        raw = np.frombuffer(data[pos : pos + row_bytes * height], dtype=np.uint8)
+        bits = np.unpackbits(raw.reshape(height, row_bytes), axis=1)[:, :width]
+        img = bits.astype(np.int32).ravel()
+    else:  # P5
+        pos += 1
+        if maxval < 256:
+            raw = np.frombuffer(data[pos : pos + width * height], dtype=np.uint8)
+        else:
+            raw = np.frombuffer(
+                data[pos : pos + 2 * width * height], dtype=">u2"
+            )
+        img = raw.astype(np.int32)
+
+    if img.size != width * height:
+        raise ValidationError(f"truncated PNM pixel data in {path}")
+    return img.reshape(height, width)
+
+
+def write_pgm(path, image: np.ndarray, *, binary: bool = True) -> None:
+    """Write an integer image as PGM (P5 binary or P2 ASCII)."""
+    image = check_image(np.asarray(image), square=False)
+    maxval = int(image.max(initial=0))
+    if maxval > 65535:
+        raise ValidationError(f"PGM maxval limit exceeded: {maxval}")
+    maxval = max(maxval, 1)
+    height, width = image.shape
+    path = pathlib.Path(path)
+    if binary:
+        header = f"P5\n{width} {height}\n{maxval}\n".encode("ascii")
+        if maxval < 256:
+            body = image.astype(np.uint8).tobytes()
+        else:
+            body = image.astype(">u2").tobytes()
+        path.write_bytes(header + body)
+    else:
+        lines = [f"P2\n{width} {height}\n{maxval}"]
+        for row in image:
+            lines.append(" ".join(str(int(v)) for v in row))
+        path.write_text("\n".join(lines) + "\n")
+
+
+def write_pbm(path, image: np.ndarray, *, binary: bool = True) -> None:
+    """Write a 0/1 image as PBM (P4 binary or P1 ASCII)."""
+    image = check_image(np.asarray(image), square=False)
+    if image.max(initial=0) > 1:
+        raise ValidationError("PBM requires a 0/1 image")
+    height, width = image.shape
+    path = pathlib.Path(path)
+    if binary:
+        header = f"P4\n{width} {height}\n".encode("ascii")
+        bits = np.packbits(image.astype(np.uint8), axis=1)
+        path.write_bytes(header + bits.tobytes())
+    else:
+        lines = [f"P1\n{width} {height}"]
+        for row in image:
+            lines.append(" ".join(str(int(v)) for v in row))
+        path.write_text("\n".join(lines) + "\n")

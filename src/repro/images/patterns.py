@@ -1,0 +1,203 @@
+"""The nine scalable binary test patterns of Figure 1.
+
+Foreground pixels have value 1, background 0, any size ``n``.  The bar
+patterns (images 1-4) and the concentric circles / spiral extend with
+the image size; the cross, disc, and corner squares scale with it --
+matching the paper's note that "images 1-4, 7, and 9 [are] augmented to
+the needed image size, while images 5, 6, and 8 [are] scaled".
+
+All generators are deterministic and vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_positive
+
+_DTYPE = np.int32
+
+
+def _bar_thickness(n: int, thickness: int | None) -> int:
+    """Default bar thickness: n/16, at least 1."""
+    if thickness is None:
+        thickness = max(1, n // 16)
+    if thickness < 1:
+        raise ValidationError(f"thickness must be >= 1, got {thickness}")
+    return thickness
+
+
+def _grid(n: int) -> tuple[np.ndarray, np.ndarray]:
+    idx = np.arange(n)
+    return idx[:, None], idx[None, :]
+
+
+def horizontal_bars(n: int, thickness: int | None = None) -> np.ndarray:
+    """Image 1: alternating full-width horizontal bars."""
+    check_positive("n", n)
+    t = _bar_thickness(n, thickness)
+    i, _ = _grid(n)
+    return np.broadcast_to(((i // t) % 2 == 0), (n, n)).astype(_DTYPE)
+
+
+def vertical_bars(n: int, thickness: int | None = None) -> np.ndarray:
+    """Image 2: alternating full-height vertical bars."""
+    check_positive("n", n)
+    t = _bar_thickness(n, thickness)
+    _, j = _grid(n)
+    return np.broadcast_to(((j // t) % 2 == 0), (n, n)).astype(_DTYPE)
+
+
+def forward_diagonal_bars(n: int, thickness: int | None = None) -> np.ndarray:
+    """Image 3: bars slanting like '/' (constant ``i + j`` stripes)."""
+    check_positive("n", n)
+    t = _bar_thickness(n, thickness)
+    i, j = _grid(n)
+    return (((i + j) // t) % 2 == 0).astype(_DTYPE)
+
+
+def backward_diagonal_bars(n: int, thickness: int | None = None) -> np.ndarray:
+    """Image 4: bars slanting like '\\' (constant ``i - j`` stripes)."""
+    check_positive("n", n)
+    t = _bar_thickness(n, thickness)
+    i, j = _grid(n)
+    return ((((i - j) + 2 * n) // t) % 2 == 0).astype(_DTYPE)
+
+
+def cross(n: int, arm_fraction: float = 0.125) -> np.ndarray:
+    """Image 5: a centred plus sign whose arms span the full image."""
+    check_positive("n", n)
+    if not (0.0 < arm_fraction <= 0.5):
+        raise ValidationError("arm_fraction must be in (0, 0.5]")
+    half = max(1, int(round(n * arm_fraction / 2)))
+    c = n / 2.0
+    i, j = _grid(n)
+    band_i = np.abs(i + 0.5 - c) <= half
+    band_j = np.abs(j + 0.5 - c) <= half
+    return (band_i | band_j).astype(_DTYPE)
+
+
+def filled_disc(n: int, radius_fraction: float = 0.375) -> np.ndarray:
+    """Image 6: a filled disc centred in the image."""
+    check_positive("n", n)
+    if not (0.0 < radius_fraction <= 0.5):
+        raise ValidationError("radius_fraction must be in (0, 0.5]")
+    c = (n - 1) / 2.0
+    r = n * radius_fraction
+    i, j = _grid(n)
+    return (((i - c) ** 2 + (j - c) ** 2) <= r * r).astype(_DTYPE)
+
+
+def concentric_circles(n: int, ring_width: int | None = None) -> np.ndarray:
+    """Image 7: concentric rings with thickness (alternating annuli)."""
+    check_positive("n", n)
+    w = _bar_thickness(n, ring_width)
+    c = (n - 1) / 2.0
+    i, j = _grid(n)
+    dist = np.sqrt((i - c) ** 2 + (j - c) ** 2)
+    rings = ((dist / w).astype(np.int64) % 2 == 1) & (dist <= n / 2.0)
+    return rings.astype(_DTYPE)
+
+
+def four_corner_squares(n: int, side_fraction: float = 0.25, inset_fraction: float = 0.125) -> np.ndarray:
+    """Image 8: four filled squares inset from the four corners."""
+    check_positive("n", n)
+    side = max(1, int(round(n * side_fraction)))
+    inset = max(0, int(round(n * inset_fraction)))
+    if inset + side > n - inset and n > 1:
+        raise ValidationError("squares would overlap: reduce side or inset fraction")
+    img = np.zeros((n, n), dtype=_DTYPE)
+    for (r0, c0) in (
+        (inset, inset),
+        (inset, n - inset - side),
+        (n - inset - side, inset),
+        (n - inset - side, n - inset - side),
+    ):
+        r0 = max(0, r0)
+        c0 = max(0, c0)
+        img[r0 : r0 + side, c0 : c0 + side] = 1
+    return img
+
+
+def dual_spiral(n: int, windings: float = 3.0, fill_fraction: float = 0.5) -> np.ndarray:
+    """Image 9: the "difficult" dual-spiral pattern (Stout).
+
+    Two interleaved Archimedean spiral arms wound around the centre;
+    each arm is one long snaking connected component (under both 4- and
+    8-connectivity), which maximizes label propagation distance for
+    divide-and-conquer CC algorithms.  The arms are rasterized by
+    stamping overlapping discs along the parametric curve, so they stay
+    connected at every image size.
+
+    Parameters
+    ----------
+    windings:
+        Full turns per arm (constant as ``n`` grows, so arm thickness
+        scales with ``n`` and the run count per row stays bounded).
+    fill_fraction:
+        Fraction of the radial period the two arms jointly occupy
+        (< 1 keeps them separated).
+    """
+    check_positive("n", n)
+    if windings <= 0:
+        raise ValidationError("windings must be positive")
+    if not (0.0 < fill_fraction < 1.0):
+        raise ValidationError("fill_fraction must be in (0, 1)")
+    img = np.zeros((n, n), dtype=_DTYPE)
+    c = (n - 1) / 2.0
+    rmax = n / 2.0 - 1.0
+    if rmax <= 1.0:
+        img[:] = 1  # degenerate tiny image: all foreground
+        return img
+    pitch = rmax / windings
+    # Each arm's stroke: half its share of the period, at least 1 px wide.
+    radius = max(1.0, pitch * fill_fraction / 4.0)
+
+    disc_r = int(np.ceil(radius))
+    dy, dx = np.mgrid[-disc_r : disc_r + 1, -disc_r : disc_r + 1]
+    disc = (dy * dy + dx * dx) <= radius * radius
+
+    theta_end = 2.0 * np.pi * windings
+    for phase0 in (0.0, np.pi):  # the two interleaved arms
+        theta = np.pi  # start off-centre so the arms never meet
+        while theta <= theta_end:
+            r = pitch * theta / (2.0 * np.pi)
+            y = c + r * np.sin(theta + phase0)
+            x = c + r * np.cos(theta + phase0)
+            _stamp(img, disc, int(round(y)), int(round(x)), disc_r)
+            # Advance so consecutive stamps are < 1 px apart.
+            theta += min(0.2, 0.9 / max(r, 1.0))
+    return img
+
+
+def _stamp(img: np.ndarray, disc: np.ndarray, y: int, x: int, disc_r: int) -> None:
+    """Paint a disc mask centred at (y, x), clipped to the image."""
+    n = img.shape[0]
+    y0, y1 = max(0, y - disc_r), min(n, y + disc_r + 1)
+    x0, x1 = max(0, x - disc_r), min(n, x + disc_r + 1)
+    if y0 >= y1 or x0 >= x1:
+        return
+    sub = disc[y0 - (y - disc_r) : y1 - (y - disc_r), x0 - (x - disc_r) : x1 - (x - disc_r)]
+    img[y0:y1, x0:x1] |= sub
+
+
+#: Figure 1's catalogue, in paper order (1-based indices).
+BINARY_TEST_IMAGES = {
+    1: horizontal_bars,
+    2: vertical_bars,
+    3: forward_diagonal_bars,
+    4: backward_diagonal_bars,
+    5: cross,
+    6: filled_disc,
+    7: concentric_circles,
+    8: four_corner_squares,
+    9: dual_spiral,
+}
+
+
+def binary_test_image(index: int, n: int) -> np.ndarray:
+    """Generate Figure 1's test image ``index`` (1..9) at size ``n x n``."""
+    if index not in BINARY_TEST_IMAGES:
+        raise ValidationError(f"test image index must be 1..9, got {index}")
+    return BINARY_TEST_IMAGES[index](n)

@@ -1,0 +1,36 @@
+"""Machine models: per-platform communication and computation parameters.
+
+The paper reports measured runs on five distributed-memory platforms
+(TMC CM-5, IBM SP-1, IBM SP-2, Meiko CS-2, Intel Paragon).  This package
+captures each platform as a :class:`~repro.machines.params.MachineParams`
+instance that the BDM simulator uses to convert abstract communication
+volumes and operation counts into simulated seconds.
+"""
+
+from repro.machines.params import (
+    MachineParams,
+    CM5,
+    SP1,
+    SP2,
+    CS2,
+    PARAGON,
+    IDEAL,
+    MACHINES,
+    get_machine,
+    machine_from_dict,
+    load_machine,
+)
+
+__all__ = [
+    "MachineParams",
+    "CM5",
+    "SP1",
+    "SP2",
+    "CS2",
+    "PARAGON",
+    "IDEAL",
+    "MACHINES",
+    "get_machine",
+    "machine_from_dict",
+    "load_machine",
+]

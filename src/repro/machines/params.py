@@ -1,0 +1,255 @@
+"""Per-platform parameter sets for the BDM cost model.
+
+The Block Distributed Memory model charges a remote block access of
+``b`` words as ``tau + b`` time units, where ``tau`` is the normalized
+network latency; ``l`` pipelined prefetches issued together cost
+``tau + l``.  To turn those abstract units into (simulated) seconds the
+simulator needs, per machine,
+
+* ``latency_s``      -- the latency ``tau`` in seconds,
+* ``bandwidth_Bps``  -- sustained per-processor bandwidth in bytes/s
+  (the paper reports attained transpose bandwidths: CM-5 7.62 MB/s,
+  SP-2 24.8 MB/s, CS-2 10.7 MB/s, Paragon 88.6 MB/s),
+* ``op_ns``          -- cost of one abstract local operation in ns.
+
+``op_ns`` is *calibrated*, not derived: it is chosen so that the
+flagship absolute numbers from the paper's Table 1 (histogramming of a
+512x512, 256-level image) land close to the paper's measurements given
+the operation counts our algorithms charge.  Absolute times are
+therefore indicative; the *shapes* (scaling in ``n``, ``p``, ``k`` and
+the machine ranking) come entirely from the model.
+
+Throughout the paper ``MB/s`` means 1e6 bytes per second; we keep that
+convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.utils.errors import ConfigurationError
+
+#: Size of one BDM "word" in bytes (the paper sorts 32-bit keys).
+WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Cost-model parameters of one distributed-memory platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name.
+    latency_s:
+        Normalized network latency ``tau`` in seconds charged once per
+        (batch of pipelined) remote access(es).
+    bandwidth_Bps:
+        Sustained per-processor communication bandwidth, bytes/second.
+    op_ns:
+        Nanoseconds per abstract local operation (calibrated).
+    barrier_s:
+        Cost of one global barrier, seconds.  Barriers on these machines
+        cost a small multiple of the network latency.
+    copy_ns:
+        Nanoseconds per word of *bulk local data placement* (the local
+        rearrangement step of transpose/broadcast).  Defaults to 0: the
+        per-processor bandwidths above are the *attained end-to-end*
+        figures the paper reports, which already include local
+        placement, so charging it again would double-count.  Set a
+        positive value to model the copy separately.
+    peak_bandwidth_Bps:
+        Vendor peak per-processor bandwidth (for the bandwidth figures'
+        reference lines); 0 when unknown.
+    max_processors:
+        Largest configuration used in the paper, for bookkeeping.
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_Bps: float
+    op_ns: float
+    barrier_s: float = field(default=0.0)
+    copy_ns: float = 0.0
+    peak_bandwidth_Bps: float = 0.0
+    max_processors: int = 128
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.bandwidth_Bps <= 0 or self.op_ns < 0:
+            raise ConfigurationError(
+                f"invalid machine parameters for {self.name!r}: "
+                f"latency_s={self.latency_s}, bandwidth_Bps={self.bandwidth_Bps}, "
+                f"op_ns={self.op_ns}"
+            )
+        if self.barrier_s == 0.0:
+            # Default: a barrier costs about two network latencies.
+            object.__setattr__(self, "barrier_s", 2.0 * self.latency_s)
+
+    # -- conversions ----------------------------------------------------
+
+    def word_time_s(self) -> float:
+        """Seconds to move one word through a processor's network port."""
+        return WORD_BYTES / self.bandwidth_Bps
+
+    def comm_time_s(self, words: int, *, messages: int = 1) -> float:
+        """Simulated seconds for ``messages`` pipelined remote accesses
+        moving ``words`` words in total (BDM rule: ``tau + l`` for ``l``
+        pipelined word-reads; block reads pay per word)."""
+        if words < 0 or messages < 0:
+            raise ConfigurationError("words and messages must be non-negative")
+        if words == 0 and messages == 0:
+            return 0.0
+        return self.latency_s + words * self.word_time_s()
+
+    def comp_time_s(self, ops: float) -> float:
+        """Simulated seconds for ``ops`` abstract local operations."""
+        if ops < 0:
+            raise ConfigurationError("ops must be non-negative")
+        return ops * self.op_ns * 1e-9
+
+    def copy_time_s(self, words: float) -> float:
+        """Simulated seconds for a bulk local placement of ``words`` words."""
+        if words < 0:
+            raise ConfigurationError("words must be non-negative")
+        return words * self.copy_ns * 1e-9
+
+    def with_(self, **kwargs) -> "MachineParams":
+        """Return a copy with some fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The five platforms of the paper.  Bandwidths are the *attained* per-
+# processor transpose bandwidths reported in Section 2.2; latencies are
+# representative one-way network latencies for these machines (the CM-5
+# value follows the LogP characterization of Culler et al.); op_ns is
+# calibrated against Table 1 (histogramming work per pixel: CM-5 732 ns,
+# SP-1 562 ns, SP-2 1.22 us, Paragon 635 ns, CS-2 231 ns, at roughly two
+# charged operations per pixel).
+# ---------------------------------------------------------------------------
+
+CM5 = MachineParams(
+    name="TMC CM-5",
+    latency_s=12e-6,
+    bandwidth_Bps=7.62e6,
+    op_ns=350.0,
+    peak_bandwidth_Bps=12e6,
+    max_processors=128,
+)
+
+SP1 = MachineParams(
+    name="IBM SP-1",
+    latency_s=56e-6,
+    bandwidth_Bps=7.0e6,
+    op_ns=270.0,
+    peak_bandwidth_Bps=8.5e6,
+    max_processors=128,
+)
+
+SP2 = MachineParams(
+    name="IBM SP-2",
+    latency_s=40e-6,
+    bandwidth_Bps=24.8e6,
+    op_ns=600.0,
+    peak_bandwidth_Bps=40e6,
+    max_processors=128,
+)
+
+CS2 = MachineParams(
+    name="Meiko CS-2",
+    latency_s=25e-6,
+    bandwidth_Bps=10.7e6,
+    op_ns=115.0,
+    peak_bandwidth_Bps=50e6,
+    max_processors=64,
+)
+
+PARAGON = MachineParams(
+    name="Intel Paragon",
+    latency_s=30e-6,
+    bandwidth_Bps=88.6e6,
+    op_ns=310.0,
+    peak_bandwidth_Bps=175e6,
+    max_processors=8,
+)
+
+#: A frictionless machine (zero latency, very high bandwidth, 1 ns/op);
+#: useful in tests to reason about operation counts alone.
+IDEAL = MachineParams(
+    name="ideal",
+    latency_s=0.0,
+    bandwidth_Bps=1e12,
+    op_ns=1.0,
+    barrier_s=1e-12,
+)
+
+MACHINES = {
+    "cm5": CM5,
+    "sp1": SP1,
+    "sp2": SP2,
+    "cs2": CS2,
+    "paragon": PARAGON,
+    "ideal": IDEAL,
+}
+
+
+def get_machine(name: str) -> MachineParams:
+    """Look up a machine parameter set by short name (case-insensitive).
+
+    >>> get_machine("cm5").name
+    'TMC CM-5'
+    """
+    key = name.strip().lower().replace("-", "").replace(" ", "")
+    if key not in MACHINES:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}"
+        )
+    return MACHINES[key]
+
+
+def machine_from_dict(data: dict) -> MachineParams:
+    """Build a custom machine from a plain dict (e.g. parsed JSON).
+
+    Required keys: ``name``, ``latency_s``, ``bandwidth_Bps``,
+    ``op_ns``; the remaining :class:`MachineParams` fields are optional.
+    Unknown keys are rejected to catch typos.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"machine spec must be a dict, got {type(data)!r}")
+    allowed = {
+        "name",
+        "latency_s",
+        "bandwidth_Bps",
+        "op_ns",
+        "barrier_s",
+        "copy_ns",
+        "peak_bandwidth_Bps",
+        "max_processors",
+    }
+    unknown = set(data) - allowed
+    if unknown:
+        raise ConfigurationError(f"unknown machine spec keys: {sorted(unknown)}")
+    missing = {"name", "latency_s", "bandwidth_Bps", "op_ns"} - set(data)
+    if missing:
+        raise ConfigurationError(f"machine spec missing keys: {sorted(missing)}")
+    return MachineParams(**data)
+
+
+def load_machine(spec: str) -> MachineParams:
+    """Resolve a machine from a registry name or a JSON file path.
+
+    ``spec`` ending in ``.json`` is read as a file containing a machine
+    dict; anything else is looked up with :func:`get_machine`.
+    """
+    if spec.endswith(".json"):
+        import json
+        import pathlib
+
+        try:
+            data = json.loads(pathlib.Path(spec).read_text())
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read machine spec {spec!r}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid JSON in {spec!r}: {exc}") from exc
+        return machine_from_dict(data)
+    return get_machine(spec)

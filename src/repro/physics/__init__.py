@@ -1,0 +1,43 @@
+"""Computational-physics applications of connected components.
+
+The paper motivates its CC primitive with "several computational
+physics problems such as percolation and various cluster Monte Carlo
+algorithms for computing the spin models of magnets such as the
+two-dimensional Ising spin model" (Section 1).  This package makes
+those applications first-class:
+
+* :mod:`repro.physics.percolation` -- site percolation: spanning
+  detection, cluster statistics, threshold estimation.
+* :mod:`repro.physics.ising` -- the 2-D Ising model with Swendsen-Wang
+  and Wolff cluster updates built on the bond labeler.
+"""
+
+from repro.physics.percolation import (
+    PercolationStats,
+    cluster_size_distribution,
+    has_spanning_cluster,
+    percolation_stats,
+    spanning_probability,
+)
+from repro.physics.ising import (
+    IsingModel,
+    T_CRITICAL,
+)
+from repro.physics.stats import (
+    autocorrelation,
+    effective_samples,
+    integrated_autocorrelation_time,
+)
+
+__all__ = [
+    "PercolationStats",
+    "cluster_size_distribution",
+    "has_spanning_cluster",
+    "percolation_stats",
+    "spanning_probability",
+    "IsingModel",
+    "T_CRITICAL",
+    "autocorrelation",
+    "effective_samples",
+    "integrated_autocorrelation_time",
+]

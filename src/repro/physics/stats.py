@@ -1,0 +1,68 @@
+"""Time-series statistics for Monte Carlo observables.
+
+The headline quantity is the *integrated autocorrelation time*
+``tau_int``: consecutive Markov chain samples are correlated, and the
+effective number of independent samples in a run of length N is
+``N / (2 tau_int)``.  Near the Ising critical point, local (Metropolis)
+dynamics suffer critical slowing down -- ``tau_int`` grows as ``L^z``
+with ``z ~ 2.17`` -- while the cluster algorithms built on connected
+component labeling keep ``tau_int`` of order one.  That gap is the
+quantitative reason the paper's physics citations need fast CC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+def autocorrelation(series: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Normalized autocorrelation function ``rho[t]`` for t = 0..max_lag.
+
+    ``rho[0] == 1``; computed directly (O(N * max_lag), fine for the
+    series lengths Monte Carlo produces).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1 or series.size < 2:
+        raise ValidationError("series must be 1-D with at least two samples")
+    n = series.size
+    if max_lag is None:
+        max_lag = min(n - 1, n // 4)
+    if not (0 <= max_lag < n):
+        raise ValidationError(f"max_lag must be in [0, {n - 1}]")
+    centered = series - series.mean()
+    var = float(np.dot(centered, centered)) / n
+    if var == 0:
+        # A constant series is perfectly correlated at every lag.
+        return np.ones(max_lag + 1)
+    rho = np.empty(max_lag + 1)
+    rho[0] = 1.0
+    for lag in range(1, max_lag + 1):
+        rho[lag] = float(np.dot(centered[:-lag], centered[lag:])) / (n * var)
+    return rho
+
+
+def integrated_autocorrelation_time(series: np.ndarray, *, c: float = 6.0) -> float:
+    """Windowed estimator of ``tau_int`` (Sokal's automatic windowing).
+
+    ``tau_int = 1/2 + sum_t rho(t)``, truncated at the first window
+    ``W >= c * tau_int(W)`` -- the standard self-consistent cut that
+    balances bias against noise.  Returns at least 0.5 (uncorrelated).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.size < 8:
+        raise ValidationError("need at least 8 samples to estimate tau_int")
+    rho = autocorrelation(series)
+    tau = 0.5
+    for window in range(1, len(rho)):
+        tau += float(rho[window])
+        if window >= c * tau:
+            break
+    return max(tau, 0.5)
+
+
+def effective_samples(series: np.ndarray) -> float:
+    """Effective independent sample count ``N / (2 tau_int)``."""
+    series = np.asarray(series, dtype=np.float64)
+    return series.size / (2.0 * integrated_autocorrelation_time(series))

@@ -1,0 +1,252 @@
+"""Process-parallel histogramming and connected components.
+
+Mirrors the BDM algorithms' structure with real OS processes:
+
+* **histogram** -- each worker tallies a band of rows (the local-tally
+  step); the driver sums the partial histograms (the transpose+reduce
+  steps collapse to a sum, since the driver plays all receivers).
+* **components** -- workers label their tiles in shared memory with the
+  globally-offset initial labels; the merge schedule then runs round by
+  round with each round's independent border groups fanned out to the
+  pool (pool.map is the round barrier); workers finally apply the
+  hook-based interior relabel in parallel.
+
+Both return results bit-identical to the sequential engines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+
+from repro.baselines.run_label import run_label
+from repro.baselines.sequential import sequential_histogram
+from repro.core.border_graph import BorderSide, solve_border_merge
+from repro.core.change_array import apply_changes
+from repro.core.hooks import apply_hooks, create_tile_hooks
+from repro.core.merge import merge_schedule
+from repro.core.tiles import ProcessorGrid, edge_indices, perimeter_indices
+from repro.runtime.shmem import SharedNDArray, ShmMeta
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_image, check_power_of_two
+
+__all__ = ["histogram", "components", "resolve_workers"]
+
+
+def resolve_workers(workers: int | None, shape=None) -> int:
+    """Pick a power-of-two worker count.
+
+    Defaults to the largest power of two <= cpu count (capped at 16);
+    when an image shape (or side) is given, the count is reduced until
+    the logical grid divides it.
+    """
+    if workers is None:
+        cpus = os.cpu_count() or 1
+        workers = 1
+        while workers * 2 <= min(cpus, 16):
+            workers *= 2
+    check_power_of_two("workers", workers)
+    if shape is not None:
+        while workers > 1:
+            try:
+                ProcessorGrid(workers, shape)
+                break
+            except Exception:
+                workers //= 2
+    return workers
+
+
+def _resolve_backend(backend: str, workers: int) -> str:
+    if backend not in ("auto", "serial", "process"):
+        raise ValidationError(f"unknown backend {backend!r}")
+    if backend == "auto":
+        return "process" if workers > 1 and (os.cpu_count() or 1) > 1 else "serial"
+    return backend
+
+
+def _pool_context():
+    # fork shares the parent's pages copy-on-write, which is cheap; fall
+    # back to spawn where fork is unavailable.
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return mp.get_context("spawn")
+
+
+# --------------------------------------------------------------------------
+# histogram
+# --------------------------------------------------------------------------
+
+_WORK: dict = {}
+
+
+def _hist_init(image_meta: ShmMeta, k: int) -> None:
+    _WORK["image"] = SharedNDArray.attach(image_meta)
+    _WORK["k"] = k
+
+
+def _hist_band(band: tuple[int, int]) -> np.ndarray:
+    lo, hi = band
+    img = _WORK["image"].array
+    return np.bincount(img[lo:hi].ravel(), minlength=_WORK["k"])
+
+
+def histogram(
+    image: np.ndarray,
+    k: int,
+    *,
+    workers: int | None = None,
+    backend: str = "auto",
+) -> np.ndarray:
+    """Histogram of an image's grey levels, process-parallel by bands."""
+    image = check_image(image, square=False)
+    check_power_of_two("k", k)
+    if image.max(initial=0) >= k:
+        raise ValidationError(f"image has grey levels >= k={k}")
+    workers = resolve_workers(workers)
+    if _resolve_backend(backend, workers) == "serial":
+        return sequential_histogram(image, k)
+
+    rows = image.shape[0]
+    bounds = np.linspace(0, rows, workers + 1, dtype=np.int64)
+    bands = [(int(bounds[i]), int(bounds[i + 1])) for i in range(workers)]
+    ctx = _pool_context()
+    with SharedNDArray.from_array(np.ascontiguousarray(image)) as shm:
+        with ctx.Pool(workers, initializer=_hist_init, initargs=(shm.meta, k)) as pool:
+            partials = pool.map(_hist_band, bands)
+    return np.sum(partials, axis=0, dtype=np.int64)
+
+
+# --------------------------------------------------------------------------
+# connected components
+# --------------------------------------------------------------------------
+
+
+def _cc_init(image_meta: ShmMeta, labels_meta: ShmMeta, opts: dict) -> None:
+    _WORK["image"] = SharedNDArray.attach(image_meta)
+    _WORK["labels"] = SharedNDArray.attach(labels_meta)
+    _WORK["opts"] = opts
+
+
+def _cc_label_tile(pid: int):
+    """Worker: label own tile in shared memory; return the tile's hooks."""
+    opts = _WORK["opts"]
+    grid = ProcessorGrid(opts["p"], opts["shape"])
+    sl = grid.tile_slices(pid)
+    I, J = grid.coords(pid)
+    tile = _WORK["image"].array[sl]
+    lab = run_label(
+        tile,
+        connectivity=opts["connectivity"],
+        grey=opts["grey"],
+        label_base=1,
+        label_stride=grid.cols,
+        row_offset=I * grid.q,
+        col_offset=J * grid.r,
+    )
+    _WORK["labels"].array[sl] = lab
+    return pid, create_tile_hooks(lab)
+
+
+def _cc_finalize_tile(arg):
+    """Worker: hook-based final interior relabel of own tile."""
+    pid, hooks = arg
+    opts = _WORK["opts"]
+    grid = ProcessorGrid(opts["p"], opts["shape"])
+    sl = grid.tile_slices(pid)
+    labels = _WORK["labels"].array
+    labels[sl] = apply_hooks(labels[sl], hooks)
+    return pid
+
+
+def _cc_merge_group(arg):
+    """Worker: play group manager for one border merge.
+
+    Fetches the two border sides from shared memory, solves the border
+    graph, and applies the change list to the perimeters of every tile
+    in its region.  Groups within one merge round touch disjoint
+    regions, so the rounds can run with full pool parallelism; rounds
+    are separated by the driver (the pool.map barrier), mirroring the
+    algorithm's own barrier structure.
+    """
+    step_index, group_index = arg
+    opts = _WORK["opts"]
+    grid = ProcessorGrid(opts["p"], opts["shape"])
+    image = _WORK["image"].array
+    labels = _WORK["labels"].array
+    step = merge_schedule(grid)[step_index]
+    group = step.groups[group_index]
+    q, r = grid.q, grid.r
+    edge_a, edge_b = step.edge_names
+    edge_rc = {
+        name: np.unravel_index(edge_indices(q, r, name), (q, r))
+        for name in (edge_a, edge_b)
+    }
+    side_a = _collect_side(labels, image, grid, group.side_a_pids, edge_rc[edge_a])
+    side_b = _collect_side(labels, image, grid, group.side_b_pids, edge_rc[edge_b])
+    solve = solve_border_merge(
+        side_a, side_b, connectivity=opts["connectivity"], grey=opts["grey"]
+    )
+    if len(solve.changes) == 0:
+        return 0
+    border_rows, border_cols = np.unravel_index(perimeter_indices(q, r), (q, r))
+    for pid in group.region:
+        r0, c0 = grid.tile_origin(pid)
+        rows = border_rows + r0
+        cols = border_cols + c0
+        labels[rows, cols] = apply_changes(labels[rows, cols], solve.changes)
+    return len(solve.changes)
+
+
+def _collect_side(labels, image, grid, pids, edge_rc) -> BorderSide:
+    er, ec = edge_rc
+    lab_parts = []
+    col_parts = []
+    for pid in pids:
+        r0, c0 = grid.tile_origin(pid)
+        lab_parts.append(labels[er + r0, ec + c0])
+        col_parts.append(image[er + r0, ec + c0])
+    return BorderSide(np.concatenate(lab_parts), np.concatenate(col_parts))
+
+
+def components(
+    image: np.ndarray,
+    *,
+    connectivity: int = 8,
+    grey: bool = False,
+    workers: int | None = None,
+    backend: str = "auto",
+) -> np.ndarray:
+    """Connected component labels of an image, process-parallel by tiles.
+
+    Output convention matches the sequential engines: background 0,
+    component label = 1 + row-major index of its first pixel.
+    """
+    image = check_image(image, square=False)
+    shape = image.shape
+    workers = resolve_workers(workers, shape)
+    if _resolve_backend(backend, workers) == "serial" or workers == 1:
+        return run_label(image, connectivity=connectivity, grey=grey)
+
+    grid = ProcessorGrid(workers, shape)
+    opts = {"p": workers, "shape": shape, "connectivity": connectivity, "grey": grey}
+    ctx = _pool_context()
+    with SharedNDArray.from_array(np.ascontiguousarray(image)) as shm_img, \
+            SharedNDArray.create(shape, np.int64) as shm_lab:
+        with ctx.Pool(
+            workers, initializer=_cc_init, initargs=(shm_img.meta, shm_lab.meta, opts)
+        ) as pool:
+            hook_list = dict(pool.map(_cc_label_tile, range(workers)))
+            labels = shm_lab.array
+            # Merge rounds: groups within a round are independent, so
+            # each round fans out to the pool; pool.map is the barrier.
+            for step_index, step in enumerate(merge_schedule(grid)):
+                pool.map(
+                    _cc_merge_group,
+                    [(step_index, g) for g in range(len(step.groups))],
+                )
+            pool.map(_cc_finalize_tile, [(pid, hook_list[pid]) for pid in range(workers)])
+            result = labels.copy()
+    return result

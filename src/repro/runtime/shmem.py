@@ -1,0 +1,82 @@
+"""NumPy arrays backed by POSIX shared memory.
+
+Workers attach to the segment by name, so large images are shared with
+the pool instead of being pickled per task -- the standard idiom for
+process-parallel NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ShmMeta:
+    """Picklable handle describing a shared array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedNDArray:
+    """A NumPy array living in a shared-memory segment.
+
+    Create with :meth:`create` (owner) or :meth:`attach` (worker); the
+    owner should call :meth:`unlink` when done, every process
+    :meth:`close`.  Usable as a context manager on the owning side.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape, dtype, *, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self.array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+    @classmethod
+    def create(cls, shape, dtype) -> "SharedNDArray":
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        if nbytes <= 0:
+            raise ValidationError(f"cannot share empty array of shape {shape}")
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        return cls(shm, shape, dtype, owner=True)
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "SharedNDArray":
+        out = cls.create(arr.shape, arr.dtype)
+        out.array[:] = arr
+        return out
+
+    @classmethod
+    def attach(cls, meta: ShmMeta) -> "SharedNDArray":
+        shm = shared_memory.SharedMemory(name=meta.name)
+        return cls(shm, meta.shape, np.dtype(meta.dtype), owner=False)
+
+    @property
+    def meta(self) -> ShmMeta:
+        return ShmMeta(
+            name=self._shm.name,
+            shape=tuple(self.array.shape),
+            dtype=self.array.dtype.str,
+        )
+
+    def close(self) -> None:
+        # Drop the view first; closing a segment with live exports fails.
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        self._shm.unlink()
+
+    def __enter__(self) -> "SharedNDArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()

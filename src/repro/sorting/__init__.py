@@ -1,0 +1,21 @@
+"""Sorting substrate used by the merge phases.
+
+The paper sorts border pixels by label with a four-pass radix sort
+(one byte of the 32-bit key per pass, 256 buckets), falling back to the
+UNIX quicker-sort for small inputs -- "whichever sorting method is
+fastest for the given input size".  This package reproduces both: a
+vectorized byte-wise LSD radix sort and a hybrid dispatcher with a
+configurable cutoff.
+"""
+
+from repro.sorting.radix import radix_sort, radix_argsort, counting_sort_pass
+from repro.sorting.hybrid import hybrid_sort, hybrid_argsort, DEFAULT_CUTOFF
+
+__all__ = [
+    "radix_sort",
+    "radix_argsort",
+    "counting_sort_pass",
+    "hybrid_sort",
+    "hybrid_argsort",
+    "DEFAULT_CUTOFF",
+]

@@ -1,0 +1,49 @@
+"""Hybrid sorter: comparison sort for small inputs, radix for large.
+
+Footnote 3 of the paper: "whenever radix sort is mentioned in this
+paper, the actual coding uses the standard UNIX quicker-sort function
+for smaller sorts, and radix sort for larger sorts, using whichever
+sorting method is fastest for the given input size."  We reproduce the
+dispatcher with a configurable cutoff (the crossover is examined by the
+hybrid-sort ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sorting.radix import radix_argsort, radix_sort_ops
+from repro.utils.errors import ValidationError
+
+#: Below this many keys the comparison sort wins (measured on this
+#: host's NumPy; see benchmarks/bench_ablation_hybrid_sort.py).
+DEFAULT_CUTOFF = 2048
+
+
+def hybrid_argsort(keys: np.ndarray, *, cutoff: int = DEFAULT_CUTOFF) -> np.ndarray:
+    """Stable ascending permutation, dispatching on input size."""
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ValidationError(f"keys must be 1-D, got shape {keys.shape}")
+    if keys.size < cutoff:
+        return np.argsort(keys, kind="stable")
+    return radix_argsort(keys)
+
+
+def hybrid_sort(keys: np.ndarray, *, cutoff: int = DEFAULT_CUTOFF) -> np.ndarray:
+    """Keys in ascending order, dispatching on input size."""
+    keys = np.asarray(keys)
+    return keys[hybrid_argsort(keys, cutoff=cutoff)]
+
+
+def hybrid_sort_ops(n: int, *, cutoff: int = DEFAULT_CUTOFF) -> int:
+    """Abstract operation count for the hybrid sorter.
+
+    Comparison sort costs about ``2 n log2 n`` operations; radix cost
+    comes from :func:`~repro.sorting.radix.radix_sort_ops`.
+    """
+    if n <= 1:
+        return 0
+    if n < cutoff:
+        return int(2 * n * max(1.0, np.log2(n)))
+    return radix_sort_ops(n)

@@ -1,0 +1,30 @@
+"""Shared utilities: error types and argument validation helpers."""
+
+from repro.utils.errors import (
+    ReproError,
+    ConfigurationError,
+    HazardError,
+    ValidationError,
+)
+from repro.utils.render import ascii_image, ascii_labels
+from repro.utils.validation import (
+    check_image,
+    check_power_of_two,
+    check_positive,
+    is_power_of_two,
+    ilog2,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "HazardError",
+    "ValidationError",
+    "check_image",
+    "check_power_of_two",
+    "check_positive",
+    "is_power_of_two",
+    "ilog2",
+    "ascii_image",
+    "ascii_labels",
+]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single type.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid machine / grid / algorithm configuration was requested.
+
+    Examples: a processor count that is not a power of two, more
+    processors than pixels, a grey-level count that is not a power of
+    two.
+    """
+
+
+class ValidationError(ReproError, ValueError):
+    """An input value (image, array, parameter) failed validation."""
+
+
+class HazardError(ReproError, RuntimeError):
+    """A same-phase read/write hazard was detected by the BDM simulator.
+
+    The phase-based SPMD execution model requires that within one phase
+    no processor reads a remote location that another processor wrote in
+    the same phase (real machines would order these through the barrier
+    that separates phases).  The simulator can check this discipline and
+    raises this error on violation.
+    """

@@ -1,0 +1,58 @@
+"""ASCII rendering of images and label maps (debugging / CLI output)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+#: Ten-step luminance ramp (dark to bright).
+_RAMP = " .:-=+*#%@"
+
+#: Distinct characters for label maps.
+_LABEL_CHARS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def ascii_image(image: np.ndarray, *, width: int = 64) -> str:
+    """Render a grey image as an ASCII luminance map.
+
+    The image is box-downsampled to at most ``width`` columns (rows are
+    halved again to compensate for character aspect ratio).
+    """
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValidationError(f"image must be 2-D, got shape {image.shape}")
+    if width < 1:
+        raise ValidationError("width must be positive")
+    rows, cols = image.shape
+    step = max(1, int(np.ceil(cols / width)))
+    sample = image[:: 2 * step, ::step].astype(np.float64)
+    hi = sample.max()
+    if hi <= 0:
+        hi = 1.0
+    idx = np.clip((sample / hi * (len(_RAMP) - 1)).astype(int), 0, len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[v] for v in row) for row in idx)
+
+
+def ascii_labels(labels: np.ndarray, *, width: int = 64) -> str:
+    """Render a label map: '.' background, one character per component.
+
+    Components beyond the character set share characters (cyclically),
+    which is fine for eyeballing structure.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise ValidationError(f"labels must be 2-D, got shape {labels.shape}")
+    if width < 1:
+        raise ValidationError("width must be positive")
+    rows, cols = labels.shape
+    step = max(1, int(np.ceil(cols / width)))
+    sample = labels[:: 2 * step, ::step]
+    uniq = np.unique(sample[sample != 0])
+    mapping = {int(v): _LABEL_CHARS[i % len(_LABEL_CHARS)] for i, v in enumerate(uniq)}
+    out_rows = []
+    for row in sample:
+        out_rows.append(
+            "".join("." if v == 0 else mapping[int(v)] for v in row.tolist())
+        )
+    return "\n".join(out_rows)

@@ -1,0 +1,257 @@
+"""Tests for the sequential engines: BFS, run-length, Shiloach-Vishkin,
+union-find, and sequential histogram -- cross-checked against scipy and
+networkx oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import (
+    UnionFind,
+    bfs_label,
+    count_components,
+    extract_runs,
+    run_label,
+    sequential_components,
+    sequential_histogram,
+    sequential_histogram_loop,
+    shiloach_vishkin,
+    shiloach_vishkin_image,
+)
+from repro.utils.errors import ValidationError
+from tests.conftest import oracle_binary_labels, oracle_grey_labels
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(5)
+        assert uf.n_sets() == 5
+
+    def test_union_reduces_sets(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        assert uf.n_sets() == 3
+
+    def test_root_is_minimum_member(self):
+        uf = UnionFind(10)
+        uf.union(7, 3)
+        uf.union(3, 9)
+        assert uf.find(9) == 3
+        uf.union(9, 1)
+        assert uf.find(7) == 1
+
+    def test_union_edges_array(self):
+        uf = UnionFind(6)
+        uf.union_edges(np.array([0, 2, 4]), np.array([1, 3, 5]))
+        assert uf.n_sets() == 3
+
+    def test_union_edges_shape_mismatch(self):
+        uf = UnionFind(4)
+        with pytest.raises(ValidationError):
+            uf.union_edges(np.array([0]), np.array([1, 2]))
+
+    def test_roots_vector(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert np.array_equal(uf.roots(), [0, 0, 0, 3])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            UnionFind(-1)
+
+    def test_chain_compression(self):
+        uf = UnionFind(100)
+        for i in range(99):
+            uf.union(i, i + 1)
+        assert uf.find(99) == 0
+        assert uf.n_sets() == 1
+
+
+class TestExtractRuns:
+    def test_binary_runs(self):
+        img = np.array([[1, 1, 0, 1], [0, 0, 0, 0], [1, 0, 1, 1]], dtype=np.int32)
+        runs = extract_runs(img)
+        assert len(runs) == 4
+        assert np.array_equal(runs.row, [0, 0, 2, 2])
+        assert np.array_equal(runs.start, [0, 3, 0, 2])
+        assert np.array_equal(runs.stop, [2, 4, 1, 4])
+
+    def test_grey_runs_break_on_level_change(self):
+        img = np.array([[2, 2, 3, 3, 0, 2]], dtype=np.int32)
+        runs = extract_runs(img, grey=True)
+        assert len(runs) == 3
+        assert np.array_equal(runs.color, [2, 3, 2])
+
+    def test_binary_runs_span_level_changes(self):
+        img = np.array([[2, 3, 1]], dtype=np.int32)
+        runs = extract_runs(img, grey=False)
+        assert len(runs) == 1
+        assert runs.stop[0] - runs.start[0] == 3
+
+    def test_empty_image(self):
+        runs = extract_runs(np.zeros((4, 4), dtype=np.int32))
+        assert len(runs) == 0
+
+    def test_full_image(self):
+        runs = extract_runs(np.ones((3, 5), dtype=np.int32))
+        assert len(runs) == 3
+        assert (runs.stop - runs.start == 5).all()
+
+
+class TestLabelConventions:
+    def test_background_zero(self):
+        img = np.zeros((4, 4), dtype=np.int32)
+        img[1, 1] = 1
+        for fn in (bfs_label, run_label, shiloach_vishkin_image):
+            lab = fn(img)
+            assert lab[0, 0] == 0
+            assert lab[1, 1] == 1 * 4 + 1 + 1  # row-major index + 1
+
+    def test_label_is_seed_index(self):
+        img = np.array([[0, 1, 1], [0, 0, 1], [1, 0, 0]], dtype=np.int32)
+        lab = bfs_label(img, connectivity=4)
+        # component {(0,1),(0,2),(1,2)} seeded at flat index 1
+        assert lab[0, 1] == 2
+        assert lab[1, 2] == 2
+        # isolated (2,0) seeded at flat index 6
+        assert lab[2, 0] == 7
+
+    def test_offsets_shift_labels(self):
+        img = np.ones((2, 2), dtype=np.int32)
+        lab = run_label(img, label_stride=100, row_offset=3, col_offset=5)
+        assert lab[0, 0] == 1 + 3 * 100 + 5
+
+    def test_rectangular_images_supported(self):
+        img = np.ones((2, 6), dtype=np.int32)
+        for fn in (bfs_label, run_label, shiloach_vishkin_image):
+            assert fn(img)[0, 0] == 1
+
+    def test_invalid_connectivity(self):
+        img = np.ones((2, 2), dtype=np.int32)
+        for fn in (bfs_label, run_label, shiloach_vishkin_image):
+            with pytest.raises(ValidationError):
+                fn(img, connectivity=6)
+
+
+class TestEnginesAgainstOracle:
+    @pytest.mark.parametrize("engine", ["bfs", "runs", "sv"])
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    def test_binary_random(self, engine, connectivity, small_binary):
+        ours = sequential_components(small_binary, connectivity=connectivity, engine=engine)
+        oracle = oracle_binary_labels(small_binary, connectivity)
+        assert np.array_equal(ours, oracle)
+
+    @pytest.mark.parametrize("engine", ["bfs", "runs", "sv"])
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    def test_grey_random(self, engine, connectivity, small_grey):
+        ours = sequential_components(
+            small_grey, connectivity=connectivity, grey=True, engine=engine
+        )
+        oracle = oracle_grey_labels(small_grey, connectivity)
+        assert np.array_equal(ours, oracle)
+
+    def test_unknown_engine(self, small_binary):
+        with pytest.raises(ValidationError):
+            sequential_components(small_binary, engine="magic")
+
+    def test_diagonal_only_connectivity_difference(self):
+        img = np.eye(6, dtype=np.int32)
+        assert count_components(sequential_components(img, connectivity=8)) == 1
+        assert count_components(sequential_components(img, connectivity=4)) == 6
+
+
+class TestShiloachVishkinGraph:
+    def test_empty_graph(self):
+        assert np.array_equal(shiloach_vishkin(3, [], []), [0, 1, 2])
+
+    def test_matches_networkx(self, rng):
+        n = 60
+        m = 90
+        u = rng.integers(0, n, m)
+        v = rng.integers(0, n, m)
+        parent = shiloach_vishkin(n, u, v)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(zip(u.tolist(), v.tolist()))
+        for comp in nx.connected_components(g):
+            comp = sorted(comp)
+            assert all(parent[x] == comp[0] for x in comp)
+
+    def test_self_loops_harmless(self):
+        parent = shiloach_vishkin(3, [0, 1], [0, 1])
+        assert np.array_equal(parent, [0, 1, 2])
+
+    def test_endpoint_validation(self):
+        with pytest.raises(ValidationError):
+            shiloach_vishkin(3, [0], [3])
+        with pytest.raises(ValidationError):
+            shiloach_vishkin(3, [0, 1], [1])
+
+
+class TestSequentialHistogram:
+    def test_matches_loop_reference(self, small_grey):
+        fast = sequential_histogram(small_grey, 8)
+        slow = sequential_histogram_loop(small_grey, 8)
+        assert np.array_equal(fast, slow)
+
+    def test_sums_to_pixel_count(self, small_grey):
+        assert sequential_histogram(small_grey, 8).sum() == small_grey.size
+
+    def test_level_overflow_rejected(self):
+        img = np.full((2, 2), 9, dtype=np.int32)
+        with pytest.raises(ValidationError):
+            sequential_histogram(img, 8)
+        with pytest.raises(ValidationError):
+            sequential_histogram_loop(img, 8)
+
+    def test_k_power_of_two(self, small_grey):
+        with pytest.raises(ValidationError):
+            sequential_histogram(small_grey, 10)
+
+    def test_count_components_empty(self):
+        assert count_components(np.zeros((3, 3), dtype=np.int64)) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.int32, (12, 12), elements=st.integers(min_value=0, max_value=2)),
+    st.sampled_from([4, 8]),
+)
+def test_property_engines_identical_binary(img, connectivity):
+    """All three engines produce bit-identical binary labelings."""
+    a = bfs_label(img, connectivity=connectivity)
+    b = run_label(img, connectivity=connectivity)
+    c = shiloach_vishkin_image(img, connectivity=connectivity)
+    assert np.array_equal(a, b)
+    assert np.array_equal(a, c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.int32, (10, 10), elements=st.integers(min_value=0, max_value=3)),
+    st.sampled_from([4, 8]),
+)
+def test_property_engines_identical_grey(img, connectivity):
+    """All three engines produce bit-identical grey labelings."""
+    a = bfs_label(img, connectivity=connectivity, grey=True)
+    b = run_label(img, connectivity=connectivity, grey=True)
+    c = shiloach_vishkin_image(img, connectivity=connectivity, grey=True)
+    assert np.array_equal(a, b)
+    assert np.array_equal(a, c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.int32, (10, 10), elements=st.integers(min_value=0, max_value=1)))
+def test_property_labels_partition_foreground(img):
+    """Labels are constant on components and distinct across them."""
+    lab = run_label(img)
+    assert ((lab == 0) == (img == 0)).all()
+    # every label value equals 1 + min flat index of its support
+    for value in np.unique(lab[lab != 0]):
+        support = np.flatnonzero(lab.ravel() == value)
+        assert value == support.min() + 1

@@ -1,0 +1,261 @@
+"""Tests for Machine/Processor: phases, cost aggregation, transfers."""
+
+import numpy as np
+import pytest
+
+from repro.bdm import GlobalArray, Machine
+from repro.machines import CM5, IDEAL
+from repro.utils.errors import ConfigurationError, ValidationError
+
+
+class TestConstruction:
+    def test_power_of_two_procs(self):
+        with pytest.raises(ValidationError):
+            Machine(6)
+
+    def test_proc_identity(self):
+        m = Machine(8)
+        assert [proc.pid for proc in m.procs] == list(range(8))
+
+
+class TestPhases:
+    def test_phase_elapsed_is_max_over_procs(self):
+        m = Machine(4, CM5)
+        with m.phase("work"):
+            m.procs[0].charge_comp(1000)
+            m.procs[3].charge_comp(5000)
+        rep = m.report()
+        assert rep.phases[0].elapsed_s == pytest.approx(CM5.comp_time_s(5000))
+
+    def test_barrier_cost_added(self):
+        m = Machine(4, CM5)
+        with m.phase("a"):
+            pass
+        with m.phase("b"):
+            pass
+        assert m.report().elapsed_s == pytest.approx(2 * CM5.barrier_s)
+
+    def test_nested_phase_rejected(self):
+        m = Machine(2)
+        with pytest.raises(ConfigurationError):
+            with m.phase("outer"):
+                with m.phase("inner"):
+                    pass
+
+    def test_phase_deltas_independent(self):
+        m = Machine(2, CM5)
+        with m.phase("a"):
+            m.procs[0].charge_comp(100)
+        with m.phase("b"):
+            m.procs[0].charge_comp(300)
+        phases = m.report().phases
+        assert phases[1].comp_s == pytest.approx(CM5.comp_time_s(300))
+
+    def test_reset(self):
+        m = Machine(2, CM5)
+        with m.phase("a"):
+            m.procs[0].charge_comp(100)
+        m.reset()
+        assert m.report().elapsed_s == 0.0
+        assert m.procs[0].cost.ops == 0
+
+
+class TestPortModel:
+    def test_send_and_receive_overlap(self):
+        """A processor that reads X words and serves X words takes max, not sum."""
+        m = Machine(2, CM5)
+        arr = GlobalArray(m, 100)
+        with m.phase("exchange"):
+            with m.procs[0].prefetch_batch():
+                arr.read(m.procs[0], 1)
+            with m.procs[1].prefetch_batch():
+                arr.read(m.procs[1], 0)
+        ph = m.report().phases[0]
+        # Both processors read 100 words (latency + words) and served 100.
+        assert ph.elapsed_s == pytest.approx(CM5.latency_s + 100 * CM5.word_time_s())
+
+    def test_hub_serialization_visible(self):
+        """f clients pulling c words each from one hub take >= f*c word-times."""
+        m = Machine(8, CM5)
+        arr = GlobalArray(m, 100)
+        with m.phase("hub"):
+            for pid in range(1, 8):
+                arr.read(m.procs[pid], 0)
+        ph = m.report().phases[0]
+        assert ph.elapsed_s >= 7 * 100 * CM5.word_time_s() * (1 - 1e-12)
+
+    def test_serving_disabled(self):
+        m = Machine(8, CM5, charge_server=False)
+        arr = GlobalArray(m, 100)
+        with m.phase("hub"):
+            for pid in range(1, 8):
+                arr.read(m.procs[pid], 0)
+        ph = m.report().phases[0]
+        assert ph.elapsed_s == pytest.approx(CM5.latency_s + 100 * CM5.word_time_s())
+
+
+class TestTransfer:
+    def test_transfer_charges_both_sides(self):
+        m = Machine(2, CM5)
+        with m.phase("t"):
+            m.transfer(0, 1, 50)
+        assert m.procs[1].cost.comm_s == pytest.approx(CM5.latency_s + 50 * CM5.word_time_s())
+        assert m.procs[0].cost.serve_s == pytest.approx(50 * CM5.word_time_s())
+
+    def test_self_transfer_free(self):
+        m = Machine(2, CM5)
+        with m.phase("t"):
+            m.transfer(1, 1, 50)
+        assert m.procs[1].cost.comm_s == 0.0
+
+    def test_negative_words_rejected(self):
+        m = Machine(2, CM5)
+        with pytest.raises(ValidationError):
+            m.transfer(0, 1, -1)
+
+    def test_explicit_charge_comm(self):
+        m = Machine(2, CM5)
+        m.procs[0].charge_comm(10)
+        assert m.procs[0].cost.words_moved == 10
+        with pytest.raises(ValidationError):
+            m.procs[0].charge_comm(-1)
+
+
+class TestReport:
+    def test_breakdown_groups_by_name(self):
+        m = Machine(2, IDEAL)
+        for _ in range(3):
+            with m.phase("merge"):
+                m.procs[0].charge_comp(10)
+        with m.phase("final"):
+            m.procs[0].charge_comp(5)
+        bd = m.report().breakdown()
+        assert set(bd) == {"merge", "final"}
+
+    def test_time_in_prefix(self):
+        m = Machine(2, CM5)
+        with m.phase("cc:m1:fetch"):
+            m.procs[0].charge_comp(100)
+        with m.phase("cc:m1:solve"):
+            m.procs[0].charge_comp(200)
+        with m.phase("cc:final"):
+            m.procs[0].charge_comp(300)
+        rep = m.report()
+        assert rep.time_in("cc:m1") == pytest.approx(
+            CM5.comp_time_s(300) + 2 * CM5.barrier_s
+        )
+
+    def test_words_moved_totals(self):
+        m = Machine(2, IDEAL)
+        arr = GlobalArray(m, 10)
+        with m.phase("x"):
+            arr.read(m.procs[0], 1)
+        assert m.report().words_moved == 10
+
+    def test_elapsed_property_matches_report(self):
+        m = Machine(2, CM5)
+        with m.phase("a"):
+            m.procs[0].charge_comp(123)
+        assert m.elapsed_s == pytest.approx(m.report().elapsed_s)
+
+
+class TestChargeValidation:
+    def test_negative_comp_rejected(self):
+        m = Machine(2)
+        with pytest.raises(ValidationError):
+            m.procs[0].charge_comp(-1)
+
+    def test_nested_batches_one_latency(self):
+        m = Machine(2, CM5)
+        arr = GlobalArray(m, 4)
+        proc = m.procs[0]
+        with m.phase("x"):
+            with proc.prefetch_batch():
+                arr.read(proc, 1)
+                with proc.prefetch_batch():
+                    arr.read(proc, 1)
+        assert proc.cost.messages == 1
+
+
+class TestOverlap:
+    def test_overlap_takes_max(self):
+        from repro.bdm import GlobalArray
+
+        def run(overlap):
+            m = Machine(2, CM5, overlap=overlap)
+            arr = GlobalArray(m, 100)
+            with m.phase("x"):
+                proc = m.procs[0]
+                proc.charge_comp(1000)
+                with proc.prefetch_batch():
+                    arr.read(proc, 1)
+            return m.report().phases[0].elapsed_s
+
+        comp = CM5.comp_time_s(1000)
+        comm = CM5.latency_s + 100 * CM5.word_time_s()
+        assert run(False) == pytest.approx(comp + comm)
+        assert run(True) == pytest.approx(max(comp, comm))
+
+    def test_overlap_never_slower(self):
+        from repro.core.histogram import parallel_histogram
+        from repro.images import random_greyscale
+
+        img = random_greyscale(64, 32, seed=8)
+        t_overlap = parallel_histogram(img, 32, 16, CM5).elapsed_s
+        # parallel_histogram builds its own machine; compare via Machine
+        # directly instead: a mixed comp+comm phase.
+        m1 = Machine(4, CM5, overlap=False)
+        m2 = Machine(4, CM5, overlap=True)
+        from repro.bdm import GlobalArray
+
+        for m in (m1, m2):
+            arr = GlobalArray(m, 64)
+            with m.phase("mix"):
+                for proc in m.procs:
+                    proc.charge_comp(500)
+                    with proc.prefetch_batch():
+                        arr.read(proc, (proc.pid + 1) % 4)
+        assert m2.elapsed_s <= m1.elapsed_s
+        assert t_overlap > 0
+
+
+class TestChargeCopy:
+    def test_copy_free_by_default(self):
+        m = Machine(2, CM5)
+        m.procs[0].charge_copy(1000)
+        assert m.procs[0].cost.comp_s == 0.0
+
+    def test_copy_charged_with_rate(self):
+        params = CM5.with_(copy_ns=10.0)
+        m = Machine(2, params)
+        m.procs[0].charge_copy(1000)
+        assert m.procs[0].cost.comp_s == pytest.approx(10e-6)
+
+    def test_negative_rejected(self):
+        m = Machine(2, CM5)
+        with pytest.raises(ValidationError):
+            m.procs[0].charge_copy(-1)
+
+
+class TestReportSummary:
+    def test_summary_renders(self):
+        m = Machine(4, CM5)
+        arr = GlobalArray(m, 16)
+        with m.phase("alpha"):
+            for proc in m.procs:
+                proc.charge_comp(1000)
+        with m.phase("beta"):
+            arr.read(m.procs[0], 1)
+        text = m.report().summary()
+        assert "TMC CM-5" in text
+        assert "alpha" in text and "beta" in text
+        assert "words moved" in text
+
+    def test_summary_top_limits(self):
+        m = Machine(2, CM5)
+        for name in ("a", "b", "c"):
+            with m.phase(name):
+                m.procs[0].charge_comp(10)
+        text = m.report().summary(top=1)
+        # Only one phase row (plus two header lines).
+        assert len(text.splitlines()) == 3

@@ -1,0 +1,184 @@
+"""Tests for bond-constrained labeling (cluster Monte Carlo substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import sequential_components
+from repro.baselines.bond_label import (
+    bond_label,
+    bond_label_bfs,
+    swendsen_wang_bonds,
+)
+from repro.utils.errors import ValidationError
+
+
+def full_bonds(rows, cols, value=True):
+    return (
+        np.full((rows, cols - 1), value, dtype=bool),
+        np.full((rows - 1, cols), value, dtype=bool),
+    )
+
+
+class TestBondLabel:
+    def test_all_bonds_equals_4conn(self, rng):
+        img = (rng.random((16, 16)) < 0.6).astype(np.int32)
+        h, v = full_bonds(16, 16)
+        assert np.array_equal(
+            bond_label(img, h, v), sequential_components(img, connectivity=4)
+        )
+
+    def test_no_bonds_every_site_isolated(self, rng):
+        img = (rng.random((8, 8)) < 0.7).astype(np.int32)
+        h, v = full_bonds(8, 8, value=False)
+        lab = bond_label(img, h, v)
+        fg = lab[img != 0]
+        assert len(np.unique(fg)) == len(fg)  # all singletons
+
+    def test_background_never_joined(self):
+        img = np.array([[1, 0, 1]], dtype=np.int32)
+        h = np.ones((1, 2), dtype=bool)
+        v = np.zeros((0, 3), dtype=bool)
+        lab = bond_label(img, h, v)
+        assert lab[0, 0] != lab[0, 2]  # the 0 in between blocks the chain
+        assert lab[0, 1] == 0
+
+    def test_bonds_join_across_different_values(self):
+        """Bond presence, not value equality, decides connectivity."""
+        img = np.array([[3, 7]], dtype=np.int32)
+        h = np.ones((1, 1), dtype=bool)
+        v = np.zeros((0, 2), dtype=bool)
+        lab = bond_label(img, h, v)
+        assert lab[0, 0] == lab[0, 1]
+
+    def test_single_bond_chain(self):
+        img = np.ones((1, 5), dtype=np.int32)
+        h = np.array([[True, True, False, True]])
+        v = np.zeros((0, 5), dtype=bool)
+        lab = bond_label(img, h, v)
+        assert lab[0, 0] == lab[0, 1] == lab[0, 2]
+        assert lab[0, 3] == lab[0, 4]
+        assert lab[0, 0] != lab[0, 3]
+
+    def test_label_convention(self):
+        img = np.ones((2, 2), dtype=np.int32)
+        h, v = full_bonds(2, 2)
+        lab = bond_label(img, h, v)
+        assert (lab == 1).all()  # min flat index 0 -> label 1
+
+    def test_shape_validation(self):
+        img = np.ones((4, 4), dtype=np.int32)
+        with pytest.raises(ValidationError):
+            bond_label(img, np.ones((4, 4), bool), np.ones((3, 4), bool))
+        with pytest.raises(ValidationError):
+            bond_label(img, np.ones((4, 3), bool), np.ones((4, 4), bool))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bfs_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        img = (rng.random((12, 14)) < 0.8).astype(np.int32)
+        h = rng.random((12, 13)) < 0.5
+        v = rng.random((11, 14)) < 0.5
+        assert np.array_equal(bond_label(img, h, v), bond_label_bfs(img, h, v))
+
+
+class TestSwendsenWangBonds:
+    def test_opposite_spins_never_bond(self, rng):
+        spins = np.tile([1, 2], (8, 4)).astype(np.int32)  # alternating cols
+        h, v = swendsen_wang_bonds(spins, beta=100.0, rng=rng)
+        assert not h.any()  # all horizontal neighbors differ
+
+    def test_beta_zero_no_bonds(self, rng):
+        spins = np.ones((8, 8), dtype=np.int32)
+        h, v = swendsen_wang_bonds(spins, beta=0.0, rng=rng)
+        assert not h.any() and not v.any()
+
+    def test_beta_large_all_equal_bond(self, rng):
+        spins = np.ones((8, 8), dtype=np.int32)
+        h, v = swendsen_wang_bonds(spins, beta=50.0, rng=rng)
+        assert h.all() and v.all()
+
+    def test_negative_beta_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            swendsen_wang_bonds(np.ones((2, 2), dtype=np.int32), -1.0, rng)
+
+    def test_bond_fraction_matches_probability(self, rng):
+        spins = np.ones((64, 64), dtype=np.int32)
+        beta = 0.4
+        h, v = swendsen_wang_bonds(spins, beta, rng)
+        frac = (h.sum() + v.sum()) / (h.size + v.size)
+        expected = 1.0 - np.exp(-2 * beta)
+        assert abs(frac - expected) < 0.03
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_bond_label_matches_bfs(seed):
+    rng = np.random.default_rng(seed)
+    img = (rng.random((9, 9)) < 0.75).astype(np.int32)
+    h = rng.random((9, 8)) < 0.6
+    v = rng.random((8, 9)) < 0.6
+    assert np.array_equal(bond_label(img, h, v), bond_label_bfs(img, h, v))
+
+
+class TestWolffCluster:
+    def test_beta_zero_singleton(self, rng):
+        from repro.baselines.bond_label import wolff_cluster
+
+        spins = np.ones((8, 8), dtype=np.int32)
+        mask = wolff_cluster(spins, (3, 3), beta=0.0, rng=rng)
+        assert mask.sum() == 1
+        assert mask[3, 3]
+
+    def test_beta_large_fills_like_spin_component(self, rng):
+        from repro.baselines.bond_label import wolff_cluster
+
+        spins = np.ones((8, 8), dtype=np.int32)
+        spins[:, 4:] = 2
+        mask = wolff_cluster(spins, (0, 0), beta=50.0, rng=rng)
+        assert mask[:, :4].all()
+        assert not mask[:, 4:].any()
+
+    def test_never_absorbs_other_spin(self, rng):
+        from repro.baselines.bond_label import wolff_cluster
+
+        spins = np.ones((12, 12), dtype=np.int32)
+        spins[6:, :] = 2
+        for trial in range(5):
+            mask = wolff_cluster(spins, (2, 2), beta=0.7, rng=rng)
+            assert not mask[6:, :].any()
+
+    def test_seed_validation(self, rng):
+        from repro.baselines.bond_label import wolff_cluster
+        from repro.utils.errors import ValidationError
+
+        spins = np.ones((4, 4), dtype=np.int32)
+        with pytest.raises(ValidationError):
+            wolff_cluster(spins, (4, 0), beta=0.5, rng=rng)
+        with pytest.raises(ValidationError):
+            wolff_cluster(spins, (0, 0), beta=-1.0, rng=rng)
+
+    def test_cluster_connected(self, rng):
+        """Any Wolff cluster is 4-connected."""
+        from repro.baselines.bond_label import wolff_cluster
+        from repro.baselines import sequential_components, count_components
+
+        spins = rng.integers(1, 3, (16, 16)).astype(np.int32)
+        si, sj = 8, 8
+        mask = wolff_cluster(spins, (si, sj), beta=0.6, rng=rng)
+        lab = sequential_components(mask.astype(np.int32), connectivity=4)
+        assert count_components(lab) == 1
+
+    def test_intermediate_beta_statistics(self):
+        """Mean cluster size grows with beta."""
+        from repro.baselines.bond_label import wolff_cluster
+
+        spins = np.ones((24, 24), dtype=np.int32)
+        sizes = {}
+        for beta in (0.2, 0.8):
+            rng = np.random.default_rng(7)
+            sizes[beta] = np.mean(
+                [wolff_cluster(spins, (12, 12), beta, rng).sum() for _ in range(10)]
+            )
+        assert sizes[0.8] > sizes[0.2]

@@ -1,0 +1,216 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.images import darpa_like, write_pgm
+from repro.images.io import read_pnm
+
+
+def run_cli(capsys, *argv) -> str:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    return captured.out
+
+
+class TestMachines:
+    def test_lists_all(self, capsys):
+        out = run_cli(capsys, "machines")
+        for name in ("cm5", "sp1", "sp2", "cs2", "paragon"):
+            assert name in out
+
+
+class TestGenerate:
+    def test_pattern_pbm(self, capsys, tmp_path):
+        path = tmp_path / "img.pbm"
+        run_cli(capsys, "generate", "--pattern", "5", "--size", "64", str(path))
+        img = read_pnm(path)
+        assert img.shape == (64, 64)
+        assert set(np.unique(img)) <= {0, 1}
+
+    def test_darpa_pgm(self, capsys, tmp_path):
+        path = tmp_path / "scene.pgm"
+        run_cli(capsys, "generate", "--pattern", "0", "--size", "64", str(path))
+        img = read_pnm(path)
+        assert img.max() > 1
+
+
+class TestHistogram:
+    def test_on_pattern(self, capsys):
+        out = run_cli(
+            capsys, "histogram", "--pattern", "6", "--size", "64", "-k", "2", "-p", "4"
+        )
+        assert "simulated time" in out
+        assert "occupied levels: 2/2" in out
+
+    def test_on_file_with_equalize(self, capsys, tmp_path):
+        src = tmp_path / "in.pgm"
+        write_pgm(src, darpa_like(64, 32, seed=9))
+        eq = tmp_path / "eq.pgm"
+        out = run_cli(capsys, "histogram", str(src), "-k", "32", "-p", "4", "--equalize", str(eq))
+        assert "equalized image written" in out
+        assert read_pnm(eq).shape == (64, 64)
+
+    def test_missing_input_errors(self, capsys):
+        code = main(["histogram"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+
+class TestComponents:
+    def test_simulated(self, capsys):
+        out = run_cli(
+            capsys, "components", "--pattern", "8", "--size", "64", "-p", "16"
+        )
+        assert "4 components" in out
+
+    def test_runtime_backend(self, capsys):
+        out = run_cli(
+            capsys, "components", "--pattern", "6", "--size", "64", "--runtime"
+        )
+        assert "1 components" in out
+
+    def test_grey_with_output(self, capsys, tmp_path):
+        src = tmp_path / "g.pgm"
+        write_pgm(src, darpa_like(64, 16, seed=4))
+        dst = tmp_path / "labels.pgm"
+        out = run_cli(
+            capsys, "components", str(src), "--grey", "-p", "4", "-o", str(dst)
+        )
+        assert "label map written" in out
+        labels = read_pnm(dst)
+        assert labels.shape == (64, 64)
+
+    def test_ascii_rendering(self, capsys):
+        out = run_cli(
+            capsys, "components", "--pattern", "5", "--size", "64",
+            "-p", "4", "--ascii", "32",
+        )
+        assert "a" in out  # the cross rendered as component 'a'
+
+    def test_connectivity_flag(self, capsys):
+        # Diagonal-only pattern: 4-connectivity splits it apart.
+        out8 = run_cli(capsys, "components", "--pattern", "3", "--size", "64", "-p", "4")
+        out4 = run_cli(
+            capsys, "components", "--pattern", "3", "--size", "64", "-p", "4",
+            "--connectivity", "4",
+        )
+        n8 = int(out8.split(" components")[0].split()[-1])
+        n4 = int(out4.split(" components")[0].split()[-1])
+        assert n4 >= n8
+
+
+class TestReportFlag:
+    def test_components_report(self, capsys):
+        out = run_cli(
+            capsys, "components", "--pattern", "6", "--size", "64",
+            "-p", "4", "--report",
+        )
+        assert "simulated run on TMC CM-5" in out
+        assert "cc:label" in out
+
+    def test_histogram_report(self, capsys):
+        out = run_cli(
+            capsys, "histogram", "--pattern", "6", "--size", "64",
+            "-k", "2", "-p", "4", "--report",
+        )
+        assert "hist:tally" in out
+
+
+class TestVerifyCommand:
+    def test_roundtrip_ok(self, capsys, tmp_path):
+        from repro.analysis.regions import compact_labels
+        from repro.baselines import sequential_components
+        from repro.images import binary_test_image
+
+        img_path = tmp_path / "img.pbm"
+        run_cli(capsys, "generate", "--pattern", "8", "--size", "64", str(img_path))
+        lab_path = tmp_path / "labels.pgm"
+        run_cli(
+            capsys, "components", str(img_path), "-p", "4", "-o", str(lab_path)
+        )
+        out = run_cli(capsys, "verify", str(img_path), str(lab_path))
+        assert "OK" in out
+
+    def test_detects_corruption(self, capsys, tmp_path):
+        from repro.images import write_pgm
+        import numpy as np
+
+        img_path = tmp_path / "img.pbm"
+        run_cli(capsys, "generate", "--pattern", "8", "--size", "64", str(img_path))
+        lab_path = tmp_path / "labels.pgm"
+        run_cli(capsys, "components", str(img_path), "-p", "4", "-o", str(lab_path))
+        # Corrupt: merge two labels
+        from repro.images import read_pnm
+
+        labels = read_pnm(lab_path)
+        labels[labels == labels.max()] = 1
+        write_pgm(lab_path, labels)
+        code = main(["verify", str(img_path), str(lab_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED" in captured.out
+
+
+class TestCustomMachineSpec:
+    def test_json_machine(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "mymachine.json"
+        spec.write_text(json.dumps({
+            "name": "MyCluster",
+            "latency_s": 1e-6,
+            "bandwidth_Bps": 1e9,
+            "op_ns": 2.0,
+        }))
+        out = run_cli(
+            capsys, "components", "--pattern", "6", "--size", "64",
+            "-p", "4", "--machine", str(spec),
+        )
+        assert "MyCluster" in out
+
+    def test_bad_json_machine(self, capsys, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text("{not json")
+        code = main([
+            "components", "--pattern", "6", "--size", "64", "--machine", str(spec)
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error" in captured.err
+
+
+class TestReportCommand:
+    def test_assembles_from_artifacts(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1_histogramming.txt").write_text("TABLE ONE CONTENT")
+        (results / "custom_extra.txt").write_text("EXTRA CONTENT")
+        out = run_cli(capsys, "report", "--results", str(results))
+        assert "REPRODUCTION REPORT" in out
+        assert "TABLE ONE CONTENT" in out
+        assert "EXTRA CONTENT" in out
+        assert "not regenerated in this run" in out  # most sections absent
+
+    def test_writes_file(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig10_darpa.txt").write_text("DARPA")
+        dest = tmp_path / "report.txt"
+        run_cli(capsys, "report", "--results", str(results), "-o", str(dest))
+        assert "DARPA" in dest.read_text()
+
+    def test_missing_results_dir_errors(self, capsys, tmp_path):
+        code = main(["report", "--results", str(tmp_path / "nope")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error" in captured.err
+
+    def test_empty_results_dir_errors(self, capsys, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        code = main(["report", "--results", str(empty)])
+        assert code == 2

@@ -1,0 +1,160 @@
+"""Tests for the additional BDM collectives."""
+
+import numpy as np
+import pytest
+
+from repro.bdm import (
+    GlobalArray,
+    Machine,
+    allgather,
+    allreduce,
+    prefix_sum,
+    reduce_cost_model,
+    reduce_to,
+)
+from repro.machines import CM5, IDEAL
+from repro.utils.errors import ValidationError
+
+
+def machine_with(p, mat, params=IDEAL):
+    m = Machine(p, params)
+    A = GlobalArray(m, mat.shape[1])
+    A.scatter_rows(mat)
+    return m, A
+
+
+class TestReduce:
+    @pytest.mark.parametrize("op,npop", [("sum", np.sum), ("min", np.min), ("max", np.max)])
+    def test_ops(self, op, npop, rng):
+        mat = rng.integers(0, 100, (4, 8))
+        m, A = machine_with(4, mat)
+        out = reduce_to(m, A, op=op)
+        assert np.array_equal(out, npop(mat, axis=0))
+
+    def test_nonzero_root(self, rng):
+        mat = rng.integers(0, 50, (8, 16))
+        m, A = machine_with(8, mat)
+        out = reduce_to(m, A, root=5)
+        assert np.array_equal(out, mat.sum(axis=0))
+
+    def test_unknown_op(self, rng):
+        m, A = machine_with(4, rng.integers(0, 5, (4, 8)))
+        with pytest.raises(ValidationError):
+            reduce_to(m, A, op="mean")
+
+    def test_divisibility(self):
+        m = Machine(4, IDEAL)
+        A = GlobalArray(m, 6)
+        with pytest.raises(ValidationError):
+            reduce_to(m, A)
+
+    def test_cost_within_model(self):
+        p, q = 8, 64
+        m = Machine(p, CM5)
+        A = GlobalArray(m, q)
+        reduce_to(m, A)
+        model = reduce_cost_model(CM5, q, p)
+        rep = m.report()
+        assert rep.comm_s == pytest.approx(model["comm_s"], rel=0.05)
+
+    def test_cost_model_divisibility(self):
+        with pytest.raises(ValidationError):
+            reduce_cost_model(CM5, 6, 4)
+
+
+class TestAllreduce:
+    def test_every_processor_gets_result(self, rng):
+        mat = rng.integers(0, 100, (4, 12))
+        m, A = machine_with(4, mat)
+        out = allreduce(m, A)
+        for pid in range(4):
+            assert np.array_equal(out.local(pid), mat.sum(axis=0))
+
+    def test_max(self, rng):
+        mat = rng.integers(0, 100, (8, 8))
+        m, A = machine_with(8, mat)
+        out = allreduce(m, A, op="max")
+        assert np.array_equal(out.local(3), mat.max(axis=0))
+
+
+class TestAllgather:
+    def test_concatenation_everywhere(self, rng):
+        mat = rng.integers(0, 9, (4, 3))
+        m, A = machine_with(4, mat)
+        out = allgather(m, A)
+        for pid in range(4):
+            assert np.array_equal(out.local(pid), mat.ravel())
+
+    def test_unequal_blocks(self):
+        m = Machine(4, IDEAL)
+        from repro.bdm import distribute_sequence
+
+        A = distribute_sequence(m, [[1, 2], [], [3], [4, 5, 6]])
+        out = allgather(m, A)
+        for pid in range(4):
+            assert np.array_equal(out.local(pid), [1, 2, 3, 4, 5, 6])
+
+
+class TestPrefixSum:
+    @pytest.mark.parametrize("p", [1, 2, 8, 16])
+    def test_exclusive_scan(self, p, rng):
+        values = rng.integers(0, 100, p)
+        m = Machine(p, CM5)
+        out = prefix_sum(m, values)
+        expected = np.concatenate([[0], np.cumsum(values)[:-1]])
+        assert np.array_equal(out, expected)
+
+    def test_log_p_rounds(self):
+        p = 16
+        m = Machine(p, CM5)
+        prefix_sum(m, np.ones(p, dtype=np.int64))
+        read_phases = [ph for ph in m.report().phases if "round" in ph.name]
+        assert len(read_phases) == 4  # log2(16)
+
+    def test_shape_validation(self):
+        m = Machine(4, IDEAL)
+        with pytest.raises(ValidationError):
+            prefix_sum(m, [1, 2, 3])
+
+
+class TestScatter:
+    def test_slices_delivered(self, rng):
+        from repro.bdm import scatter_from
+
+        values = rng.integers(0, 100, 16)
+        m = Machine(4, IDEAL)
+        out = scatter_from(m, values)
+        for pid in range(4):
+            assert np.array_equal(out.local(pid), values[pid * 4 : (pid + 1) * 4])
+
+    def test_nonzero_root(self, rng):
+        from repro.bdm import scatter_from
+
+        values = rng.integers(0, 9, 8)
+        m = Machine(4, IDEAL)
+        out = scatter_from(m, values, root=2)
+        assert np.array_equal(out.local(3), values[6:8])
+
+    def test_divisibility(self):
+        from repro.bdm import scatter_from
+
+        m = Machine(4, IDEAL)
+        with pytest.raises(ValidationError):
+            scatter_from(m, np.arange(6))
+
+    def test_root_serves_all_slices(self):
+        from repro.bdm import scatter_from
+
+        m = Machine(4, CM5)
+        scatter_from(m, np.arange(16))
+        # root serves 3 remote slices of 4 words
+        assert m.procs[0].cost.words_served == 12
+
+    def test_inverse_of_gather(self, rng):
+        from repro.bdm import scatter_from
+        from repro.bdm.transpose import gather_to
+
+        values = rng.integers(0, 50, 32)
+        m = Machine(8, IDEAL)
+        out = scatter_from(m, values)
+        assert np.array_equal(gather_to(m, out, 0), values)

@@ -1,0 +1,89 @@
+"""Property-based tests: the parallel CC algorithm as a whole.
+
+The central invariant -- for ANY image, processor count, connectivity
+and option set, the parallel algorithm's output is bit-identical to the
+sequential labeling -- is exactly the kind of statement hypothesis is
+built for.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import sequential_components
+from repro.core.connected_components import parallel_components
+from repro.machines import IDEAL
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.int32, (16, 16), elements=st.integers(min_value=0, max_value=1)),
+    st.sampled_from([1, 2, 4, 8, 16]),
+    st.sampled_from([4, 8]),
+)
+def test_binary_parallel_equals_sequential(img, p, connectivity):
+    res = parallel_components(img, p, IDEAL, connectivity=connectivity)
+    assert np.array_equal(
+        res.labels, sequential_components(img, connectivity=connectivity)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.int32, (16, 16), elements=st.integers(min_value=0, max_value=3)),
+    st.sampled_from([2, 4, 16]),
+    st.sampled_from([4, 8]),
+)
+def test_grey_parallel_equals_sequential(img, p, connectivity):
+    res = parallel_components(img, p, IDEAL, grey=True, connectivity=connectivity)
+    assert np.array_equal(
+        res.labels,
+        sequential_components(img, grey=True, connectivity=connectivity),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.int32, (16, 16), elements=st.integers(min_value=0, max_value=1)),
+    st.booleans(),
+    st.sampled_from(["direct", "transpose"]),
+    st.booleans(),
+)
+def test_option_combinations_equal(img, shadow, dist, limited):
+    base = parallel_components(img, 8, IDEAL)
+    res = parallel_components(
+        img, 8, IDEAL,
+        shadow_manager=shadow, distribution=dist, limited_updating=limited,
+    )
+    assert np.array_equal(res.labels, base.labels)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.int32, (16, 16), elements=st.integers(min_value=0, max_value=1)))
+def test_labels_are_component_minima(img):
+    """Every label equals 1 + the min flat index of its support, and the
+    support of each label is exactly one connected component."""
+    res = parallel_components(img, 4, IDEAL)
+    lab = res.labels
+    assert ((lab == 0) == (img == 0)).all()
+    for value in np.unique(lab[lab != 0]):
+        support = np.flatnonzero(lab.ravel() == value)
+        assert value == support.min() + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    arrays(np.int32, (16, 16), elements=st.integers(min_value=0, max_value=2)),
+    st.sampled_from([2, 4, 8]),
+)
+def test_permutation_invariance_of_component_structure(img, p):
+    """Relabeling grey levels by a permutation (fixing 0) must not change
+    the component partition for grey CC."""
+    res1 = parallel_components(img, p, IDEAL, grey=True)
+    # swap levels 1 <-> 2
+    swapped = img.copy()
+    swapped[img == 1] = 2
+    swapped[img == 2] = 1
+    res2 = parallel_components(swapped, p, IDEAL, grey=True)
+    assert np.array_equal(res1.labels, res2.labels)  # labels are positional

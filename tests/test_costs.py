@@ -1,0 +1,110 @@
+"""Direct tests for the cost-accounting data structures."""
+
+import numpy as np
+import pytest
+
+from repro.bdm.cost import CostCounter, MachineReport, PhaseRecord
+from repro.core.costs import CostParams, DEFAULT_COSTS
+
+
+class TestCostCounter:
+    def test_snapshot_is_independent(self):
+        c = CostCounter(comm_s=1.0, comp_s=2.0)
+        snap = c.snapshot()
+        c.comm_s = 9.0
+        assert snap.comm_s == 1.0
+
+    def test_minus(self):
+        a = CostCounter(comm_s=3.0, comp_s=5.0, words_moved=10, ops=100)
+        b = CostCounter(comm_s=1.0, comp_s=2.0, words_moved=4, ops=40)
+        d = a.minus(b)
+        assert d.comm_s == 2.0
+        assert d.comp_s == 3.0
+        assert d.words_moved == 6
+        assert d.ops == 60
+
+    def test_port_is_max_of_send_recv(self):
+        c = CostCounter(comm_s=2.0, serve_s=5.0)
+        assert c.port_s == 5.0
+        assert c.total_s == 5.0  # comp 0
+
+    def test_total_adds_comp(self):
+        c = CostCounter(comm_s=2.0, serve_s=1.0, comp_s=3.0)
+        assert c.total_s == 5.0
+
+
+class TestMachineReport:
+    def _report(self):
+        return MachineReport(
+            p=4,
+            machine_name="test",
+            phases=[
+                PhaseRecord("a", elapsed_s=1.0, comm_s=0.2, comp_s=0.8, words_moved=10, barrier_s=0.1),
+                PhaseRecord("a", elapsed_s=2.0, comm_s=0.5, comp_s=1.5, words_moved=20, barrier_s=0.1),
+                PhaseRecord("b", elapsed_s=3.0, comm_s=1.0, comp_s=2.0, words_moved=30, barrier_s=0.1),
+            ],
+        )
+
+    def test_elapsed_includes_barriers(self):
+        assert self._report().elapsed_s == pytest.approx(6.3)
+
+    def test_component_sums(self):
+        rep = self._report()
+        assert rep.comm_s == pytest.approx(1.7)
+        assert rep.comp_s == pytest.approx(4.3)
+        assert rep.barrier_total_s == pytest.approx(0.3)
+        assert rep.words_moved == 60
+
+    def test_phases_matching_and_time_in(self):
+        rep = self._report()
+        assert len(rep.phases_matching("a")) == 2
+        assert rep.time_in("a") == pytest.approx(3.2)
+
+    def test_breakdown_merges_same_names(self):
+        bd = self._report().breakdown()
+        assert bd["a"] == pytest.approx(3.2)
+        assert bd["b"] == pytest.approx(3.1)
+
+    def test_summary_mentions_everything(self):
+        text = self._report().summary()
+        assert "test" in text and "a" in text and "b" in text
+        assert "60 words moved" in text
+
+
+class TestCostParams:
+    def test_defaults_positive(self):
+        for name, value in DEFAULT_COSTS.__dict__.items():
+            assert value > 0, name
+
+    def test_with_override(self):
+        custom = DEFAULT_COSTS.with_(label_per_pixel_binary=99.0)
+        assert custom.label_per_pixel_binary == 99.0
+        assert DEFAULT_COSTS.label_per_pixel_binary == 60.0
+
+    def test_label_per_pixel_dispatch(self):
+        assert DEFAULT_COSTS.label_per_pixel(False) == DEFAULT_COSTS.label_per_pixel_binary
+        assert DEFAULT_COSTS.label_per_pixel(True) == DEFAULT_COSTS.label_per_pixel_grey
+
+    def test_binary_search_ops(self):
+        assert DEFAULT_COSTS.binary_search_ops(0, 100) == 0.0
+        assert DEFAULT_COSTS.binary_search_ops(10, 0) == 0.0
+        ops_small = DEFAULT_COSTS.binary_search_ops(10, 7)
+        ops_large = DEFAULT_COSTS.binary_search_ops(10, 1000)
+        assert ops_large > ops_small > 0
+
+    def test_search_ops_log_scaling(self):
+        # log2(1023+1) = 10 steps
+        ops = DEFAULT_COSTS.binary_search_ops(1, 1023)
+        assert ops == pytest.approx(DEFAULT_COSTS.update_search_per_step * 10)
+
+    def test_custom_costs_flow_into_simulation(self):
+        from repro.core.histogram import parallel_histogram
+        from repro.images import random_greyscale
+        from repro.machines import CM5
+
+        img = random_greyscale(64, 16, seed=1)
+        cheap = parallel_histogram(img, 16, 4, CM5).elapsed_s
+        pricey = parallel_histogram(
+            img, 16, 4, CM5, costs=CostParams(hist_tally_per_pixel=20.0)
+        ).elapsed_s
+        assert pricey > cheap * 3

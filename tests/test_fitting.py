@@ -1,0 +1,112 @@
+"""Tests for the complexity-model fitting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import ComplexityFit, fit_complexity_model, fit_power_law
+from repro.core.connected_components import parallel_components
+from repro.core.histogram import parallel_histogram
+from repro.images import binary_test_image, random_greyscale
+from repro.machines import CM5
+from repro.utils.errors import ValidationError
+
+
+def synth_samples(a, b, c, d, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    ns, ps, ts = [], [], []
+    for n in (64, 128, 256, 512):
+        for p in (4, 16, 64):
+            t = a * n * n / p + b * n / np.sqrt(p) + c * np.log2(p) + d
+            ts.append(t * (1 + noise * rng.standard_normal()))
+            ns.append(n)
+            ps.append(p)
+    return np.array(ns), np.array(ps), np.array(ts)
+
+
+class TestComplexityFit:
+    def test_recovers_exact_coefficients(self):
+        ns, ps, ts = synth_samples(2e-6, 3e-5, 1e-4, 5e-4)
+        fit = fit_complexity_model(ns, ps, ts)
+        assert fit.r_squared > 0.9999
+        assert fit.coefficients["n2_over_p"] == pytest.approx(2e-6, rel=1e-6)
+        assert fit.coefficients["log_p"] == pytest.approx(1e-4, rel=1e-3)
+
+    def test_robust_to_noise(self):
+        ns, ps, ts = synth_samples(2e-6, 3e-5, 1e-4, 5e-4, noise=0.02)
+        fit = fit_complexity_model(ns, ps, ts)
+        assert fit.r_squared > 0.99
+        assert fit.coefficients["n2_over_p"] == pytest.approx(2e-6, rel=0.1)
+
+    def test_dominant_term_detection(self):
+        ns, ps, ts = synth_samples(1e-5, 0, 0, 0)
+        fit = fit_complexity_model(ns, ps, ts)
+        assert fit.dominant_term == "n2_over_p"
+
+    def test_predict_roundtrip(self):
+        ns, ps, ts = synth_samples(2e-6, 3e-5, 1e-4, 5e-4)
+        fit = fit_complexity_model(ns, ps, ts)
+        assert fit.predict(512, 64) == pytest.approx(ts[-1], rel=1e-3)
+
+    def test_nonnegative_coefficients(self):
+        ns, ps, ts = synth_samples(1e-6, 0.0, 0.0, 1e-3, noise=0.05, seed=3)
+        fit = fit_complexity_model(ns, ps, ts)
+        assert all(v >= 0 for v in fit.coefficients.values())
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fit_complexity_model([1, 2], [1, 2], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            fit_complexity_model([1] * 5, [1] * 4, [1.0] * 5)
+
+
+class TestPowerLaw:
+    def test_exact(self):
+        xs = np.array([32, 64, 128, 256], dtype=float)
+        ys = 3.0 * xs ** 2.0
+        c, alpha, r2 = fit_power_law(xs, ys)
+        assert c == pytest.approx(3.0, rel=1e-6)
+        assert alpha == pytest.approx(2.0, abs=1e-9)
+        assert r2 == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fit_power_law([1.0], [2.0])
+        with pytest.raises(ValidationError):
+            fit_power_law([1.0, -1.0], [2.0, 2.0])
+
+
+class TestFitsSimulatedData:
+    def test_histogram_fits_structural_model(self):
+        """The simulator's own output obeys the structural model."""
+        ns, ps, ts = [], [], []
+        for n in (64, 128, 256):
+            for p in (4, 16, 64):
+                img = random_greyscale(n, 32, seed=n + p)
+                ts.append(parallel_histogram(img, 32, p, CM5).elapsed_s)
+                ns.append(n)
+                ps.append(p)
+        fit = fit_complexity_model(ns, ps, ts)
+        assert fit.r_squared > 0.99
+        assert fit.dominant_term == "n2_over_p"
+
+    def test_components_fits_structural_model(self):
+        ns, ps, ts = [], [], []
+        for n in (64, 128, 256):
+            for p in (4, 16, 64):
+                img = binary_test_image(6, n)
+                ts.append(parallel_components(img, p, CM5).elapsed_s)
+                ns.append(n)
+                ps.append(p)
+        fit = fit_complexity_model(ns, ps, ts)
+        assert fit.r_squared > 0.98
+        assert fit.dominant_term == "n2_over_p"
+
+    def test_cc_scaling_exponent_near_two(self):
+        ns = (128, 256, 512)
+        ts = [
+            parallel_components(binary_test_image(6, n), 16, CM5).elapsed_s
+            for n in ns
+        ]
+        _, alpha, r2 = fit_power_law(np.array(ns, float), np.array(ts))
+        assert 1.7 < alpha < 2.2
+        assert r2 > 0.99

@@ -1,0 +1,118 @@
+"""Tests for the parallel histogramming algorithm (Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.complexity import predict_histogram
+from repro.baselines import sequential_histogram
+from repro.core.histogram import parallel_histogram
+from repro.images import darpa_like, grey_ramp, random_greyscale
+from repro.machines import CM5, IDEAL, SP2
+from repro.utils.errors import ValidationError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [2, 16, 64, 256])
+    @pytest.mark.parametrize("p", [1, 4, 16])
+    def test_matches_sequential(self, k, p):
+        img = random_greyscale(32, k, seed=k * 31 + p)
+        res = parallel_histogram(img, k, p, IDEAL)
+        assert np.array_equal(res.histogram, sequential_histogram(img, k))
+
+    def test_k_less_than_p(self):
+        """k < p exercises the truncated transpose path."""
+        img = random_greyscale(64, 8, seed=1)
+        res = parallel_histogram(img, 8, 64, IDEAL)
+        assert np.array_equal(res.histogram, sequential_histogram(img, 8))
+
+    def test_k_equals_p(self):
+        img = random_greyscale(32, 16, seed=2)
+        res = parallel_histogram(img, 16, 16, IDEAL)
+        assert np.array_equal(res.histogram, sequential_histogram(img, 16))
+
+    def test_sum_is_pixel_count(self):
+        """The paper's correctness criterion: sum H[i] == n^2."""
+        img = darpa_like(64, 32, seed=3)
+        res = parallel_histogram(img, 32, 4, IDEAL)
+        assert res.histogram.sum() == 64 * 64
+
+    def test_area_fractions_for_regular_pattern(self):
+        """H[i]/n^2 equals the area share of level i for the ramp image."""
+        n, k = 64, 16
+        res = parallel_histogram(grey_ramp(n, k), k, 16, IDEAL)
+        assert (res.histogram == n * n // k).all()
+
+    def test_rejects_overflowing_levels(self):
+        img = np.full((8, 8), 4, dtype=np.int32)
+        with pytest.raises(ValidationError):
+            parallel_histogram(img, 4, 4, IDEAL)
+
+    def test_rejects_non_power_k(self):
+        img = np.zeros((8, 8), dtype=np.int32)
+        with pytest.raises(ValidationError):
+            parallel_histogram(img, 3, 4, IDEAL)
+
+
+class TestCostModel:
+    def test_phase_names(self):
+        img = random_greyscale(32, 16, seed=0)
+        res = parallel_histogram(img, 16, 4, CM5)
+        names = [ph.name for ph in res.report.phases]
+        assert names == ["hist:tally", "hist:transpose", "hist:reduce", "hist:collect"]
+
+    def test_comm_independent_of_image_size(self):
+        """Equation (3): for fixed p, k the communication volume does not
+        depend on n -- the paper's central scalability claim."""
+        k, p = 64, 16
+        comms = []
+        for n in (32, 64, 128):
+            res = parallel_histogram(random_greyscale(n, k, seed=n), k, p, CM5)
+            comms.append(res.report.comm_s)
+        assert comms[0] == pytest.approx(comms[1])
+        assert comms[1] == pytest.approx(comms[2])
+
+    def test_comp_scales_quadratically(self):
+        """Fixed p: doubling n quadruples the tally work (Figure 3)."""
+        k, p = 32, 16
+        t128 = parallel_histogram(random_greyscale(128, k, seed=1), k, p, CM5)
+        t256 = parallel_histogram(random_greyscale(256, k, seed=1), k, p, CM5)
+        ratio = t256.report.comp_s / t128.report.comp_s
+        assert 3.3 < ratio < 4.5  # -> 4 as the O(k) terms wash out
+
+    def test_doubling_p_roughly_halves_time_large_n(self):
+        """'when the number of processors double, the running time
+        approximately halves' (Section 4.1)."""
+        k = 32
+        img = random_greyscale(256, k, seed=2)
+        t16 = parallel_histogram(img, k, 16, CM5).elapsed_s
+        t32 = parallel_histogram(img, k, 32, CM5).elapsed_s
+        assert 1.7 < t16 / t32 < 2.3
+
+    def test_within_model_prediction(self):
+        """Simulated total within 2x of the closed-form eq. (3) bound."""
+        k, p, n = 256, 16, 128
+        img = random_greyscale(n, k, seed=5)
+        res = parallel_histogram(img, k, p, SP2)
+        pred = predict_histogram(SP2, n, k, p)
+        assert res.report.comm_s <= pred["comm_s"] * 1.5 + 1e-9
+        assert res.report.comp_s == pytest.approx(pred["comp_s"], rel=0.5)
+
+    def test_flagship_calibration_cm5(self):
+        """CM-5, p=16, 512x512, k=256: the paper reports 12.0 ms."""
+        img = darpa_like(512, 256)
+        res = parallel_histogram(img, 256, 16, CM5)
+        assert 8e-3 < res.elapsed_s < 16e-3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from([2, 4, 8, 16]),
+    st.sampled_from([1, 2, 4, 16]),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_property_parallel_equals_sequential(k, p, seed):
+    img = random_greyscale(16, k, seed=seed)
+    res = parallel_histogram(img, k, p, IDEAL)
+    assert np.array_equal(res.histogram, sequential_histogram(img, k))

@@ -1,0 +1,151 @@
+"""Tests for tile hooks (Procedure 2) and the final interior update."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import run_label
+from repro.core.change_array import ChangeArray, apply_changes
+from repro.core.hooks import TileHooks, apply_hooks, apply_hooks_bfs, create_tile_hooks, hook_ops
+from repro.core.tiles import perimeter_indices
+from repro.utils.errors import ValidationError
+
+
+def labeled_tile(img: np.ndarray) -> np.ndarray:
+    return run_label(img, label_stride=1000)
+
+
+class TestCreate:
+    def test_empty_tile(self):
+        hooks = create_tile_hooks(np.zeros((4, 4), dtype=np.int64))
+        assert len(hooks) == 0
+
+    def test_one_hook_per_border_component(self):
+        img = np.array(
+            [
+                [1, 0, 1],
+                [0, 0, 0],
+                [1, 0, 0],
+            ],
+            dtype=np.int32,
+        )
+        hooks = create_tile_hooks(labeled_tile(img))
+        assert len(hooks) == 3
+
+    def test_interior_component_has_no_hook(self):
+        img = np.zeros((5, 5), dtype=np.int32)
+        img[2, 2] = 1  # strictly interior
+        hooks = create_tile_hooks(labeled_tile(img))
+        assert len(hooks) == 0
+
+    def test_labels_sorted_strictly(self):
+        rng = np.random.default_rng(0)
+        img = (rng.random((8, 8)) < 0.5).astype(np.int32)
+        hooks = create_tile_hooks(labeled_tile(img))
+        assert (np.diff(hooks.labels) > 0).all()
+
+    def test_offsets_point_to_border_pixels_with_label(self):
+        rng = np.random.default_rng(1)
+        img = (rng.random((6, 10)) < 0.5).astype(np.int32)
+        lab = labeled_tile(img)
+        hooks = create_tile_hooks(lab)
+        border = set(perimeter_indices(6, 10).tolist())
+        flat = lab.ravel()
+        for label, off in zip(hooks.labels, hooks.offsets):
+            assert off in border
+            assert flat[off] == label
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValidationError):
+            create_tile_hooks(np.zeros(5, dtype=np.int64))
+
+    def test_hook_ops_perimeter_sizes(self):
+        assert hook_ops(5, 7) == 2 * (5 + 7) - 4
+        assert hook_ops(1, 7) == 7
+        assert hook_ops(7, 1) == 7
+        assert hook_ops(0, 3) == 0
+
+
+class TestApply:
+    def test_no_changes_no_op(self):
+        img = np.array([[1, 1], [0, 1]], dtype=np.int32)
+        lab = labeled_tile(img)
+        hooks = create_tile_hooks(lab)
+        assert np.array_equal(apply_hooks(lab, hooks), lab)
+
+    def test_changed_hook_renames_whole_component(self):
+        img = np.array(
+            [
+                [1, 1, 1],
+                [0, 1, 0],
+                [0, 1, 0],
+            ],
+            dtype=np.int32,
+        )
+        lab = labeled_tile(img)
+        hooks = create_tile_hooks(lab)
+        # Simulate a merge renaming the border pixels to a global label.
+        merged = lab.copy()
+        border = perimeter_indices(3, 3)
+        flat = merged.ravel()
+        changes = ChangeArray(np.array([1]), np.array([99999]))
+        flat[border] = apply_changes(flat[border], changes)
+        out = apply_hooks(merged, hooks)
+        assert (out[img != 0] == 99999).all()
+        assert (out[img == 0] == 0).all()
+
+    def test_only_matching_components_renamed(self):
+        img = np.array(
+            [
+                [1, 0, 1],
+                [1, 0, 1],
+            ],
+            dtype=np.int32,
+        )
+        lab = labeled_tile(img)
+        hooks = create_tile_hooks(lab)
+        merged = lab.copy()
+        left_label = lab[0, 0]
+        merged[lab == left_label] = 777  # pretend the border update ran
+        out = apply_hooks(merged, hooks)
+        assert (out[:, 0] == 777).all()
+        assert (out[:, 2] == lab[0, 2]).all()
+
+    def test_empty_hooks(self):
+        lab = np.zeros((3, 3), dtype=np.int64)
+        out = apply_hooks(lab, TileHooks(np.empty(0, np.int64), np.empty(0, np.int64)))
+        assert np.array_equal(out, lab)
+
+
+class TestBfsReferenceEquivalence:
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    def test_mapping_equals_bfs(self, connectivity, rng):
+        """The vectorized mapping update equals the paper's BFS relabel."""
+        for trial in range(10):
+            img = (rng.random((8, 8)) < 0.5).astype(np.int32)
+            lab = run_label(img, connectivity=connectivity, label_stride=1000)
+            hooks = create_tile_hooks(lab)
+            if len(hooks) == 0:
+                continue
+            # Rename a random subset of hooked components on the border,
+            # as a merge iteration would.
+            pick = hooks.labels[:: max(1, len(hooks) // 2)]
+            changes = ChangeArray(np.sort(pick), np.sort(pick) + 10_000_000)
+            merged = lab.copy()
+            border = perimeter_indices(*lab.shape)
+            flat = merged.ravel()
+            flat[border] = apply_changes(flat[border], changes)
+            fast = apply_hooks(merged, hooks)
+            slow = apply_hooks_bfs(merged, hooks, connectivity=connectivity)
+            assert np.array_equal(fast, slow)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.int32, (7, 7), elements=st.integers(min_value=0, max_value=1)))
+def test_property_hooks_cover_exactly_border_components(img):
+    lab = run_label(img, label_stride=100)
+    hooks = create_tile_hooks(lab)
+    border_labels = set(lab.ravel()[perimeter_indices(7, 7)].tolist()) - {0}
+    assert set(hooks.labels.tolist()) == border_labels

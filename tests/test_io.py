@@ -1,0 +1,88 @@
+"""Tests for PNM (PBM/PGM) image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.images import binary_test_image, darpa_like
+from repro.images.io import read_pnm, write_pbm, write_pgm
+from repro.utils.errors import ValidationError
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_pgm(self, tmp_path, binary):
+        img = darpa_like(32, 16, seed=1)
+        path = tmp_path / "img.pgm"
+        write_pgm(path, img, binary=binary)
+        assert np.array_equal(read_pnm(path), img)
+
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_pbm(self, tmp_path, binary):
+        img = binary_test_image(9, 33)  # odd width exercises bit packing
+        path = tmp_path / "img.pbm"
+        write_pbm(path, img, binary=binary)
+        assert np.array_equal(read_pnm(path), img)
+
+    def test_16bit_pgm(self, tmp_path):
+        img = (np.arange(64).reshape(8, 8) * 500).astype(np.int32)
+        path = tmp_path / "wide.pgm"
+        write_pgm(path, img)
+        assert np.array_equal(read_pnm(path), img)
+
+    def test_rectangular(self, tmp_path):
+        img = np.arange(12, dtype=np.int32).reshape(3, 4)
+        path = tmp_path / "rect.pgm"
+        write_pgm(path, img, binary=False)
+        got = read_pnm(path)
+        assert got.shape == (3, 4)
+        assert np.array_equal(got, img)
+
+
+class TestParsing:
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_text("P2\n# a comment\n2 2 # trailing\n255\n1 2\n3 4\n")
+        assert np.array_equal(read_pnm(path), [[1, 2], [3, 4]])
+
+    def test_p1_digits_run_together(self, tmp_path):
+        path = tmp_path / "d.pbm"
+        path.write_text("P1\n4 2\n0110\n1001\n")
+        assert np.array_equal(read_pnm(path), [[0, 1, 1, 0], [1, 0, 0, 1]])
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+        with pytest.raises(ValidationError):
+            read_pnm(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "t.pgm"
+        path.write_bytes(b"P2\n4")
+        with pytest.raises(ValidationError):
+            read_pnm(path)
+
+    def test_truncated_pixels(self, tmp_path):
+        path = tmp_path / "t2.pgm"
+        path.write_text("P2\n3 3\n255\n1 2 3\n")
+        with pytest.raises(ValidationError):
+            read_pnm(path)
+
+    def test_bad_dimensions(self, tmp_path):
+        path = tmp_path / "z.pgm"
+        path.write_text("P2\n0 3\n255\n")
+        with pytest.raises(ValidationError):
+            read_pnm(path)
+
+
+class TestWriterValidation:
+    def test_pbm_rejects_grey(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_pbm(tmp_path / "x.pbm", np.full((2, 2), 5, dtype=np.int32))
+
+    def test_pgm_rejects_too_deep(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_pgm(tmp_path / "x.pgm", np.full((2, 2), 70000, dtype=np.int64))
+
+    def test_pgm_rejects_negative(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_pgm(tmp_path / "x.pgm", np.full((2, 2), -1, dtype=np.int32))

@@ -1,0 +1,140 @@
+"""Tests for the machine parameter sets and unit conversions."""
+
+import pytest
+
+from repro.machines import (
+    CM5,
+    CS2,
+    IDEAL,
+    MACHINES,
+    PARAGON,
+    SP1,
+    SP2,
+    MachineParams,
+    get_machine,
+)
+from repro.machines.params import WORD_BYTES
+from repro.utils.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_five_platforms_present(self):
+        for key in ("cm5", "sp1", "sp2", "cs2", "paragon"):
+            assert key in MACHINES
+
+    def test_get_machine_normalizes_names(self):
+        assert get_machine("CM-5") is CM5
+        assert get_machine(" sp2 ") is SP2
+        assert get_machine("Paragon") is PARAGON
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_machine("cray")
+
+
+class TestBandwidths:
+    def test_attained_bandwidth_ordering(self):
+        # Paper Section 2.2: Paragon > SP-2 > CS-2 > CM-5 per processor.
+        assert PARAGON.bandwidth_Bps > SP2.bandwidth_Bps > CS2.bandwidth_Bps > CM5.bandwidth_Bps
+
+    def test_attained_below_peak(self):
+        for m in (CM5, SP1, SP2, CS2, PARAGON):
+            assert m.bandwidth_Bps <= m.peak_bandwidth_Bps
+
+    def test_word_time(self):
+        assert CM5.word_time_s() == pytest.approx(WORD_BYTES / 7.62e6)
+
+
+class TestCostConversions:
+    def test_comm_time_includes_latency(self):
+        t = CM5.comm_time_s(100)
+        assert t == pytest.approx(CM5.latency_s + 100 * CM5.word_time_s())
+
+    def test_comm_time_zero(self):
+        assert CM5.comm_time_s(0, messages=0) == 0.0
+
+    def test_comm_time_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CM5.comm_time_s(-1)
+
+    def test_comp_time_linear(self):
+        assert CM5.comp_time_s(2000) == pytest.approx(2 * CM5.comp_time_s(1000))
+
+    def test_comp_time_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CM5.comp_time_s(-5)
+
+    def test_ideal_machine_is_fast(self):
+        assert IDEAL.latency_s == 0.0
+        assert IDEAL.comp_time_s(1) == pytest.approx(1e-9)
+
+
+class TestConstruction:
+    def test_default_barrier_is_two_latencies(self):
+        m = MachineParams("x", latency_s=5e-6, bandwidth_Bps=1e7, op_ns=100)
+        assert m.barrier_s == pytest.approx(10e-6)
+
+    def test_explicit_barrier_kept(self):
+        m = MachineParams("x", latency_s=5e-6, bandwidth_Bps=1e7, op_ns=100, barrier_s=1e-6)
+        assert m.barrier_s == pytest.approx(1e-6)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams("bad", latency_s=-1.0, bandwidth_Bps=1e6, op_ns=1)
+        with pytest.raises(ConfigurationError):
+            MachineParams("bad", latency_s=0.0, bandwidth_Bps=0.0, op_ns=1)
+
+    def test_with_override(self):
+        fast = CM5.with_(op_ns=1.0)
+        assert fast.op_ns == 1.0
+        assert fast.latency_s == CM5.latency_s
+        assert CM5.op_ns == 350.0  # original untouched
+
+
+class TestMachineSpecs:
+    def test_machine_from_dict(self):
+        from repro.machines import machine_from_dict
+
+        m = machine_from_dict({
+            "name": "x", "latency_s": 1e-6, "bandwidth_Bps": 1e8, "op_ns": 5.0,
+        })
+        assert m.name == "x"
+        assert m.barrier_s == pytest.approx(2e-6)
+
+    def test_unknown_keys_rejected(self):
+        from repro.machines import machine_from_dict
+
+        with pytest.raises(ConfigurationError, match="unknown"):
+            machine_from_dict({
+                "name": "x", "latency_s": 1e-6, "bandwidth_Bps": 1e8,
+                "op_ns": 5.0, "flops": 1,
+            })
+
+    def test_missing_keys_rejected(self):
+        from repro.machines import machine_from_dict
+
+        with pytest.raises(ConfigurationError, match="missing"):
+            machine_from_dict({"name": "x"})
+
+    def test_load_machine_registry(self):
+        from repro.machines import load_machine
+
+        assert load_machine("cm5") is CM5
+
+    def test_load_machine_json(self, tmp_path):
+        import json
+
+        from repro.machines import load_machine
+
+        spec = tmp_path / "m.json"
+        spec.write_text(json.dumps({
+            "name": "j", "latency_s": 2e-6, "bandwidth_Bps": 5e8, "op_ns": 3.0,
+        }))
+        m = load_machine(str(spec))
+        assert m.name == "j"
+
+    def test_load_machine_missing_file(self, tmp_path):
+        from repro.machines import load_machine
+
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_machine(str(tmp_path / "nope.json"))

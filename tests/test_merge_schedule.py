@@ -1,0 +1,124 @@
+"""Tests for the merge schedule (Sections 5.2-5.3 structure)."""
+
+import pytest
+
+from repro.core.merge import merge_schedule
+from repro.core.tiles import ProcessorGrid
+from repro.utils.validation import ilog2
+
+
+def schedule_for(p, n=512):
+    return merge_schedule(ProcessorGrid(p, n))
+
+
+class TestShape:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32, 64, 128])
+    def test_log_p_steps(self, p):
+        assert len(schedule_for(p)) == ilog2(p)
+
+    def test_p1_empty(self):
+        assert schedule_for(1, 64) == []
+
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_even_d_alternates_strictly(self, p):
+        orients = [s.orientation for s in schedule_for(p)]
+        assert orients == ["H", "V"] * (len(orients) // 2)
+
+    @pytest.mark.parametrize("p", [2, 8, 32, 128])
+    def test_odd_d_ends_with_extra_horizontal(self, p):
+        orients = [s.orientation for s in schedule_for(p)]
+        assert orients == ["H", "V"] * (len(orients) // 2) + ["H"]
+
+    @pytest.mark.parametrize("p", [8, 32])
+    def test_merge_counts_match_grid(self, p):
+        grid = ProcessorGrid(p, 512)
+        orients = [s.orientation for s in schedule_for(p)]
+        assert orients.count("H") == ilog2(grid.w)
+        assert orients.count("V") == ilog2(grid.v)
+
+    def test_group_count_halves(self):
+        steps = schedule_for(32)
+        counts = [len(s.groups) for s in steps]
+        assert counts == [16, 8, 4, 2, 1]
+
+
+class TestGroupStructure:
+    @pytest.mark.parametrize("p", [4, 8, 32])
+    def test_regions_partition_processors(self, p):
+        for step in schedule_for(p):
+            seen = []
+            for g in step.groups:
+                seen.extend(g.region)
+            assert sorted(seen) == list(range(p))
+
+    @pytest.mark.parametrize("p", [4, 8, 32])
+    def test_manager_in_region_clients_rest(self, p):
+        for step in schedule_for(p):
+            for g in step.groups:
+                assert g.manager in g.region
+                assert g.manager not in g.clients
+                assert set(g.clients) | {g.manager} == set(g.region)
+
+    @pytest.mark.parametrize("p", [4, 8, 32, 64])
+    def test_manager_and_shadow_face_each_other(self, p):
+        grid = ProcessorGrid(p, 512)
+        for step in schedule_for(p):
+            for g in step.groups:
+                mi, mj = grid.coords(g.manager)
+                si, sj = grid.coords(g.shadow)
+                if step.orientation == "H":
+                    assert si == mi and sj == mj + 1
+                else:
+                    assert sj == mj and si == mi + 1
+
+    @pytest.mark.parametrize("p", [4, 8, 32])
+    def test_sides_face_across_border(self, p):
+        grid = ProcessorGrid(p, 512)
+        for step in schedule_for(p):
+            for g in step.groups:
+                assert len(g.side_a_pids) == len(g.side_b_pids)
+                for a, b in zip(g.side_a_pids, g.side_b_pids):
+                    ai, aj = grid.coords(a)
+                    bi, bj = grid.coords(b)
+                    if step.orientation == "H":
+                        assert bi == ai and bj == aj + 1
+                    else:
+                        assert bj == aj and bi == ai + 1
+
+    @pytest.mark.parametrize("p", [8, 32])
+    def test_side_pids_inside_region(self, p):
+        for step in schedule_for(p):
+            for g in step.groups:
+                region = set(g.region)
+                assert set(g.side_a_pids) <= region
+                assert set(g.side_b_pids) <= region
+
+    def test_edge_names(self):
+        steps = schedule_for(4)
+        assert steps[0].edge_names == ("right", "left")
+        assert steps[1].edge_names == ("bottom", "top")
+
+    def test_border_growth(self):
+        """Border sides double in processor count every two steps."""
+        steps = schedule_for(64)
+        sides = [len(s.groups[0].side_a_pids) for s in steps]
+        assert sides == [1, 2, 2, 4, 4, 8]
+
+    def test_every_adjacent_tile_pair_merged_once(self):
+        """Each grid-adjacent tile pair faces each other in exactly one step."""
+        p = 32
+        grid = ProcessorGrid(p, 512)
+        seen = set()
+        for step in schedule_for(p):
+            for g in step.groups:
+                for a, b in zip(g.side_a_pids, g.side_b_pids):
+                    assert (a, b) not in seen
+                    seen.add((a, b))
+        expected = set()
+        for I in range(grid.v):
+            for J in range(grid.w):
+                if J + 1 < grid.w:
+                    expected.add((grid.pid_at(I, J), grid.pid_at(I, J + 1)))
+                if I + 1 < grid.v:
+                    expected.add((grid.pid_at(I, J), grid.pid_at(I + 1, J)))
+        assert seen == expected

@@ -1,0 +1,329 @@
+"""Tests for the physics applications (percolation, Ising)."""
+
+import numpy as np
+import pytest
+
+from repro.images import site_percolation
+from repro.physics import (
+    IsingModel,
+    T_CRITICAL,
+    has_spanning_cluster,
+    percolation_stats,
+    spanning_probability,
+)
+from repro.physics.percolation import P_CRITICAL
+from repro.utils.errors import ValidationError
+
+
+class TestSitePercolationImage:
+    def test_density_matches(self):
+        lat = site_percolation(64, 0.3, seed=1)
+        assert abs(lat.mean() - 0.3) < 0.05
+
+    def test_deterministic(self):
+        assert np.array_equal(site_percolation(32, 0.5, 7), site_percolation(32, 0.5, 7))
+
+    def test_extremes(self):
+        assert site_percolation(8, 0.0).sum() == 0
+        assert site_percolation(8, 1.0).sum() == 64
+
+    def test_p_validation(self):
+        with pytest.raises(ValidationError):
+            site_percolation(8, 1.5)
+
+
+class TestSpanning:
+    def test_full_lattice_spans(self):
+        lat = np.ones((8, 8), dtype=np.int32)
+        stats = percolation_stats(lat)
+        assert stats.spanning
+        assert stats.n_clusters == 1
+
+    def test_empty_lattice(self):
+        stats = percolation_stats(np.zeros((8, 8), dtype=np.int32))
+        assert not stats.spanning
+        assert stats.n_clusters == 0
+        assert stats.largest_cluster == 0
+
+    def test_horizontal_bar_does_not_span_vertically(self):
+        lat = np.zeros((8, 8), dtype=np.int32)
+        lat[4, :] = 1
+        labels = np.where(lat != 0, 33, 0)
+        assert not has_spanning_cluster(labels, axis=0)
+        assert has_spanning_cluster(labels, axis=1)
+
+    def test_vertical_column_spans(self):
+        lat = np.zeros((8, 8), dtype=np.int32)
+        lat[:, 3] = 1
+        stats = percolation_stats(lat)
+        assert stats.spanning
+
+    def test_axis_validation(self):
+        with pytest.raises(ValidationError):
+            has_spanning_cluster(np.zeros((4, 4), dtype=np.int64), axis=2)
+
+
+class TestSpanningProbability:
+    def test_below_threshold_rare(self):
+        prob = spanning_probability(48, 0.45, trials=8, seed=1)
+        assert prob <= 0.25
+
+    def test_above_threshold_common(self):
+        prob = spanning_probability(48, 0.75, trials=8, seed=1)
+        assert prob >= 0.75
+
+    def test_monotone_in_p(self):
+        lo = spanning_probability(32, 0.45, trials=10, seed=3)
+        hi = spanning_probability(32, 0.75, trials=10, seed=3)
+        assert hi >= lo
+
+    def test_trials_validation(self):
+        with pytest.raises(ValidationError):
+            spanning_probability(16, 0.5, trials=0)
+
+    def test_threshold_constant_reasonable(self):
+        assert 0.55 < P_CRITICAL < 0.65
+
+
+class TestIsingModel:
+    def test_cold_start_ordered(self):
+        model = IsingModel(16, 1.0, hot_start=False)
+        assert model.magnetization() == pytest.approx(1.0)
+        assert model.energy() == pytest.approx(-2 * (2 * 16 * 15) / (2 * 16 * 16))
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValidationError):
+            IsingModel(8, 0.0)
+
+    def test_sw_preserves_encoding(self):
+        model = IsingModel(16, 2.0, seed=3)
+        model.sweep_swendsen_wang()
+        assert set(np.unique(model.spins)) <= {1, 2}
+
+    def test_wolff_flips_exactly_the_cluster(self):
+        model = IsingModel(16, 1.5, seed=4)
+        before = model.spins.copy()
+        size = model.sweep_wolff()
+        changed = (model.spins != before).sum()
+        assert changed == size
+
+    def test_low_temperature_orders(self):
+        model = IsingModel(24, 1.0, seed=5)
+        out = model.run(40, method="sw")
+        assert out["magnetization"] > 0.8
+
+    def test_high_temperature_disorders(self):
+        model = IsingModel(24, 5.0, seed=6, hot_start=False)
+        out = model.run(40, method="sw")
+        assert out["magnetization"] < 0.3
+
+    def test_wolff_agrees_with_sw_on_phases(self):
+        cold = IsingModel(20, 1.2, seed=7).run(60, method="wolff")
+        hot = IsingModel(20, 4.0, seed=8, hot_start=False).run(200, method="wolff")
+        assert cold["magnetization"] > 0.75
+        assert hot["magnetization"] < 0.45
+
+    def test_energy_bounds(self):
+        model = IsingModel(16, 2.27, seed=9)
+        model.run(10, method="sw")
+        assert -2.0 <= model.energy() <= 0.0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError):
+            IsingModel(8, 2.0).run(5, method="heatbath")
+
+    def test_critical_constant(self):
+        assert T_CRITICAL == pytest.approx(2.2692, abs=1e-3)
+
+    def test_reproducible_by_seed(self):
+        a = IsingModel(16, 2.0, seed=11).run(20, method="sw")
+        b = IsingModel(16, 2.0, seed=11).run(20, method="sw")
+        assert a == b
+
+
+class TestPeriodicBoundaries:
+    def test_energy_includes_wrap_terms(self):
+        model_free = IsingModel(8, 1.0, hot_start=False)
+        model_per = IsingModel(8, 1.0, hot_start=False, periodic=True)
+        # all-up lattice: free has 2*n*(n-1) bonds, periodic 2*n^2
+        assert model_free.energy() == pytest.approx(-2 * 8 * 7 / 64)
+        assert model_per.energy() == pytest.approx(-2.0)
+
+    def test_periodic_sw_orders_at_low_t(self):
+        model = IsingModel(20, 1.2, seed=13, periodic=True)
+        out = model.run(40, method="sw")
+        assert out["magnetization"] > 0.85
+
+    def test_wolff_periodic_supported(self):
+        model = IsingModel(16, 1.2, seed=14, periodic=True)
+        out = model.run(60, method="wolff")
+        assert out["magnetization"] > 0.7  # orders at low T on the torus
+
+    def test_wolff_wraps_across_the_seam(self):
+        """At beta -> inf a like-spin band wrapping the torus is one cluster."""
+        from repro.baselines.bond_label import wolff_cluster
+
+        spins = np.full((6, 6), 2, dtype=np.int32)
+        spins[0, :] = 1
+        spins[5, :] = 1  # same spin as row 0, adjacent only via wrap
+        rng = np.random.default_rng(0)
+        free = wolff_cluster(spins, (0, 0), 50.0, rng)
+        assert free[0].all() and not free[5].any()
+        wrapped = wolff_cluster(spins, (0, 0), 50.0, rng, periodic=True)
+        assert wrapped[0].all() and wrapped[5].all()
+
+    def test_wrap_bond_joins_edges(self):
+        from repro.baselines.bond_label import bond_label
+
+        img = np.zeros((1, 4), dtype=np.int32)
+        img[0, 0] = img[0, 3] = 1
+        h = np.zeros((1, 3), dtype=bool)
+        v = np.zeros((0, 4), dtype=bool)
+        lab_free = bond_label(img, h, v)
+        assert lab_free[0, 0] != lab_free[0, 3]
+        lab_wrap = bond_label(img, h, v, h_wrap=np.array([True]))
+        assert lab_wrap[0, 0] == lab_wrap[0, 3]
+
+    def test_vertical_wrap(self):
+        from repro.baselines.bond_label import bond_label
+
+        img = np.zeros((4, 1), dtype=np.int32)
+        img[0, 0] = img[3, 0] = 1
+        h = np.zeros((4, 0), dtype=bool)
+        v = np.zeros((3, 1), dtype=bool)
+        lab = bond_label(img, h, v, v_wrap=np.array([True]))
+        assert lab[0, 0] == lab[3, 0]
+
+    def test_wrap_shape_validation(self):
+        from repro.baselines.bond_label import bond_label
+        from repro.utils.errors import ValidationError
+
+        img = np.ones((4, 4), dtype=np.int32)
+        h = np.ones((4, 3), dtype=bool)
+        v = np.ones((3, 4), dtype=bool)
+        with pytest.raises(ValidationError):
+            bond_label(img, h, v, h_wrap=np.ones(3, dtype=bool))
+
+    def test_periodic_bonds_helper(self, rng):
+        from repro.baselines.bond_label import swendsen_wang_bonds_periodic
+
+        spins = np.ones((8, 8), dtype=np.int32)
+        hb, vb, hw, vw = swendsen_wang_bonds_periodic(spins, 50.0, rng)
+        assert hb.all() and vb.all() and hw.all() and vw.all()
+
+
+class TestMetropolis:
+    def test_orders_and_disorders(self):
+        cold = IsingModel(20, 1.0, seed=21, hot_start=False, periodic=True)
+        assert cold.run(60, method="metropolis")["magnetization"] > 0.9
+        hot = IsingModel(20, 6.0, seed=22, periodic=True)
+        assert hot.run(60, method="metropolis")["magnetization"] < 0.3
+
+    def test_zero_temperature_limit_no_uphill(self):
+        """At very low T an ordered lattice stays ordered."""
+        model = IsingModel(12, 0.2, hot_start=False)
+        model.run(10, method="metropolis")
+        assert model.magnetization() == pytest.approx(1.0)
+
+    def test_returns_accept_count(self):
+        model = IsingModel(12, 3.0, seed=23)
+        accepted = model.sweep_metropolis()
+        assert 0 < accepted <= 12 * 12
+
+
+class TestStats:
+    def test_white_noise_tau_near_half(self, rng):
+        from repro.physics import integrated_autocorrelation_time
+
+        tau = integrated_autocorrelation_time(rng.random(4000))
+        assert 0.4 < tau < 0.8
+
+    def test_correlated_series_tau_larger(self, rng):
+        from repro.physics import integrated_autocorrelation_time
+
+        white = rng.random(2000)
+        # AR(1) with strong correlation
+        ar = np.empty(2000)
+        ar[0] = 0.0
+        noise = rng.standard_normal(2000)
+        for i in range(1, 2000):
+            ar[i] = 0.9 * ar[i - 1] + noise[i]
+        assert integrated_autocorrelation_time(ar) > integrated_autocorrelation_time(white) * 3
+
+    def test_autocorrelation_normalized(self, rng):
+        from repro.physics import autocorrelation
+
+        rho = autocorrelation(rng.random(500), max_lag=20)
+        assert rho[0] == pytest.approx(1.0)
+        assert len(rho) == 21
+        assert (np.abs(rho[1:]) < 0.3).all()
+
+    def test_constant_series(self):
+        from repro.physics import autocorrelation
+
+        rho = autocorrelation(np.ones(100), max_lag=5)
+        assert (rho == 1.0).all()
+
+    def test_validation(self):
+        from repro.physics import autocorrelation, integrated_autocorrelation_time
+        from repro.utils.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            autocorrelation(np.array([1.0]))
+        with pytest.raises(ValidationError):
+            integrated_autocorrelation_time(np.arange(4))
+
+    def test_effective_samples(self, rng):
+        from repro.physics import effective_samples
+
+        n_eff = effective_samples(rng.random(1000))
+        assert 500 < n_eff <= 1100
+
+
+class TestObservables:
+    def test_binder_cumulant_phases(self):
+        """U4 -> 2/3 in the ordered phase, -> 0 deep in the disordered."""
+        cold = IsingModel(20, 1.0, seed=31, hot_start=False, periodic=True)
+        out_cold = cold.run(60, method="sw")
+        assert out_cold["binder"] > 0.6
+        hot = IsingModel(20, 8.0, seed=32, periodic=True)
+        out_hot = hot.run(120, method="sw")
+        assert out_hot["binder"] < 0.45
+
+    def test_susceptibility_peaks_near_tc(self):
+        chis = {}
+        for temp in (1.2, T_CRITICAL, 4.0):
+            model = IsingModel(24, temp, seed=33, periodic=True)
+            chis[temp] = model.run(80, method="sw")["susceptibility"]
+        assert chis[T_CRITICAL] > chis[1.2]
+        assert chis[T_CRITICAL] > chis[4.0]
+
+    def test_cluster_size_distribution_counts(self):
+        from repro.physics import cluster_size_distribution
+        from repro.baselines import run_label
+
+        img = np.zeros((8, 8), dtype=np.int32)
+        img[0, 0] = 1                       # size 1
+        img[2, 2:4] = 1                     # size 2
+        img[5:7, 5:7] = 1                   # size 4
+        sizes, counts = cluster_size_distribution(run_label(img))
+        assert np.array_equal(sizes, [1, 2, 4])
+        assert np.array_equal(counts, [1, 1, 1])
+
+    def test_cluster_size_distribution_empty(self):
+        from repro.physics import cluster_size_distribution
+
+        sizes, counts = cluster_size_distribution(np.zeros((4, 4), dtype=np.int64))
+        assert sizes.size == 0
+
+    def test_distribution_heavier_tail_at_threshold(self):
+        """Near p_c the largest cluster is far larger than at low p."""
+        from repro.physics import cluster_size_distribution
+        from repro.baselines import run_label
+        from repro.images import site_percolation
+
+        low = site_percolation(96, 0.35, seed=5)
+        crit = site_percolation(96, 0.593, seed=5)
+        s_low, _ = cluster_size_distribution(run_label(low, connectivity=4))
+        s_crit, _ = cluster_size_distribution(run_label(crit, connectivity=4))
+        assert s_crit.max() > s_low.max() * 5

@@ -1,0 +1,54 @@
+"""Tests for the ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import sequential_components
+from repro.images import filled_disc, four_corner_squares
+from repro.utils.errors import ValidationError
+from repro.utils.render import ascii_image, ascii_labels
+
+
+class TestAsciiImage:
+    def test_all_zero(self):
+        out = ascii_image(np.zeros((8, 8), dtype=np.int32))
+        assert set(out) <= {" ", "\n"}
+
+    def test_bright_pixels_brighter(self):
+        img = np.zeros((4, 4), dtype=np.int32)
+        img[0, 0] = 255
+        out = ascii_image(img, width=4).splitlines()
+        assert out[0][0] == "@"
+
+    def test_width_respected(self):
+        img = np.arange(64 * 64, dtype=np.int32).reshape(64, 64)
+        out = ascii_image(img, width=16)
+        assert max(len(line) for line in out.splitlines()) <= 16
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_image(np.zeros(4, dtype=np.int32))
+        with pytest.raises(ValidationError):
+            ascii_image(np.zeros((4, 4), dtype=np.int32), width=0)
+
+
+class TestAsciiLabels:
+    def test_background_dots(self):
+        out = ascii_labels(np.zeros((4, 4), dtype=np.int64), width=4)
+        assert set(out) <= {".", "\n"}
+
+    def test_distinct_components_distinct_chars(self):
+        lab = sequential_components(four_corner_squares(32))
+        out = ascii_labels(lab, width=32)
+        chars = set(out) - {".", "\n"}
+        assert len(chars) == 4
+
+    def test_single_component_single_char(self):
+        lab = sequential_components(filled_disc(32))
+        out = ascii_labels(lab, width=32)
+        chars = set(out) - {".", "\n"}
+        assert len(chars) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_labels(np.zeros((4,), dtype=np.int64))

@@ -1,0 +1,127 @@
+"""Tests for the real-parallel runtime (shared memory + process pool)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import sequential_components, sequential_histogram
+from repro.images import binary_test_image, darpa_like, random_greyscale
+from repro.runtime import SharedNDArray, components, histogram, resolve_workers
+from repro.runtime.shmem import ShmMeta
+from repro.utils.errors import ValidationError
+
+
+class TestSharedNDArray:
+    def test_create_and_write(self):
+        with SharedNDArray.create((4, 4), np.int64) as shm:
+            shm.array[:] = 7
+            assert (shm.array == 7).all()
+
+    def test_from_array_copies(self):
+        src = np.arange(12).reshape(3, 4)
+        with SharedNDArray.from_array(src) as shm:
+            assert np.array_equal(shm.array, src)
+            src[0, 0] = 99
+            assert shm.array[0, 0] == 0
+
+    def test_attach_sees_owner_writes(self):
+        owner = SharedNDArray.create((8,), np.float64)
+        try:
+            owner.array[:] = np.arange(8)
+            other = SharedNDArray.attach(owner.meta)
+            assert np.array_equal(other.array, np.arange(8))
+            other.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_meta_roundtrip(self):
+        owner = SharedNDArray.create((2, 3), np.int32)
+        try:
+            meta = owner.meta
+            assert isinstance(meta, ShmMeta)
+            assert meta.shape == (2, 3)
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            SharedNDArray.create((0,), np.int64)
+
+
+class TestResolveWorkers:
+    def test_explicit_power_of_two(self):
+        assert resolve_workers(4) == 4
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValidationError):
+            resolve_workers(6)
+
+    def test_default_is_power_of_two(self):
+        w = resolve_workers(None)
+        assert w >= 1 and (w & (w - 1)) == 0
+
+    def test_reduced_until_grid_divides(self):
+        # n = 24: p=16 needs w=4 | 24 ok, v=4 | 24 ok -> stays 16
+        assert resolve_workers(16, 24) == 16
+        # n = 6: p=16 -> grid 4x4 divides 6? no -> 4 -> 2x2 ok? 6%2==0 yes
+        assert resolve_workers(16, 6) == 4
+
+
+class TestHistogramBackends:
+    def test_serial_matches_sequential(self, small_grey):
+        out = histogram(small_grey, 8, backend="serial")
+        assert np.array_equal(out, sequential_histogram(small_grey, 8))
+
+    def test_process_matches_sequential(self, small_grey):
+        out = histogram(small_grey, 8, workers=4, backend="process")
+        assert np.array_equal(out, sequential_histogram(small_grey, 8))
+
+    def test_rectangular_image(self):
+        img = random_greyscale(32, 16, seed=0)[:16, :]
+        out = histogram(img, 16, workers=2, backend="process")
+        assert np.array_equal(out, sequential_histogram(img, 16))
+
+    def test_level_validation(self):
+        img = np.full((4, 4), 8, dtype=np.int32)
+        with pytest.raises(ValidationError):
+            histogram(img, 8)
+
+    def test_bad_backend(self, small_grey):
+        with pytest.raises(ValidationError):
+            histogram(small_grey, 8, backend="gpu")
+
+
+class TestComponentsBackends:
+    def test_serial_matches_sequential(self, small_binary):
+        out = components(small_binary, backend="serial")
+        assert np.array_equal(out, sequential_components(small_binary))
+
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_process_binary(self, workers, small_binary):
+        out = components(small_binary, workers=workers, backend="process")
+        assert np.array_equal(out, sequential_components(small_binary))
+
+    def test_process_grey(self):
+        img = darpa_like(64, 16, seed=12)
+        out = components(img, grey=True, workers=4, backend="process")
+        assert np.array_equal(out, sequential_components(img, grey=True))
+
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    def test_connectivity(self, connectivity):
+        img = binary_test_image(9, 64)
+        out = components(img, connectivity=connectivity, workers=4, backend="process")
+        assert np.array_equal(
+            out, sequential_components(img, connectivity=connectivity)
+        )
+
+    def test_single_worker_falls_back_to_serial(self, small_binary):
+        out = components(small_binary, workers=1, backend="process")
+        assert np.array_equal(out, sequential_components(small_binary))
+
+    def test_indivisible_size_reduces_workers(self):
+        """n=36 with 8 workers: grid 2x4 doesn't divide 36 -> fall back."""
+        rng = np.random.default_rng(0)
+        img = (rng.random((36, 36)) < 0.5).astype(np.int32)
+        out = components(img, workers=8, backend="process")
+        assert np.array_equal(out, sequential_components(img))

@@ -1,0 +1,137 @@
+"""Tests for the radix and hybrid sorters, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sorting import (
+    DEFAULT_CUTOFF,
+    counting_sort_pass,
+    hybrid_argsort,
+    hybrid_sort,
+    radix_argsort,
+    radix_sort,
+)
+from repro.sorting.radix import radix_sort_ops
+from repro.sorting.hybrid import hybrid_sort_ops
+from repro.utils.errors import ValidationError
+
+
+class TestRadixBasics:
+    def test_empty(self):
+        assert radix_sort(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_single(self):
+        assert np.array_equal(radix_sort(np.array([42])), [42])
+
+    def test_already_sorted(self):
+        keys = np.arange(100)
+        assert np.array_equal(radix_sort(keys), keys)
+
+    def test_reverse_sorted(self):
+        keys = np.arange(100)[::-1].copy()
+        assert np.array_equal(radix_sort(keys), np.arange(100))
+
+    def test_all_equal(self):
+        keys = np.full(50, 7)
+        assert np.array_equal(radix_sort(keys), keys)
+
+    def test_full_32bit_range(self):
+        keys = np.array([0, 2**32 - 1, 2**31, 1, 2**16, 255, 256])
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            radix_sort(np.array([-1, 2]))
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValidationError):
+            radix_sort(np.array([2**32]))
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            radix_sort(np.array([1.0, 2.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            radix_sort(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestRadixStability:
+    def test_argsort_is_stable(self):
+        """Equal keys keep their input order (needed by Procedures 1-2)."""
+        keys = np.array([3, 1, 3, 1, 3, 1])
+        order = radix_argsort(keys)
+        # the three 1s must appear in index order, likewise the 3s
+        ones = order[keys[order] == 1]
+        threes = order[keys[order] == 3]
+        assert np.array_equal(ones, [1, 3, 5])
+        assert np.array_equal(threes, [0, 2, 4])
+
+    def test_single_pass_sorts_one_byte(self):
+        keys = np.array([0x0201, 0x0102, 0x0301])
+        order = counting_sort_pass(keys, np.arange(3), shift=0)
+        # low bytes are 01, 02, 01 -> stable order [0, 2, 1]
+        assert np.array_equal(order, [0, 2, 1])
+
+
+class TestHybrid:
+    def test_dispatch_below_cutoff_matches(self):
+        keys = np.array([5, 3, 8, 1])
+        assert np.array_equal(hybrid_sort(keys), np.sort(keys))
+
+    def test_dispatch_above_cutoff_matches(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 2**31, DEFAULT_CUTOFF + 100)
+        assert np.array_equal(hybrid_sort(keys), np.sort(keys))
+
+    def test_custom_cutoff(self):
+        keys = np.array([9, 2, 5, 5, 1])
+        assert np.array_equal(hybrid_sort(keys, cutoff=1), np.sort(keys))
+
+    def test_argsort_permutation_valid(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 1000, 500)
+        order = hybrid_argsort(keys)
+        assert np.array_equal(np.sort(order), np.arange(500))
+
+    def test_negative_keys_ok_below_cutoff(self):
+        """The comparison path handles negatives (radix path would not)."""
+        keys = np.array([-5, 3, -1])
+        assert np.array_equal(hybrid_sort(keys), [-5, -1, 3])
+
+
+class TestOpsModels:
+    def test_radix_ops_linear(self):
+        assert radix_sort_ops(2000) > radix_sort_ops(1000) > 0
+        assert radix_sort_ops(0) == 0
+
+    def test_hybrid_ops_regimes(self):
+        assert hybrid_sort_ops(0) == 0
+        assert hybrid_sort_ops(1) == 0
+        small = hybrid_sort_ops(100)
+        assert small == int(2 * 100 * np.log2(100))
+        big = hybrid_sort_ops(DEFAULT_CUTOFF)
+        assert big == radix_sort_ops(DEFAULT_CUTOFF)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=400))
+def test_radix_matches_numpy_sort(values):
+    keys = np.array(values, dtype=np.int64)
+    assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300),
+    st.integers(min_value=0, max_value=3),
+)
+def test_counting_pass_permutes(values, byte):
+    """Any single pass yields a valid permutation sorted on its byte."""
+    keys = np.array(values, dtype=np.int64) << (byte * 8)
+    order = counting_sort_pass(keys, np.arange(len(keys)), shift=byte * 8)
+    assert np.array_equal(np.sort(order), np.arange(len(keys)))
+    digits = (keys[order] >> (byte * 8)) & 0xFF
+    assert np.all(np.diff(digits) >= 0)

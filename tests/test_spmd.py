@@ -1,0 +1,224 @@
+"""Tests for the generator-based SPMD executor."""
+
+import numpy as np
+import pytest
+
+from repro.bdm import GlobalArray, Machine, transpose
+from repro.bdm.spmd import Handle, SpmdContext, run_spmd
+from repro.machines import CM5, IDEAL
+from repro.utils.errors import ConfigurationError, HazardError, ValidationError
+
+
+def spmd_transpose_program(q):
+    """Algorithm 1 written exactly as the paper lists it."""
+
+    def program(ctx: SpmdContext):
+        p = ctx.p
+        size = q // p
+        A = ctx.array("A", q)
+        AT = ctx.array("AT", q)
+        handles = []
+        for loop in range(p):
+            r = (ctx.pid + loop) % p
+            handles.append((r, ctx.prefetch(A, r, ctx.pid * size, (ctx.pid + 1) * size)))
+        yield ctx.sync()
+        for r, handle in handles:
+            ctx.write(AT, handle.value, start=r * size)
+        yield ctx.barrier()
+        return ctx.read_local(AT).copy()
+
+    return program
+
+
+class TestSpmdTranspose:
+    @pytest.mark.parametrize("p,q", [(2, 8), (4, 16), (8, 64)])
+    def test_matches_phase_api_result(self, p, q):
+        mat = np.arange(p * q).reshape(p, q)
+
+        # Phase-style reference.
+        m1 = Machine(p, IDEAL)
+        A1 = GlobalArray(m1, q)
+        A1.scatter_rows(mat)
+        expected = transpose(m1, A1).gather_rows()
+
+        # SPMD-style.
+        m2 = Machine(p, IDEAL)
+        program = spmd_transpose_program(q)
+
+        def seeded(ctx):
+            A = ctx.array("A", q)
+            ctx.write(A, mat[ctx.pid])
+            yield ctx.barrier()
+            result = yield from program(ctx)
+            return result
+
+        results = run_spmd(m2, seeded)
+        assert np.array_equal(np.stack(results), expected)
+
+    def test_costs_match_phase_api(self):
+        p, q = 4, 32
+        mat = np.arange(p * q).reshape(p, q)
+
+        m1 = Machine(p, CM5)
+        A1 = GlobalArray(m1, q)
+        A1.scatter_rows(mat)
+        transpose(m1, A1)
+        phase_comm = m1.report().comm_s
+
+        m2 = Machine(p, CM5)
+        program = spmd_transpose_program(q)
+
+        def seeded(ctx):
+            A = ctx.array("A", q)
+            ctx.write(A, mat[ctx.pid])
+            yield ctx.barrier()
+            result = yield from program(ctx)
+            return result
+
+        run_spmd(m2, seeded)
+        spmd_comm = m2.report().comm_s
+        assert spmd_comm == pytest.approx(phase_comm)
+
+    def test_return_values_collected(self):
+        m = Machine(4, IDEAL)
+
+        def program(ctx):
+            yield ctx.barrier()
+            return ctx.pid * 10
+
+        assert run_spmd(m, program) == [0, 10, 20, 30]
+
+
+class TestSplitPhaseSemantics:
+    def test_handle_before_sync_raises(self):
+        m = Machine(2, IDEAL)
+
+        def program(ctx):
+            A = ctx.array("A", 4)
+            handle = ctx.prefetch(A, (ctx.pid + 1) % 2)
+            _ = handle.value  # BUG: consumed before sync
+            yield ctx.sync()
+
+        with pytest.raises(ValidationError, match="before sync"):
+            run_spmd(m, program)
+
+    def test_handle_after_sync_works(self):
+        m = Machine(2, IDEAL)
+
+        def program(ctx):
+            A = ctx.array("A", 4)
+            ctx.write(A, [ctx.pid] * 4)
+            yield ctx.barrier()
+            handle = ctx.prefetch(A, (ctx.pid + 1) % 2)
+            yield ctx.sync()
+            return int(handle.value[0])
+
+        assert run_spmd(m, program) == [1, 0]
+
+    def test_racy_program_caught_by_hazard_checker(self):
+        """Write and remote read in the same superstep: a real race."""
+        m = Machine(2, IDEAL, check_hazards=True)
+
+        def racy(ctx):
+            A = ctx.array("A", 4)
+            ctx.write(A, [ctx.pid + 1] * 4)       # write own block ...
+            ctx.prefetch(A, (ctx.pid + 1) % 2)    # ... while peer reads it
+            yield ctx.sync()                      # no barrier in between!
+
+        with pytest.raises(HazardError):
+            run_spmd(m, racy)
+
+    def test_barrier_separates_write_and_read(self):
+        m = Machine(2, IDEAL, check_hazards=True)
+
+        def correct(ctx):
+            A = ctx.array("A", 4)
+            ctx.write(A, [ctx.pid + 1] * 4)
+            yield ctx.barrier()
+            handle = ctx.prefetch(A, (ctx.pid + 1) % 2)
+            yield ctx.sync()
+            return int(handle.value[0])
+
+        assert run_spmd(m, correct) == [2, 1]
+
+
+class TestValidation:
+    def test_non_generator_program_rejected(self):
+        m = Machine(2, IDEAL)
+
+        def not_a_generator(ctx):
+            return 42
+
+        with pytest.raises(ConfigurationError, match="generator"):
+            run_spmd(m, not_a_generator)
+
+    def test_array_dtype_conflict(self):
+        m = Machine(2, IDEAL)
+
+        def program(ctx):
+            if ctx.pid == 0:
+                ctx.array("X", 4, dtype=np.int64)
+            else:
+                ctx.array("X", 4, dtype=np.float64)
+            yield ctx.barrier()
+
+        with pytest.raises(ConfigurationError, match="dtype"):
+            run_spmd(m, program)
+
+    def test_uneven_termination_allowed(self):
+        """Processors may finish at different steps (tail work)."""
+        m = Machine(4, IDEAL)
+
+        def program(ctx):
+            yield ctx.barrier()
+            if ctx.pid % 2 == 0:
+                yield ctx.barrier()  # evens do one more superstep
+            return ctx.pid
+
+        assert run_spmd(m, program) == [0, 1, 2, 3]
+
+
+class TestPrefetchIndices:
+    def test_scattered_prefetch(self):
+        m = Machine(2, IDEAL)
+
+        def program(ctx):
+            A = ctx.array("A", 8)
+            ctx.write(A, np.arange(8) * (ctx.pid + 1))
+            yield ctx.barrier()
+            handle = ctx.prefetch_indices(A, (ctx.pid + 1) % 2, np.array([1, 3, 7]))
+            yield ctx.sync()
+            return handle.value.tolist()
+
+        results = run_spmd(m, program)
+        assert results[0] == [2, 6, 14]  # from pid 1's block (x2)
+        assert results[1] == [1, 3, 7]   # from pid 0's block (x1)
+
+    def test_indices_snapshot_at_issue_time(self):
+        """Mutating the index array after prefetch must not change the read."""
+        m = Machine(2, IDEAL)
+
+        def program(ctx):
+            A = ctx.array("A", 4)
+            ctx.write(A, [10, 11, 12, 13])
+            yield ctx.barrier()
+            idx = np.array([0, 2])
+            handle = ctx.prefetch_indices(A, (ctx.pid + 1) % 2, idx)
+            idx[:] = 3  # mutate after issue
+            yield ctx.sync()
+            return handle.value.tolist()
+
+        assert run_spmd(m, program) == [[10, 12], [10, 12]]
+
+    def test_charged_word_count(self):
+        m = Machine(2, CM5)
+
+        def program(ctx):
+            A = ctx.array("A", 100)
+            yield ctx.barrier()
+            if ctx.pid == 0:
+                ctx.prefetch_indices(A, 1, np.array([0, 50, 99]))
+            yield ctx.sync()
+
+        run_spmd(m, program)
+        assert m.procs[0].cost.words_moved == 3

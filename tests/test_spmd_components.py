@@ -1,0 +1,67 @@
+"""Tests: the SPMD connected-components program vs the phase version."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import sequential_components
+from repro.core.connected_components import parallel_components
+from repro.core.spmd_components import spmd_components
+from repro.images import binary_test_image, checkerboard, darpa_like
+from repro.machines import CM5, IDEAL
+from repro.utils.errors import ValidationError
+from tests.conftest import oracle_binary_labels, oracle_grey_labels
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("idx", [1, 5, 8, 9])
+    @pytest.mark.parametrize("p", [1, 2, 4, 16])
+    def test_catalogue(self, idx, p):
+        img = binary_test_image(idx, 64)
+        labels, _ = spmd_components(img, p, IDEAL)
+        assert np.array_equal(labels, sequential_components(img))
+
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    def test_random_vs_oracle(self, connectivity, small_binary):
+        labels, _ = spmd_components(small_binary, 16, IDEAL, connectivity=connectivity)
+        assert np.array_equal(labels, oracle_binary_labels(small_binary, connectivity))
+
+    def test_grey(self, small_grey):
+        labels, _ = spmd_components(small_grey, 8, IDEAL, grey=True)
+        assert np.array_equal(labels, oracle_grey_labels(small_grey, 8))
+
+    def test_non_square_grid(self):
+        img = binary_test_image(9, 64)
+        labels, _ = spmd_components(img, 32, IDEAL)
+        assert np.array_equal(labels, sequential_components(img))
+
+    def test_checkerboard_grey(self):
+        img = checkerboard(32, 1, levels=(1, 2))
+        labels, _ = spmd_components(img, 16, IDEAL, grey=True)
+        assert np.array_equal(labels, sequential_components(img, grey=True))
+
+    def test_unknown_engine(self, small_binary):
+        with pytest.raises(ValidationError):
+            spmd_components(small_binary, 4, engine="nope")
+
+
+class TestAgainstPhaseImplementation:
+    def test_same_labels(self):
+        img = darpa_like(128, 32, seed=2)
+        phase = parallel_components(img, 16, CM5, grey=True)
+        labels, _ = spmd_components(img, 16, CM5, grey=True)
+        assert np.array_equal(labels, phase.labels)
+
+    def test_comm_costs_close(self):
+        """Same access pattern => communication within a few percent
+        (the SPMD version only adds barrier supersteps)."""
+        img = darpa_like(128, 32, seed=2)
+        phase = parallel_components(img, 16, CM5, grey=True)
+        _, machine = spmd_components(img, 16, CM5, grey=True)
+        spmd_comm = machine.report().comm_s
+        assert spmd_comm == pytest.approx(phase.report.comm_s, rel=0.10)
+
+    def test_elapsed_close(self):
+        img = binary_test_image(9, 128)
+        phase = parallel_components(img, 16, CM5)
+        _, machine = spmd_components(img, 16, CM5)
+        assert machine.report().elapsed_s == pytest.approx(phase.elapsed_s, rel=0.15)

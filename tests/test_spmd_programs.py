@@ -1,0 +1,86 @@
+"""Tests: the SPMD listings match the phase-style implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import sequential_histogram
+from repro.bdm import GlobalArray, Machine, broadcast, transpose
+from repro.core.histogram import parallel_histogram
+from repro.core.spmd_programs import spmd_broadcast, spmd_histogram, spmd_transpose
+from repro.images import random_greyscale
+from repro.machines import CM5, IDEAL
+from repro.utils.errors import ValidationError
+
+
+class TestSpmdTransposeProgram:
+    @pytest.mark.parametrize("p,q", [(2, 4), (4, 16), (8, 32)])
+    def test_matches_phase_layout(self, p, q):
+        mat = np.arange(p * q).reshape(p, q)
+        m1 = Machine(p, IDEAL)
+        A = GlobalArray(m1, q)
+        A.scatter_rows(mat)
+        expected = transpose(m1, A).gather_rows()
+        got = spmd_transpose(Machine(p, IDEAL), mat)
+        assert np.array_equal(got, expected)
+
+    def test_divisibility(self):
+        with pytest.raises(ValidationError):
+            spmd_transpose(Machine(4, IDEAL), np.zeros((4, 6)))
+
+    def test_wrong_row_count(self):
+        with pytest.raises(ValidationError):
+            spmd_transpose(Machine(4, IDEAL), np.zeros((3, 8)))
+
+
+class TestSpmdBroadcastProgram:
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_everyone_gets_payload(self, root):
+        p, q = 4, 12
+        payload = np.arange(1, q + 1)
+        got = spmd_broadcast(Machine(p, IDEAL), payload, root=root)
+        for pid in range(p):
+            assert np.array_equal(got[pid], payload)
+
+    def test_comm_cost_matches_phase_broadcast(self):
+        p, q = 4, 32
+        m1 = Machine(p, CM5)
+        A = GlobalArray(m1, q)
+        broadcast(m1, A)
+        phase_comm = m1.report().comm_s
+
+        m2 = Machine(p, CM5)
+        spmd_broadcast(m2, np.zeros(q, dtype=np.int64))
+        assert m2.report().comm_s == pytest.approx(phase_comm)
+
+
+class TestSpmdHistogramProgram:
+    @pytest.mark.parametrize("k,p", [(16, 4), (256, 16), (64, 64)])
+    def test_matches_sequential(self, k, p):
+        img = random_greyscale(32, k, seed=k + p)
+        hist, machine = spmd_histogram(img, k, p, IDEAL)
+        assert np.array_equal(hist, sequential_histogram(img, k))
+
+    def test_comm_cost_matches_phase_histogram(self):
+        img = random_greyscale(64, 64, seed=2)
+        phase_res = parallel_histogram(img, 64, 16, CM5)
+        hist, machine = spmd_histogram(img, 64, 16, CM5)
+        assert np.array_equal(hist, phase_res.histogram)
+        assert machine.report().comm_s == pytest.approx(
+            phase_res.report.comm_s, rel=0.01
+        )
+
+    @pytest.mark.parametrize("k,p", [(4, 16), (8, 64), (2, 4)])
+    def test_truncated_transpose_path(self, k, p):
+        """k < p: grey level i is gathered onto processor i."""
+        img = random_greyscale(32, k, seed=k + p)
+        hist, machine = spmd_histogram(img, k, p, IDEAL)
+        assert np.array_equal(hist, sequential_histogram(img, k))
+
+    def test_truncated_matches_phase_cost(self):
+        img = random_greyscale(64, 8, seed=7)
+        phase = parallel_histogram(img, 8, 32, CM5)
+        hist, machine = spmd_histogram(img, 8, 32, CM5)
+        assert np.array_equal(hist, phase.histogram)
+        assert machine.report().comm_s == pytest.approx(
+            phase.report.comm_s, rel=0.10
+        )

@@ -1,0 +1,76 @@
+"""Tests for Otsu thresholding and its pipeline integration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.threshold import apply_threshold, otsu_threshold
+from repro.baselines import count_components, sequential_components
+from repro.core.histogram import parallel_histogram
+from repro.utils.errors import ValidationError
+
+
+def bimodal_image(n, lo, hi, seed=0):
+    """Half the pixels near `lo`, half near `hi` (clearly separable)."""
+    rng = np.random.default_rng(seed)
+    img = np.where(
+        rng.random((n, n)) < 0.5,
+        rng.integers(lo, lo + 5, (n, n)),
+        rng.integers(hi, hi + 5, (n, n)),
+    )
+    return img.astype(np.int32)
+
+
+class TestOtsu:
+    def test_separates_bimodal(self):
+        img = bimodal_image(64, 10, 200)
+        hist = np.bincount(img.ravel(), minlength=256)
+        t = otsu_threshold(hist)
+        # low mode occupies 10..14, high mode 200..204; any t in between
+        # (inclusive of the low mode's top level) separates them.
+        assert 14 <= t < 200
+
+    def test_classification_is_clean(self):
+        img = bimodal_image(64, 10, 200)
+        hist = np.bincount(img.ravel(), minlength=256)
+        binary = apply_threshold(img, otsu_threshold(hist))
+        # No pixel of the low mode is classified as foreground and v.v.
+        assert (binary[img < 20] == 0).all()
+        assert (binary[img > 190] == 1).all()
+
+    def test_two_spikes_exact(self):
+        hist = np.zeros(8, dtype=np.int64)
+        hist[1] = 100
+        hist[6] = 100
+        t = otsu_threshold(hist)
+        assert 1 <= t < 6
+
+    def test_single_level(self):
+        hist = np.zeros(8, dtype=np.int64)
+        hist[3] = 50
+        assert otsu_threshold(hist) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            otsu_threshold(np.zeros(8))
+        with pytest.raises(ValidationError):
+            otsu_threshold(np.array([5]))
+        with pytest.raises(ValidationError):
+            otsu_threshold(np.array([1, -2, 3]))
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(4)
+        hist = rng.integers(0, 100, 32)
+        assert otsu_threshold(hist) == otsu_threshold(hist * 7)
+
+
+class TestPipeline:
+    def test_parallel_histogram_to_otsu_to_components(self):
+        """histogram -> threshold -> binary CC: the recognition pipeline."""
+        img = bimodal_image(64, 5, 50, seed=3)
+        res = parallel_histogram(img, 64, 16)
+        t = otsu_threshold(res.histogram)
+        binary = apply_threshold(img, t)
+        labels = sequential_components(binary)
+        assert count_components(labels) >= 1
+        # foreground mass roughly half the image (the bimodal split)
+        assert 0.35 < binary.mean() < 0.65

@@ -1,0 +1,128 @@
+"""Tests for the per-processor tracer and Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.bdm import GlobalArray, Machine, Tracer
+from repro.core.connected_components import parallel_components
+from repro.core.histogram import parallel_histogram
+from repro.images import binary_test_image, random_greyscale
+from repro.machines import CM5, IDEAL
+from repro.utils.errors import ConfigurationError
+
+
+class TestTracer:
+    def test_records_phases(self):
+        m = Machine(4, CM5)
+        tracer = Tracer(m)
+        with m.phase("alpha"):
+            m.procs[0].charge_comp(100)
+        with m.phase("beta"):
+            m.procs[1].charge_comp(200)
+        assert [ph.name for ph in tracer.phases] == ["alpha", "beta"]
+
+    def test_busy_attribution(self):
+        m = Machine(4, CM5)
+        tracer = Tracer(m)
+        with m.phase("x"):
+            m.procs[2].charge_comp(1000)
+        busy = tracer.phases[0].busy_s
+        assert busy[2] > 0
+        assert busy[0] == busy[1] == busy[3] == 0
+
+    def test_utilization_balanced_phase(self):
+        m = Machine(4, CM5)
+        tracer = Tracer(m)
+        with m.phase("x"):
+            for proc in m.procs:
+                proc.charge_comp(500)
+        assert tracer.phases[0].utilization == pytest.approx(1.0)
+
+    def test_utilization_single_worker(self):
+        m = Machine(4, CM5)
+        tracer = Tracer(m)
+        with m.phase("x"):
+            m.procs[0].charge_comp(500)
+        assert tracer.phases[0].utilization == pytest.approx(0.25)
+
+    def test_report_still_correct_when_traced(self):
+        """Tracing must not change the machine's cost accounting."""
+        img = random_greyscale(32, 16, seed=1)
+        plain = parallel_histogram(img, 16, 4, CM5)
+        m = Machine(4, CM5)
+        Tracer(m)
+        traced = parallel_histogram(img, 16, 4, CM5, machine=m)
+        assert traced.elapsed_s == pytest.approx(plain.elapsed_s)
+        assert np.array_equal(traced.histogram, plain.histogram)
+
+    def test_double_attach_rejected(self):
+        m = Machine(2, IDEAL)
+        Tracer(m)
+        with pytest.raises(ConfigurationError):
+            Tracer(m)
+
+    def test_attach_after_phases_rejected(self):
+        m = Machine(2, IDEAL)
+        with m.phase("early"):
+            pass
+        with pytest.raises(ConfigurationError):
+            Tracer(m)
+
+
+class TestRendering:
+    def _traced_cc(self):
+        m = Machine(8, CM5)
+        tracer = Tracer(m)
+        img = binary_test_image(9, 64)
+        parallel_components(img, 8, machine=m)
+        return tracer
+
+    def test_gantt_shape(self):
+        tracer = self._traced_cc()
+        lines = tracer.gantt(width=40).splitlines()
+        assert len(lines) == 9  # header + 8 processors
+        assert lines[1].startswith("P0")
+
+    def test_gantt_empty(self):
+        m = Machine(2, IDEAL)
+        tracer = Tracer(m)
+        assert "no phases" in tracer.gantt()
+
+    def test_imbalance_table_contains_phases(self):
+        tracer = self._traced_cc()
+        table = tracer.imbalance_table()
+        assert "cc:label" in table
+        assert "%" in table
+
+    def test_merge_phases_show_imbalance(self):
+        """Solve phases run on managers only: utilization well below 1."""
+        tracer = self._traced_cc()
+        solves = [ph for ph in tracer.phases if "solve" in ph.name]
+        assert solves
+        assert min(ph.utilization for ph in solves) < 0.7
+
+    def test_label_phase_balanced(self):
+        tracer = self._traced_cc()
+        label = next(ph for ph in tracer.phases if ph.name == "cc:label")
+        assert label.utilization > 0.95
+
+    def test_overall_utilization_bounds(self):
+        tracer = self._traced_cc()
+        u = tracer.utilization()
+        assert 0.0 < u <= 1.0
+
+
+class TestMachineParameterPassing:
+    def test_wrong_p_rejected(self):
+        from repro.utils.errors import ValidationError
+
+        img = random_greyscale(32, 16, seed=0)
+        m = Machine(8, CM5)
+        with pytest.raises(ValidationError, match="processors"):
+            parallel_histogram(img, 16, 4, machine=m)
+
+    def test_cc_accepts_machine(self):
+        img = binary_test_image(5, 32)
+        m = Machine(4, CM5)
+        res = parallel_components(img, 4, machine=m)
+        assert res.report.machine_name == "TMC CM-5"

@@ -1,0 +1,83 @@
+"""Tests for the two-pass (raster + union-find) labeling engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import bfs_label, sequential_components, two_pass_label
+from repro.utils.errors import ValidationError
+
+
+class TestBasics:
+    def test_empty(self):
+        out = two_pass_label(np.zeros((4, 4), dtype=np.int32))
+        assert not out.any()
+
+    def test_registered_as_engine(self, small_binary):
+        via_registry = sequential_components(small_binary, engine="twopass")
+        direct = two_pass_label(small_binary)
+        assert np.array_equal(via_registry, direct)
+
+    def test_stairs_pattern_needs_merging(self):
+        """A pattern where raster scanning creates provisional labels
+        that must be merged (the classic two-pass stress shape)."""
+        img = np.array(
+            [
+                [1, 0, 1, 0, 1],
+                [1, 0, 1, 0, 1],
+                [1, 1, 1, 1, 1],
+            ],
+            dtype=np.int32,
+        )
+        out = two_pass_label(img, connectivity=4)
+        fg = out[img != 0]
+        assert (fg == fg[0]).all()  # one component after equivalences
+
+    def test_u_shape_4conn(self):
+        img = np.array(
+            [
+                [1, 0, 1],
+                [1, 0, 1],
+                [1, 1, 1],
+            ],
+            dtype=np.int32,
+        )
+        out = two_pass_label(img, connectivity=4)
+        assert len(np.unique(out[out != 0])) == 1
+
+    def test_invalid_connectivity(self):
+        with pytest.raises(ValidationError):
+            two_pass_label(np.ones((2, 2), dtype=np.int32), connectivity=6)
+
+    def test_offsets(self):
+        img = np.ones((2, 2), dtype=np.int32)
+        out = two_pass_label(img, label_stride=50, row_offset=1, col_offset=2)
+        assert out[0, 0] == 1 + 1 * 50 + 2
+
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    def test_matches_bfs_random(self, connectivity, rng):
+        for trial in range(8):
+            img = (rng.random((18, 18)) < 0.5).astype(np.int32)
+            assert np.array_equal(
+                bfs_label(img, connectivity=connectivity),
+                two_pass_label(img, connectivity=connectivity),
+            ), (trial, connectivity)
+
+    def test_matches_bfs_grey(self, small_grey):
+        assert np.array_equal(
+            bfs_label(small_grey, grey=True), two_pass_label(small_grey, grey=True)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.int32, (12, 12), elements=st.integers(min_value=0, max_value=2)),
+    st.sampled_from([4, 8]),
+    st.booleans(),
+)
+def test_property_two_pass_equals_bfs(img, connectivity, grey):
+    a = bfs_label(img, connectivity=connectivity, grey=grey)
+    b = two_pass_label(img, connectivity=connectivity, grey=grey)
+    assert np.array_equal(a, b)

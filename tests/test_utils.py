@@ -1,0 +1,99 @@
+"""Tests for repro.utils: validation helpers and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ConfigurationError,
+    HazardError,
+    ReproError,
+    ValidationError,
+    check_image,
+    check_positive,
+    check_power_of_two,
+    ilog2,
+    is_power_of_two,
+)
+
+
+class TestPowerOfTwo:
+    def test_accepts_powers(self):
+        for exp in range(20):
+            assert is_power_of_two(1 << exp)
+
+    def test_rejects_non_powers(self):
+        for x in (0, -1, -4, 3, 6, 12, 1023):
+            assert not is_power_of_two(x)
+
+    def test_rejects_non_integers(self):
+        assert not is_power_of_two(2.0)
+        assert not is_power_of_two("4")
+
+    def test_accepts_numpy_integers(self):
+        assert is_power_of_two(np.int64(64))
+
+    def test_ilog2_values(self):
+        for exp in range(16):
+            assert ilog2(1 << exp) == exp
+
+    def test_ilog2_rejects(self):
+        with pytest.raises(ValidationError):
+            ilog2(6)
+
+    def test_check_power_of_two_returns_int(self):
+        out = check_power_of_two("p", np.int64(8))
+        assert out == 8 and isinstance(out, int)
+
+    def test_check_positive(self):
+        assert check_positive("x", 3) == 3
+        with pytest.raises(ValidationError):
+            check_positive("x", 0)
+        with pytest.raises(ValidationError):
+            check_positive("x", -2)
+
+
+class TestCheckImage:
+    def test_accepts_square_int(self):
+        img = np.zeros((4, 4), dtype=np.int32)
+        assert check_image(img) is img
+
+    def test_rejects_non_array(self):
+        with pytest.raises(ValidationError):
+            check_image([[1, 2], [3, 4]])
+
+    def test_rejects_float_dtype(self):
+        with pytest.raises(ValidationError):
+            check_image(np.zeros((4, 4)))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            check_image(np.zeros((4, 4, 3), dtype=np.int32))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_image(np.zeros((0, 0), dtype=np.int32))
+
+    def test_rejects_negative_levels(self):
+        img = np.array([[0, -1], [0, 0]], dtype=np.int32)
+        with pytest.raises(ValidationError):
+            check_image(img)
+
+    def test_square_flag(self):
+        rect = np.zeros((2, 4), dtype=np.int32)
+        with pytest.raises(ValidationError):
+            check_image(rect, square=True)
+        assert check_image(rect, square=False) is rect
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, ValidationError, HazardError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compat(self):
+        # Config/validation errors double as ValueError for idiomatic catching.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(ValidationError, ValueError)
+
+    def test_hazard_is_runtime_error(self):
+        assert issubclass(HazardError, RuntimeError)

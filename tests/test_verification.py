@@ -1,0 +1,183 @@
+"""Tests for the verification module (and via it, failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verification import (
+    VerificationError,
+    verify_area_fractions,
+    verify_histogram,
+    verify_labels,
+)
+from repro.baselines import sequential_components, sequential_histogram
+from repro.core.connected_components import parallel_components
+from repro.core.histogram import parallel_histogram
+from repro.images import binary_test_image, darpa_like, horizontal_bars
+
+
+class TestVerifyHistogram:
+    def test_accepts_correct(self, small_grey):
+        verify_histogram(small_grey, sequential_histogram(small_grey, 8))
+
+    def test_accepts_parallel_output(self, small_grey):
+        res = parallel_histogram(small_grey, 8, 4)
+        verify_histogram(small_grey, res.histogram)
+
+    def test_rejects_wrong_total(self, small_grey):
+        hist = sequential_histogram(small_grey, 8)
+        hist[0] += 1
+        with pytest.raises(VerificationError, match="sum"):
+            verify_histogram(small_grey, hist)
+
+    def test_rejects_swapped_bins(self, small_grey):
+        hist = sequential_histogram(small_grey, 8)
+        hist[1], hist[2] = hist[2], hist[1]
+        if hist[1] != hist[2]:
+            with pytest.raises(VerificationError, match="expected"):
+                verify_histogram(small_grey, hist)
+
+    def test_rejects_2d(self, small_grey):
+        with pytest.raises(VerificationError):
+            verify_histogram(small_grey, np.zeros((2, 2), dtype=np.int64))
+
+
+class TestVerifyLabels:
+    def test_accepts_all_engines(self, small_binary):
+        for engine in ("bfs", "runs", "sv", "twopass"):
+            labels = sequential_components(small_binary, engine=engine)
+            verify_labels(small_binary, labels, reference_engine="runs")
+
+    def test_accepts_parallel_output(self, small_binary):
+        res = parallel_components(small_binary, 16)
+        verify_labels(small_binary, res.labels)
+
+    def test_accepts_grey(self, small_grey):
+        labels = sequential_components(small_grey, grey=True)
+        verify_labels(small_grey, labels, grey=True)
+
+    def test_rejects_labeled_background(self, small_binary):
+        labels = sequential_components(small_binary)
+        bg = np.argwhere(small_binary == 0)[0]
+        labels[bg[0], bg[1]] = 7
+        with pytest.raises(VerificationError, match="background"):
+            verify_labels(small_binary, labels)
+
+    def test_rejects_unlabeled_foreground(self, small_binary):
+        labels = sequential_components(small_binary)
+        fgpos = np.argwhere(small_binary != 0)[0]
+        labels[fgpos[0], fgpos[1]] = 0
+        with pytest.raises(VerificationError, match="label 0"):
+            verify_labels(small_binary, labels)
+
+    def test_rejects_under_merging(self):
+        """Split one component in half: adjacent pixels differ."""
+        img = np.ones((4, 4), dtype=np.int32)
+        labels = np.ones((4, 4), dtype=np.int64)
+        labels[:, 2:] = 99
+        with pytest.raises(VerificationError, match="different labels"):
+            verify_labels(img, labels)
+
+    def test_rejects_over_merging(self):
+        """Two separate components sharing one label."""
+        img = np.zeros((3, 5), dtype=np.int32)
+        img[:, 0] = 1
+        img[:, 4] = 1
+        labels = np.zeros((3, 5), dtype=np.int64)
+        labels[:, 0] = 1
+        labels[:, 4] = 1  # same label, disconnected
+        with pytest.raises(VerificationError, match="canonical"):
+            verify_labels(img, labels)
+
+    def test_rejects_wrong_convention(self, small_binary):
+        labels = sequential_components(small_binary)
+        labels[labels != 0] += 1000  # consistent partition, wrong names
+        with pytest.raises(VerificationError, match="canonical"):
+            verify_labels(small_binary, labels)
+
+    def test_shape_mismatch(self, small_binary):
+        with pytest.raises(VerificationError, match="shape"):
+            verify_labels(small_binary, np.zeros((4, 4), dtype=np.int64))
+
+    def test_connectivity_matters(self):
+        img = np.eye(4, dtype=np.int32)
+        lab8 = sequential_components(img, connectivity=8)
+        verify_labels(img, lab8, connectivity=8)
+        with pytest.raises(VerificationError):
+            verify_labels(img, lab8, connectivity=4)
+
+
+class TestVerifyAreaFractions:
+    def test_bars_cover_half(self):
+        img = horizontal_bars(64, thickness=8)
+        hist = sequential_histogram(img, 2)
+        verify_area_fractions(img, hist, {0: 0.5, 1: 0.5})
+
+    def test_disc_area(self):
+        img = binary_test_image(6, 128)
+        hist = sequential_histogram(img, 2)
+        expected = np.pi * 0.375 ** 2
+        verify_area_fractions(img, hist, {1: expected}, tol=0.01)
+
+    def test_rejects_wrong_fraction(self):
+        img = horizontal_bars(64, thickness=8)
+        hist = sequential_histogram(img, 2)
+        with pytest.raises(VerificationError):
+            verify_area_fractions(img, hist, {1: 0.25})
+
+    def test_rejects_bad_level(self):
+        img = horizontal_bars(16, thickness=2)
+        hist = sequential_histogram(img, 2)
+        with pytest.raises(VerificationError, match="outside"):
+            verify_area_fractions(img, hist, {5: 0.5})
+
+
+class TestEndToEndVerification:
+    """The verifier certifies every execution path of the library."""
+
+    def test_certifies_full_pipeline(self):
+        img = darpa_like(64, 32, seed=6)
+        hist = parallel_histogram(img, 32, 16)
+        verify_histogram(img, hist.histogram)
+        for options in (
+            {},
+            {"grey": True},
+            {"connectivity": 4},
+            {"limited_updating": False},
+            {"distribution": "transpose"},
+        ):
+            res = parallel_components(img, 16, **options)
+            verify_labels(
+                img,
+                res.labels,
+                connectivity=options.get("connectivity", 8),
+                grey=options.get("grey", False),
+            )
+
+
+class TestCanonicalOption:
+    def test_compacted_labels_accepted_relaxed(self, small_binary):
+        from repro.analysis.regions import compact_labels
+        from repro.baselines import sequential_components
+
+        compacted = compact_labels(sequential_components(small_binary))
+        with pytest.raises(VerificationError):
+            verify_labels(small_binary, compacted)  # strict mode fails
+        verify_labels(small_binary, compacted, canonical=False)  # relaxed ok
+
+    def test_relaxed_still_catches_wrong_partition(self, small_binary):
+        from repro.analysis.regions import compact_labels
+        from repro.baselines import sequential_components
+
+        compacted = compact_labels(sequential_components(small_binary))
+        # merge two components
+        if compacted.max() >= 2:
+            compacted[compacted == 2] = 1
+            with pytest.raises(VerificationError):
+                verify_labels(small_binary, compacted, canonical=False)
+
+    def test_canonicalize_idempotent(self, small_binary):
+        from repro.analysis.verification import canonicalize_labels
+        from repro.baselines import sequential_components
+
+        lab = sequential_components(small_binary)
+        assert np.array_equal(canonicalize_labels(lab), lab)
