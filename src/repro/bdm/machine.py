@@ -163,6 +163,7 @@ class Machine:
         self._phases: list[PhaseRecord] = []
         self._arrays: list = []
         self.in_phase = False
+        self.phase_name: str | None = None  # label of the running phase
         self._tracer = None  # set by repro.bdm.trace.Tracer
 
     # -- arrays ------------------------------------------------------------
@@ -204,10 +205,12 @@ class Machine:
             raise ConfigurationError("phases cannot be nested")
         before = [proc.cost.snapshot() for proc in self.procs]
         self.in_phase = True
+        self.phase_name = name
         try:
             yield
         finally:
             self.in_phase = False
+            self.phase_name = None
             deltas = [
                 proc.cost.minus(prev) for proc, prev in zip(self.procs, before)
             ]

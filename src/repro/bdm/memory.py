@@ -10,11 +10,19 @@ Hazard discipline
 The simulator executes a phase's per-processor programs sequentially,
 so a remote read could observe data written *within the same phase* --
 something a real SPMD machine would only guarantee after the next
-barrier.  To keep simulations faithful, every write is recorded (owner,
-interval) and a remote read that overlaps a same-phase write raises
-:class:`~repro.utils.errors.HazardError` when checking is enabled.
+barrier.  To keep simulations faithful, every access is recorded in a
+per-word shadow memory (:class:`repro.checker.shadow.ShadowMemory`)
+and same-phase conflicts raise
+:class:`~repro.utils.errors.HazardError` when checking is enabled:
+read-after-write (a remote read of words another processor wrote),
+write-after-write (two processors writing the same word), and
+write-after-read (a write landing on words another processor already
+read).  Scattered :meth:`read_indices`/:meth:`write_indices` accesses
+are checked on their exact index sets, not a covering interval, so
+disjoint strided accesses from different processors are allowed.
 Local reads of one's own memory are always allowed (a processor sees
-its own writes immediately on a real machine too).
+its own writes immediately on a real machine too), and any processor's
+repeated accesses to the same words never conflict with themselves.
 """
 
 from __future__ import annotations
@@ -23,7 +31,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.utils.errors import HazardError, ValidationError
+from repro.checker.shadow import ShadowMemory
+from repro.utils.errors import ValidationError
 
 
 class GlobalArray:
@@ -59,8 +68,8 @@ class GlobalArray:
         self._blocks = [np.zeros(length, dtype=dtype) for length in lengths]
         self.name = name or f"garray@{id(self):x}"
         self.dtype = np.dtype(dtype)
-        # Same-phase write log: owner -> list of (start, stop) intervals.
-        self._phase_writes: list[list[tuple[int, int]]] = [[] for _ in range(p)]
+        # Per-word same-phase access log (writer/reader pids).
+        self._shadow = ShadowMemory(self.name, lengths)
         machine._register_array(self)
 
     # -- structure -------------------------------------------------------
@@ -79,20 +88,18 @@ class GlobalArray:
     # -- phase bookkeeping ------------------------------------------------
 
     def _clear_phase_writes(self) -> None:
-        for log in self._phase_writes:
-            log.clear()
+        self._shadow.clear()
 
-    def _record_write(self, owner: int, start: int, stop: int) -> None:
-        self._phase_writes[owner].append((start, stop))
+    @property
+    def _checking(self) -> bool:
+        """Shadow tracking applies inside a phase with checking enabled."""
+        return self._machine.check_hazards and self._machine.in_phase
 
-    def _check_remote_read(self, owner: int, start: int, stop: int) -> None:
-        for (ws, we) in self._phase_writes[owner]:
-            if start < we and ws < stop:
-                raise HazardError(
-                    f"remote read of {self.name}[{owner}][{start}:{stop}] "
-                    f"overlaps a write [{ws}:{we}] made in the same phase; "
-                    "insert a barrier between the write and the read"
-                )
+    def _shadow_read(self, owner: int, sel, pid: int) -> None:
+        self._shadow.record_read(owner, sel, pid, self._machine.phase_name)
+
+    def _shadow_write(self, owner: int, sel, pid: int) -> None:
+        self._shadow.record_write(owner, sel, pid, self._machine.phase_name)
 
     # -- access ------------------------------------------------------------
 
@@ -111,8 +118,8 @@ class GlobalArray:
             stop = len(block)
         self._validate_range(owner, start, stop)
         if owner != proc.pid:
-            if self._machine.check_hazards:
-                self._check_remote_read(owner, start, stop)
+            if self._checking:
+                self._shadow_read(owner, slice(start, stop), proc.pid)
             proc._charge_comm(stop - start)
             self._machine._charge_server(owner, stop - start)
         return block[start:stop].copy()
@@ -128,14 +135,10 @@ class GlobalArray:
         stop = start + len(values)
         self._validate_range(owner, start, stop)
         if owner != proc.pid:
-            if self._machine.check_hazards:
-                # A remote write into a region someone already wrote this
-                # phase is also a race.
-                self._check_remote_read(owner, start, stop)
             proc._charge_comm(len(values))
             self._machine._charge_server(owner, len(values))
-        if self._machine.check_hazards and self._machine.in_phase:
-            self._record_write(owner, start, stop)
+        if self._checking:
+            self._shadow_write(owner, slice(start, stop), proc.pid)
         self._blocks[owner][start:stop] = values
 
     def read_indices(self, proc, owner: int, indices: np.ndarray) -> np.ndarray:
@@ -144,39 +147,43 @@ class GlobalArray:
         Used for tile-edge pixels, whose flat offsets are strided.  The
         BDM model prices ``l`` pipelined word prefetches at ``tau + l``,
         so the charge equals an ``len(indices)``-word block read.
-        Hazard checking is performed on the covering interval.
+        Hazard checking is performed on the exact index set.
         """
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size == 0:
             return np.empty(0, dtype=self.dtype)
-        start = int(indices.min())
-        stop = int(indices.max()) + 1
-        self._validate_range(owner, start, stop)
+        self._validate_range(owner, int(indices.min()), int(indices.max()) + 1)
         if owner != proc.pid:
-            if self._machine.check_hazards:
-                self._check_remote_read(owner, start, stop)
+            if self._checking:
+                self._shadow_read(owner, indices, proc.pid)
             proc._charge_comm(len(indices))
             self._machine._charge_server(owner, len(indices))
         return self._blocks[owner][indices].copy()
 
     def write_indices(self, proc, owner: int, indices: np.ndarray, values) -> None:
-        """Write scattered elements into ``owner``'s block."""
+        """Write scattered elements into ``owner``'s block.
+
+        ``indices`` must be duplicate-free: with a repeated index the
+        store would silently keep the last value (NumPy fancy-assignment
+        order), which on a real machine is an unordered self-race.
+        """
         indices = np.asarray(indices, dtype=np.int64)
         values = np.asarray(values, dtype=self.dtype).ravel()
         if indices.shape != values.shape:
             raise ValidationError("indices and values must have equal length")
         if indices.size == 0:
             return
-        start = int(indices.min())
-        stop = int(indices.max()) + 1
-        self._validate_range(owner, start, stop)
+        if np.unique(indices).size != indices.size:
+            raise ValidationError(
+                f"write_indices to {self.name}[{owner}] has duplicate "
+                "indices; the winning value would be arbitrary"
+            )
+        self._validate_range(owner, int(indices.min()), int(indices.max()) + 1)
         if owner != proc.pid:
-            if self._machine.check_hazards:
-                self._check_remote_read(owner, start, stop)
             proc._charge_comm(len(values))
             self._machine._charge_server(owner, len(values))
-        if self._machine.check_hazards and self._machine.in_phase:
-            self._record_write(owner, start, stop)
+        if self._checking:
+            self._shadow_write(owner, indices, proc.pid)
         self._blocks[owner][indices] = values
 
     def local(self, pid: int) -> np.ndarray:

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.bdm.machine import Machine
 from repro.bdm.memory import GlobalArray
-from repro.utils.errors import ConfigurationError, ValidationError
+from repro.utils.errors import ConfigurationError, HazardError, ValidationError
 
 
 class Handle:
@@ -194,6 +194,16 @@ class _SpmdRunner:
                     try:
                         tokens[pid] = next(gens[pid])
                     except StopIteration as stop:
+                        if contexts[pid]._pending:
+                            # A prefetch that is never sync()ed would be
+                            # silently dropped -- on a real machine the
+                            # transfer is in flight and its cost unpaid.
+                            raise HazardError(
+                                f"SPMD program on pid {pid} completed with "
+                                f"{len(contexts[pid]._pending)} unserviced "
+                                "prefetch(es); add `yield ctx.sync()` "
+                                "before returning"
+                            ) from None
                         results[pid] = stop.value
                         done.add(pid)
                 # A sync completes only the issuing processor's own

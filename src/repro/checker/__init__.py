@@ -1,0 +1,38 @@
+"""Correctness tooling for Split-C-style SPMD programs.
+
+Two complementary layers:
+
+* :mod:`repro.checker.shadow` -- a dynamic race detector.  Per-word
+  shadow memory attached to every :class:`~repro.bdm.memory.GlobalArray`
+  classifies same-superstep conflicts precisely (read-after-write,
+  write-after-write, write-after-read) and reports them with full
+  provenance: array name, owning processor, conflicting pids, phase
+  label, and the exact element ranges involved.
+* :mod:`repro.checker.lint` -- a static AST pass over SPMD generator
+  programs (the :mod:`repro.bdm.spmd` DSL) that flags split-phase
+  discipline violations *without executing the program*: unyielded
+  sync tokens, handle reads with no intervening ``sync()``, barriers
+  inside pid-dependent branches, non-collective allocations, and
+  dropped prefetch handles.  Rules carry stable IDs (SPMD001...).
+
+Entry points: ``repro check`` on the command line, the fixtures in
+:mod:`repro.checker.pytest_plugin` under pytest, and the functions
+re-exported here for programmatic use.
+"""
+
+from __future__ import annotations
+
+from repro.checker.lint import lint_callable, lint_paths, lint_source
+from repro.checker.rules import RULES, LintDiagnostic, LintRule
+from repro.checker.shadow import Hazard, ShadowMemory
+
+__all__ = [
+    "Hazard",
+    "LintDiagnostic",
+    "LintRule",
+    "RULES",
+    "ShadowMemory",
+    "lint_callable",
+    "lint_paths",
+    "lint_source",
+]

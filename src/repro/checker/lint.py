@@ -1,0 +1,450 @@
+"""Static AST lint pass for SPMD generator programs.
+
+Analyzes programs written in the :mod:`repro.bdm.spmd` DSL *without
+executing them*.  A function is treated as an SPMD program when it is a
+generator and takes a context parameter (annotated ``SpmdContext`` or
+simply named ``ctx``); nested definitions are discovered too, so the
+usual ``def program(ctx): ...`` closure inside a driver is found.
+
+The checks are deliberately shallow dataflow approximations -- sound
+enough to catch the split-phase discipline bugs the paper warns about
+(Section 3: "reading un-synchronized data is a failure mode") without a
+full CFG:
+
+* handle state (for SPMD002) flows linearly through statements, forks
+  at ``if``/loops and re-joins as the union of the per-path states, so
+  "read with no sync on *some* path" is what gets flagged;
+* pid-taint (for SPMD003/SPMD004) is a flow-insensitive fixpoint over
+  assignments seeded by ``ctx.pid``;
+* a loop body is analyzed once, so a handle prefetched at the bottom of
+  an iteration and read at the top of the next is not flagged (the
+  dynamic shadow-memory checker still catches the executed race).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import replace
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.checker.rules import LintDiagnostic
+
+_PREFETCH = ("prefetch", "prefetch_indices")
+_TOKENS = ("sync", "barrier")
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _own_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root``'s subtree without descending into nested scopes."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _NESTED_SCOPES):
+                continue
+            stack.append(child)
+
+
+def _ctx_param_name(fn: ast.FunctionDef) -> str | None:
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+    for a in args:
+        if a.annotation is not None and "SpmdContext" in ast.unparse(a.annotation):
+            return a.arg
+    for a in args:
+        if a.arg == "ctx":
+            return a.arg
+    return None
+
+
+def _is_generator(fn: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(n, (ast.Yield, ast.YieldFrom)) for n in _own_walk(fn) if n is not fn
+    )
+
+
+def _find_programs(tree: ast.AST) -> list[tuple[ast.FunctionDef, str]]:
+    programs = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            ctx = _ctx_param_name(node)
+            if ctx is not None and _is_generator(node):
+                programs.append((node, ctx))
+    return programs
+
+
+class _ProgramLinter:
+    """Lints one SPMD program function."""
+
+    def __init__(self, fn: ast.FunctionDef, ctx_name: str, filename: str):
+        self.fn = fn
+        self.ctx = ctx_name
+        self.filename = filename
+        self.diags: list[LintDiagnostic] = []
+        self.token_vars: dict[str, str] = {}  # name -> "sync" | "barrier"
+        self.tainted: set[str] = set()
+        self.handle_assigns: dict[str, ast.AST] = {}
+
+    # -- entry -----------------------------------------------------------
+
+    def run(self) -> list[LintDiagnostic]:
+        self._check_tokens()
+        self._compute_taint()
+        self._walk_body(self.fn.body, set(), False)
+        self._check_unconsumed_handles()
+        seen: set[tuple] = set()
+        unique = []
+        for d in sorted(self.diags, key=lambda d: (d.line, d.col, d.rule)):
+            key = (d.rule, d.line, d.col)
+            if key not in seen:
+                seen.add(key)
+                unique.append(d)
+        return unique
+
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        self.diags.append(
+            LintDiagnostic(
+                rule=rule,
+                message=message,
+                file=self.filename,
+                line=getattr(node, "lineno", self.fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                function=self.fn.name,
+            )
+        )
+
+    # -- helpers ---------------------------------------------------------
+
+    def _ctx_call_kind(self, node: ast.AST, names: tuple[str, ...]) -> str | None:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == self.ctx
+            and node.func.attr in names
+        ):
+            return node.func.attr
+        return None
+
+    def _is_pid_attr(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "pid"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self.ctx
+        )
+
+    def _tainted_expr(self, expr: ast.AST, tainted: set[str] | None = None) -> bool:
+        tainted = self.tainted if tainted is None else tainted
+        for node in _own_walk(expr):
+            if self._is_pid_attr(node):
+                return True
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in tainted
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _target_names(target: ast.AST) -> Iterator[str]:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                yield node.id
+
+    # -- pass 1: token discipline (SPMD001) -------------------------------
+
+    def _check_tokens(self) -> None:
+        parents: dict[ast.AST, ast.AST] = {}
+        stack = [self.fn]
+        while stack:
+            node = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _NESTED_SCOPES):
+                    continue
+                parents[child] = node
+                stack.append(child)
+        yielded_names = {
+            n.value.id
+            for n in _own_walk(self.fn)
+            if isinstance(n, ast.Yield) and isinstance(n.value, ast.Name)
+        }
+        for node in _own_walk(self.fn):
+            kind = self._ctx_call_kind(node, _TOKENS)
+            if kind is None:
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.Yield):
+                continue
+            if (
+                isinstance(parent, ast.Assign)
+                and len(parent.targets) == 1
+                and isinstance(parent.targets[0], ast.Name)
+            ):
+                name = parent.targets[0].id
+                self.token_vars[name] = kind
+                if name not in yielded_names:
+                    self._add(
+                        "SPMD001",
+                        node,
+                        f"token from {self.ctx}.{kind}() is assigned to "
+                        f"{name!r} but never yielded",
+                    )
+                continue
+            self._add(
+                "SPMD001",
+                node,
+                f"{self.ctx}.{kind}() called without yielding its token; "
+                "nothing synchronizes",
+            )
+
+    # -- pass 2: pid taint (feeds SPMD003/SPMD004) -------------------------
+
+    def _compute_taint(self) -> None:
+        tainted: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in _own_walk(self.fn):
+                sources: list[tuple[ast.AST, Iterable[ast.AST]]] = []
+                if isinstance(node, ast.Assign):
+                    sources.append((node.value, node.targets))
+                elif isinstance(node, ast.AugAssign):
+                    sources.append((node.value, [node.target]))
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    sources.append((node.value, [node.target]))
+                elif isinstance(node, ast.NamedExpr):
+                    sources.append((node.value, [node.target]))
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    sources.append((node.iter, [node.target]))
+                for value, targets in sources:
+                    if not self._tainted_expr(value, tainted):
+                        continue
+                    for target in targets:
+                        for name in self._target_names(target):
+                            if name not in tainted:
+                                tainted.add(name)
+                                changed = True
+        self.tainted = tainted
+
+    # -- pass 3: path-sensitive walk (SPMD002/003/004/005) -----------------
+
+    def _walk_body(self, stmts, unsynced: set[str], divergent: bool) -> set[str]:
+        for stmt in stmts:
+            unsynced = self._walk_stmt(stmt, unsynced, divergent)
+        return unsynced
+
+    def _walk_stmt(self, stmt, unsynced: set[str], divergent: bool) -> set[str]:
+        if isinstance(stmt, _NESTED_SCOPES):
+            return unsynced
+
+        if isinstance(stmt, ast.Assign):
+            if isinstance(stmt.value, ast.Yield):
+                return self._walk_yield(stmt.value, unsynced, divergent)
+            self._check_expr(stmt.value, unsynced, divergent)
+            if self._ctx_call_kind(stmt.value, _PREFETCH):
+                if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                    name = stmt.targets[0].id
+                    self.handle_assigns.setdefault(name, stmt.value)
+                    return unsynced | {name}
+            if (
+                isinstance(stmt.value, ast.Name)
+                and stmt.value.id in unsynced
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                return unsynced | {stmt.targets[0].id}  # alias
+            return unsynced
+
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, ast.Yield):
+                return self._walk_yield(value, unsynced, divergent)
+            if isinstance(value, ast.YieldFrom):
+                self._check_expr(value.value, unsynced, divergent)
+                # The delegated sub-program is linted separately and is
+                # assumed to sync what it prefetches.
+                return set()
+            if self._ctx_call_kind(value, _PREFETCH):
+                self._add(
+                    "SPMD005",
+                    value,
+                    f"{self.ctx}.{value.func.attr}() issued as a bare "
+                    "statement; its handle is dropped",
+                )
+            self._check_expr(value, unsynced, divergent)
+            return unsynced
+
+        if isinstance(stmt, ast.If):
+            self._check_expr(stmt.test, unsynced, divergent)
+            inner = divergent or self._tainted_expr(stmt.test)
+            u_then = self._walk_body(stmt.body, set(unsynced), inner)
+            u_else = self._walk_body(stmt.orelse, set(unsynced), inner)
+            return u_then | u_else
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_expr(stmt.iter, unsynced, divergent)
+            inner = divergent or self._tainted_expr(stmt.iter)
+            u_body = self._walk_body(stmt.body, set(unsynced), inner)
+            u_body |= self._walk_body(stmt.orelse, unsynced | u_body, inner)
+            return unsynced | u_body
+
+        if isinstance(stmt, ast.While):
+            self._check_expr(stmt.test, unsynced, divergent)
+            inner = divergent or self._tainted_expr(stmt.test)
+            u_body = self._walk_body(stmt.body, set(unsynced), inner)
+            u_body |= self._walk_body(stmt.orelse, unsynced | u_body, inner)
+            return unsynced | u_body
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._check_expr(item.context_expr, unsynced, divergent)
+            return self._walk_body(stmt.body, unsynced, divergent)
+
+        if isinstance(stmt, ast.Try):
+            u = self._walk_body(stmt.body, set(unsynced), divergent)
+            for handler in stmt.handlers:
+                u |= self._walk_body(handler.body, set(unsynced), divergent)
+            u = self._walk_body(stmt.orelse, u, divergent)
+            return self._walk_body(stmt.finalbody, u, divergent)
+
+        # Return / Raise / Assert / AugAssign / Delete / match / ... :
+        # no handle-state transitions, but their expressions must still
+        # be scanned for premature .value reads and divergent calls.
+        self._check_expr(stmt, unsynced, divergent)
+        return unsynced
+
+    def _walk_yield(self, node: ast.Yield, unsynced: set[str], divergent: bool) -> set[str]:
+        inner = node.value
+        kind = self._ctx_call_kind(inner, _TOKENS)
+        if kind is None and isinstance(inner, ast.Name):
+            kind = self.token_vars.get(inner.id)
+        if kind == "sync":
+            return set()
+        if kind == "barrier":
+            if divergent:
+                self._add(
+                    "SPMD003",
+                    node,
+                    "barrier yielded under pid-dependent control flow; "
+                    "processors would diverge",
+                )
+            return unsynced
+        if inner is not None:
+            self._check_expr(inner, unsynced, divergent)
+        return unsynced
+
+    def _check_expr(self, expr: ast.AST, unsynced: set[str], divergent: bool) -> None:
+        for node in _own_walk(expr):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "value"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in unsynced
+            ):
+                self._add(
+                    "SPMD002",
+                    node,
+                    f"prefetch handle {node.value.id!r} consumed with no "
+                    f"`yield {self.ctx}.sync()` since issue on this path",
+                )
+            if divergent and self._ctx_call_kind(node, ("array",)):
+                self._add(
+                    "SPMD004",
+                    node,
+                    f"{self.ctx}.array() called under pid-dependent control "
+                    "flow; allocation must be collective",
+                )
+
+    # -- pass 4: dead prefetches (SPMD005) ---------------------------------
+
+    def _check_unconsumed_handles(self) -> None:
+        uses = {
+            n.id
+            for n in _own_walk(self.fn)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+        for name, node in self.handle_assigns.items():
+            if name not in uses:
+                self._add(
+                    "SPMD005",
+                    node,
+                    f"prefetch handle {name!r} is never consumed",
+                )
+
+
+# -- public API -------------------------------------------------------------
+
+
+def lint_source(source: str, filename: str = "<string>") -> list[LintDiagnostic]:
+    """Lint every SPMD program found in ``source``."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            LintDiagnostic(
+                rule="SPMD000",
+                message=f"could not parse: {exc.msg}",
+                file=filename,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                function="<module>",
+            )
+        ]
+    diags: list[LintDiagnostic] = []
+    for fn, ctx_name in _find_programs(tree):
+        diags.extend(_ProgramLinter(fn, ctx_name, filename).run())
+    return sorted(diags, key=lambda d: (d.line, d.col, d.rule))
+
+
+def lint_callable(fn) -> list[LintDiagnostic]:
+    """Lint a live SPMD program object (used by the pytest plugin).
+
+    Returns ``[]`` when the source is unavailable (REPL definitions,
+    builtins) or the callable is not recognizably an SPMD program.
+    """
+    try:
+        source = inspect.getsource(fn)
+        filename = inspect.getsourcefile(fn) or "<unknown>"
+        _, first_line = inspect.getsourcelines(fn)
+    except (OSError, TypeError):
+        return []
+    try:
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError:
+        return []
+    name = getattr(fn, "__name__", None)
+    for node, ctx_name in _find_programs(tree):
+        if node.name == name:
+            offset = first_line - 1
+            return [
+                replace(d, line=d.line + offset)
+                for d in _ProgramLinter(node, ctx_name, filename).run()
+            ]
+    return []
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths`` (files or directories)."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            yield path
+
+
+def lint_paths(paths: Iterable[str]) -> list[LintDiagnostic]:
+    """Lint all SPMD programs found under ``paths``."""
+    diags: list[LintDiagnostic] = []
+    for path in iter_python_files(paths):
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        diags.extend(lint_source(text, str(path)))
+    return diags

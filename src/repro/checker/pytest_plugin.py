@@ -1,0 +1,85 @@
+"""Pytest integration for the SPMD checker.
+
+Registered from ``tests/conftest.py`` via ``pytest_plugins``.  Two
+layers of strictness:
+
+* An **autouse** fixture wraps :meth:`_SpmdRunner.run` so every SPMD
+  program executed by any test is statically linted first; findings
+  surface as :class:`SpmdLintWarning` warnings (visible with ``-W`` or
+  in the warnings summary) without changing test outcomes.  Together
+  with the shadow-memory detector -- which is on by default on every
+  ``Machine(check_hazards=True)`` -- this puts the whole suite under
+  dynamic *and* static checking.
+* The opt-in ``spmd_strict`` fixture escalates error-severity lint
+  findings to :class:`~repro.utils.errors.LintError` before the
+  program runs, for tests that want a hard gate.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.checker.lint import lint_callable
+from repro.utils.errors import LintError
+
+
+class SpmdLintWarning(UserWarning):
+    """A static lint finding surfaced while running an SPMD program."""
+
+
+#: Lint results keyed by code location, so repeatedly-run programs
+#: (parametrized tests, stress loops) are parsed once.
+_lint_cache: dict[tuple[str, int], list] = {}
+
+
+def _cached_lint(program):
+    code = getattr(program, "__code__", None)
+    if code is None:
+        return lint_callable(program)
+    key = (code.co_filename, code.co_firstlineno)
+    if key not in _lint_cache:
+        _lint_cache[key] = lint_callable(program)
+    return _lint_cache[key]
+
+
+@pytest.fixture(autouse=True)
+def _spmd_autolint(monkeypatch):
+    """Lint every program handed to ``run_spmd``; warn on findings."""
+    from repro.bdm import spmd as spmd_mod
+
+    original = spmd_mod._SpmdRunner.run
+
+    def linted_run(self):
+        for diag in _cached_lint(self.program):
+            warnings.warn(
+                f"{diag.rule} {diag.message} ({diag.function} at "
+                f"{diag.file}:{diag.line})",
+                SpmdLintWarning,
+                stacklevel=2,
+            )
+        return original(self)
+
+    monkeypatch.setattr(spmd_mod._SpmdRunner, "run", linted_run)
+    yield
+
+
+@pytest.fixture
+def spmd_strict(monkeypatch):
+    """Fail fast: error-severity lint findings raise before execution."""
+    from repro.bdm import spmd as spmd_mod
+
+    original = spmd_mod._SpmdRunner.run
+
+    def strict_run(self):
+        errors = [d for d in _cached_lint(self.program) if d.severity == "error"]
+        if errors:
+            raise LintError(
+                "SPMD program failed strict lint:\n"
+                + "\n".join(d.format() for d in errors)
+            )
+        return original(self)
+
+    monkeypatch.setattr(spmd_mod._SpmdRunner, "run", strict_run)
+    yield

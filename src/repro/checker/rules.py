@@ -1,0 +1,105 @@
+"""Rule catalog and diagnostic records for the SPMD lint pass.
+
+Every rule has a stable ID (``SPMD###``) so findings can be referenced
+in docs, suppressed selectively on the command line, and asserted in
+tests.  Severity ``error`` findings fail ``repro check`` (exit 1);
+``warning`` findings are reported but do not affect the exit status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LintRule:
+    id: str
+    name: str
+    severity: str  #: ``error`` or ``warning``
+    description: str
+
+
+RULES: dict[str, LintRule] = {
+    r.id: r
+    for r in (
+        LintRule(
+            "SPMD000",
+            "unparsable file",
+            "error",
+            "The file could not be parsed as Python; nothing was checked.",
+        ),
+        LintRule(
+            "SPMD001",
+            "unyielded sync token",
+            "error",
+            "ctx.sync()/ctx.barrier() returns a token that must be yielded "
+            "to the runner; calling it as a plain statement synchronizes "
+            "nothing (the prefetches stay pending and the superstep never "
+            "ends).",
+        ),
+        LintRule(
+            "SPMD002",
+            "handle read before sync",
+            "error",
+            "A prefetch Handle's .value is consumed on a path with no "
+            "intervening `yield ctx.sync()`; split-phase data is undefined "
+            "until the sync completes (Split-C's un-synchronized-read "
+            "failure mode).",
+        ),
+        LintRule(
+            "SPMD003",
+            "barrier divergence",
+            "error",
+            "A `yield ctx.barrier()` sits inside a pid-dependent branch or "
+            "loop, so processors would arrive at different barriers (or "
+            "different counts of them) and deadlock on a real machine.",
+        ),
+        LintRule(
+            "SPMD004",
+            "non-collective array allocation",
+            "error",
+            "ctx.array() is collective -- every processor must request the "
+            "same array; allocating inside a pid-dependent branch breaks "
+            "the collective contract.",
+        ),
+        LintRule(
+            "SPMD005",
+            "prefetch handle never consumed",
+            "warning",
+            "A ctx.prefetch()/ctx.prefetch_indices() result is discarded or "
+            "never read; the remote fetch (and its simulated cost) is dead "
+            "communication.",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class LintDiagnostic:
+    """One finding: a rule violation at a source location."""
+
+    rule: str
+    message: str
+    file: str
+    line: int
+    col: int
+    function: str
+
+    @property
+    def severity(self) -> str:
+        return RULES[self.rule].severity
+
+    def format(self) -> str:
+        return (
+            f"{self.file}:{self.line}:{self.col}: {self.rule} "
+            f"[{self.severity}] {self.message} (in {self.function!r})"
+        )
+
+
+def format_catalog() -> str:
+    """Human-readable rule listing for ``repro check --list-rules``."""
+    lines = []
+    for rule in RULES.values():
+        lines.append(f"{rule.id} [{rule.severity}] {rule.name}")
+        lines.append(f"    {rule.description}")
+    return "\n".join(lines)

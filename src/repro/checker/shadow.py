@@ -1,0 +1,204 @@
+"""Per-word shadow memory: the precise same-superstep race detector.
+
+The seed simulator logged writes as covering intervals, which both
+over- and under-approximates scattered accesses: two processors writing
+disjoint strided index sets were rejected (their covering intervals
+overlap), while a write landing on a word another processor already
+*read* this superstep was never detected at all (reads were not
+logged).  This module tracks every word individually.
+
+For each word of each block we remember, generation-stamped per
+superstep, the pid of the last writer and the pid of the remote
+reader(s).  The three hazard kinds of the split-phase discipline are
+then exact set intersections:
+
+* **read-after-write** -- a remote read touches a word some *other*
+  processor wrote this superstep;
+* **write-after-write** -- a write touches a word some other processor
+  wrote this superstep;
+* **write-after-read** -- a write touches a word some other processor
+  remotely read this superstep.
+
+A processor's accesses to the same word are internally ordered on a
+real machine, so same-pid repeats never conflict.  Clearing is O(1):
+the generation counter is bumped at every phase-closing barrier and
+stale stamps simply stop matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import HazardError
+
+#: Shadow cell holding no pid.
+NO_PID = -1
+#: Shadow reader cell touched by two or more distinct pids.
+MANY_PIDS = -2
+
+
+def compress_ranges(indices: np.ndarray) -> tuple[tuple[int, int], ...]:
+    """Collapse a set of element indices into sorted ``[start, stop)`` runs."""
+    idx = np.unique(np.asarray(indices, dtype=np.int64))
+    if idx.size == 0:
+        return ()
+    breaks = np.flatnonzero(np.diff(idx) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    stops = np.concatenate((breaks, [idx.size - 1]))
+    return tuple((int(idx[a]), int(idx[b]) + 1) for a, b in zip(starts, stops))
+
+
+def _format_ranges(ranges: tuple[tuple[int, int], ...]) -> str:
+    return ",".join(
+        f"{a}" if b == a + 1 else f"{a}:{b}" for a, b in ranges
+    )
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One detected same-superstep conflict, with full provenance."""
+
+    kind: str  #: ``read-after-write`` | ``write-after-write`` | ``write-after-read``
+    array: str  #: name of the :class:`GlobalArray`
+    owner: int  #: pid owning the conflicted block
+    accessor: int  #: pid performing the *later* access
+    others: tuple[int, ...]  #: pids of the earlier conflicting accesses
+    phase: str | None  #: label of the superstep the conflict occurred in
+    ranges: tuple[tuple[int, int], ...]  #: conflicted element ranges
+
+    def message(self) -> str:
+        if self.others == (MANY_PIDS,):
+            who = "multiple processors"
+        else:
+            pids = ", ".join(str(p) for p in self.others)
+            who = f"pid{'s' if len(self.others) > 1 else ''} {pids}"
+        where = f"{self.array}[{self.owner}][{_format_ranges(self.ranges)}]"
+        phase = f" in phase {self.phase!r}" if self.phase else " in the same superstep"
+        if self.kind == "read-after-write":
+            return (
+                f"read-after-write hazard: remote read of {where} by pid "
+                f"{self.accessor} overlaps a write by {who}{phase}; insert a "
+                "barrier between the write and the read"
+            )
+        if self.kind == "write-after-write":
+            return (
+                f"write-after-write hazard: write to {where} by pid "
+                f"{self.accessor} overlaps a write by {who}{phase}; "
+                "concurrent writes to the same words are unordered -- "
+                "separate them with a barrier"
+            )
+        return (
+            f"write-after-read hazard: write to {where} by pid "
+            f"{self.accessor} overlaps a remote read by {who}{phase}; the "
+            "read may observe either value -- separate them with a barrier"
+        )
+
+    def raise_(self) -> None:
+        err = HazardError(self.message())
+        err.hazard = self
+        raise err
+
+
+class _ShadowBlock:
+    """Shadow cells for one owner's block (lazily allocated)."""
+
+    __slots__ = ("length", "writer", "wgen", "reader", "rgen")
+
+    def __init__(self, length: int):
+        self.length = length
+        self.writer: np.ndarray | None = None
+        self.wgen: np.ndarray | None = None
+        self.reader: np.ndarray | None = None
+        self.rgen: np.ndarray | None = None
+
+    def ensure(self) -> None:
+        if self.writer is None:
+            self.writer = np.full(self.length, NO_PID, dtype=np.int32)
+            self.wgen = np.zeros(self.length, dtype=np.int64)
+            self.reader = np.full(self.length, NO_PID, dtype=np.int32)
+            self.rgen = np.zeros(self.length, dtype=np.int64)
+
+
+class ShadowMemory:
+    """Per-word access tracking for one distributed array.
+
+    ``sel`` arguments are either a ``slice`` (contiguous access) or an
+    ``int64`` index array (scattered access); hazards are evaluated on
+    the exact word set either way.
+    """
+
+    def __init__(self, array_name: str, lengths: list[int]):
+        self.array_name = array_name
+        self._blocks = [_ShadowBlock(n) for n in lengths]
+        # Generation 1 so freshly zero-stamped cells are already stale.
+        self._gen = 1
+
+    def clear(self) -> None:
+        """Forget all accesses (called at each phase-closing barrier)."""
+        self._gen += 1
+
+    # -- recording ---------------------------------------------------------
+
+    def record_read(self, owner: int, sel, pid: int, phase: str | None) -> None:
+        """Log a remote read; raises on read-after-write."""
+        blk = self._blocks[owner]
+        if self._empty(sel):
+            return
+        blk.ensure()
+        g = self._gen
+        w, wg = blk.writer[sel], blk.wgen[sel]
+        raw = (wg == g) & (w != pid)
+        if raw.any():
+            self._conflict("read-after-write", owner, pid, w[raw], sel, raw, phase)
+        r, rg = blk.reader[sel], blk.rgen[sel]
+        live = rg == g
+        blk.reader[sel] = np.where(
+            live & (r != pid), MANY_PIDS, np.where(live, r, pid)
+        ).astype(np.int32)
+        blk.rgen[sel] = g
+
+    def record_write(self, owner: int, sel, pid: int, phase: str | None) -> None:
+        """Log a write; raises on write-after-write / write-after-read."""
+        blk = self._blocks[owner]
+        if self._empty(sel):
+            return
+        blk.ensure()
+        g = self._gen
+        w, wg = blk.writer[sel], blk.wgen[sel]
+        waw = (wg == g) & (w != pid)
+        if waw.any():
+            self._conflict("write-after-write", owner, pid, w[waw], sel, waw, phase)
+        r, rg = blk.reader[sel], blk.rgen[sel]
+        war = (rg == g) & (r != pid)
+        if war.any():
+            self._conflict("write-after-read", owner, pid, r[war], sel, war, phase)
+        blk.writer[sel] = pid
+        blk.wgen[sel] = g
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _empty(sel) -> bool:
+        if isinstance(sel, slice):
+            return sel.stop <= sel.start
+        return np.asarray(sel).size == 0
+
+    def _conflict(self, kind, owner, pid, other_pids, sel, mask, phase) -> None:
+        if isinstance(sel, slice):
+            elements = sel.start + np.flatnonzero(mask)
+        else:
+            elements = np.asarray(sel)[mask]
+        others = np.unique(other_pids)
+        if MANY_PIDS in others:
+            others = np.array([MANY_PIDS])
+        Hazard(
+            kind=kind,
+            array=self.array_name,
+            owner=owner,
+            accessor=pid,
+            others=tuple(int(p) for p in others),
+            phase=phase,
+            ranges=compress_ranges(elements),
+        ).raise_()

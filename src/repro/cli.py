@@ -9,11 +9,15 @@ Commands
 ``components``  label connected components; print statistics, optionally
                 write the label map / an ASCII rendering.
 ``machines``    list the available machine models.
+``check``       statically lint SPMD programs (rule IDs SPMD001...) and
+                optionally smoke-run the built-in programs under the
+                shadow-memory race detector.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -185,6 +189,61 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _check_dynamic() -> list[str]:
+    """Smoke-run the packaged SPMD programs under full shadow checking."""
+    from repro.bdm.machine import Machine
+    from repro.core.spmd_programs import spmd_broadcast, spmd_histogram, spmd_transpose
+
+    ran = []
+    machine = Machine(4, check_hazards=True)
+    spmd_transpose(machine, np.arange(4 * 16).reshape(4, 16))
+    ran.append("spmd_transpose")
+    machine = Machine(4, check_hazards=True)
+    spmd_broadcast(machine, np.arange(16))
+    ran.append("spmd_broadcast")
+    machine = Machine(4, check_hazards=True)
+    rng = np.random.default_rng(0)
+    spmd_histogram(rng.integers(0, 16, size=(16, 16)), 16, 4)
+    ran.append("spmd_histogram")
+    return ran
+
+
+def cmd_check(args) -> int:
+    from repro.checker.lint import iter_python_files, lint_paths
+    from repro.checker.rules import RULES, format_catalog
+
+    if args.list_rules:
+        print(format_catalog())
+        return 0
+    paths = args.paths or [p for p in ("src", "examples") if os.path.isdir(p)] or ["."]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        raise ReproError(f"no such path(s): {', '.join(missing)}")
+    n_files = sum(1 for _ in iter_python_files(paths))
+    diags = lint_paths(paths)
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",")}
+        unknown = wanted - set(RULES)
+        if unknown:
+            raise ReproError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        diags = [d for d in diags if d.rule in wanted]
+    for diag in diags:
+        print(diag.format())
+    n_errors = sum(1 for d in diags if d.severity == "error")
+    n_warnings = len(diags) - n_errors
+    print(
+        f"checked {n_files} file(s): {n_errors} error(s), "
+        f"{n_warnings} warning(s)"
+    )
+    if args.dynamic:
+        ran = _check_dynamic()
+        print(
+            f"dynamic: {len(ran)} built-in SPMD program(s) ran clean under "
+            f"the shadow-memory race detector ({', '.join(ran)})"
+        )
+    return 1 if n_errors else 0
+
+
 def cmd_machines(args) -> int:
     print(f"{'key':<9} {'name':<16} {'latency':>9} {'bandwidth':>12} {'op':>8}")
     for key in sorted(MACHINES):
@@ -239,6 +298,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("-o", "--output", help="write the report to a file")
     rep.set_defaults(func=cmd_report)
+
+    chk = subs.add_parser(
+        "check",
+        help="lint SPMD programs (static) and smoke-run the race detector",
+    )
+    chk.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to scan (default: src and examples, else .)",
+    )
+    chk.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule IDs to report (e.g. SPMD001,SPMD003)",
+    )
+    chk.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    chk.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="also execute the built-in SPMD programs under the "
+        "shadow-memory race detector",
+    )
+    chk.set_defaults(func=cmd_check)
 
     mach = subs.add_parser("machines", help="list machine models")
     mach.set_defaults(func=cmd_machines)

@@ -25,11 +25,24 @@ class ValidationError(ReproError, ValueError):
 
 
 class HazardError(ReproError, RuntimeError):
-    """A same-phase read/write hazard was detected by the BDM simulator.
+    """A same-phase memory hazard was detected by the BDM simulator.
 
     The phase-based SPMD execution model requires that within one phase
-    no processor reads a remote location that another processor wrote in
-    the same phase (real machines would order these through the barrier
-    that separates phases).  The simulator can check this discipline and
-    raises this error on violation.
+    no two processors touch the same word with at least one write
+    (real machines would order these through the barrier that separates
+    phases).  The per-word shadow memory checker
+    (:mod:`repro.checker.shadow`) classifies violations as
+    read-after-write, write-after-write, or write-after-read and raises
+    this error; the structured record is attached as the ``hazard``
+    attribute when available.
+    """
+
+    hazard = None  #: :class:`repro.checker.shadow.Hazard` provenance, if any
+
+
+class LintError(ReproError):
+    """Static analysis found a discipline violation in an SPMD program.
+
+    Raised by strict-mode entry points (the ``spmd_strict`` pytest
+    fixture); plain ``repro check`` reports diagnostics without raising.
     """

@@ -10,6 +10,11 @@ import numpy as np
 import pytest
 from scipy import ndimage
 
+# Every SPMD program executed by the suite is statically linted (autouse
+# fixture; findings surface as SpmdLintWarning) on top of the dynamic
+# shadow-memory hazard checking that Machine enables by default.
+pytest_plugins = ("repro.checker.pytest_plugin",)
+
 STRUCT_4 = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
 STRUCT_8 = np.ones((3, 3), dtype=bool)
 

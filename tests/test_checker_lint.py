@@ -1,0 +1,379 @@
+"""Tests for the static SPMD lint pass and its entry points.
+
+One positive and one negative case per rule, plus the seeded buggy
+program from the acceptance criteria, the live-callable path, the CLI,
+and the strict pytest fixture.
+"""
+
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.bdm import Machine
+from repro.bdm.spmd import run_spmd
+from repro.checker.lint import lint_callable, lint_paths, lint_source
+from repro.checker.rules import RULES, format_catalog
+from repro.cli import main as cli_main
+from repro.machines import IDEAL
+from repro.utils.errors import LintError
+
+
+def rules_of(diags):
+    return sorted({d.rule for d in diags})
+
+
+def lint(snippet):
+    return lint_source(textwrap.dedent(snippet))
+
+
+class TestSpmd001UnyieldedSync:
+    def test_bare_sync_statement_flagged(self):
+        diags = lint(
+            """
+            def program(ctx):
+                ctx.sync()
+                yield ctx.barrier()
+            """
+        )
+        assert rules_of(diags) == ["SPMD001"]
+
+    def test_assigned_token_never_yielded_flagged(self):
+        diags = lint(
+            """
+            def program(ctx):
+                t = ctx.barrier()
+                yield ctx.sync()
+            """
+        )
+        assert "SPMD001" in rules_of(diags)
+
+    def test_yielded_tokens_clean(self):
+        diags = lint(
+            """
+            def program(ctx):
+                yield ctx.sync()
+                t = ctx.barrier()
+                yield t
+            """
+        )
+        assert diags == []
+
+
+class TestSpmd002ReadBeforeSync:
+    def test_value_before_sync_flagged(self):
+        diags = lint(
+            """
+            def program(ctx):
+                A = ctx.array("A", 4)
+                h = ctx.prefetch(A, 0)
+                v = h.value
+                yield ctx.sync()
+            """
+        )
+        assert "SPMD002" in rules_of(diags)
+
+    def test_value_after_sync_clean(self):
+        diags = lint(
+            """
+            def program(ctx):
+                A = ctx.array("A", 4)
+                h = ctx.prefetch(A, 0)
+                yield ctx.sync()
+                v = h.value
+            """
+        )
+        assert diags == []
+
+    def test_sync_on_one_path_only_flagged(self):
+        """'No intervening sync on any path' -- the else path is bare."""
+        diags = lint(
+            """
+            def program(ctx):
+                A = ctx.array("A", 4)
+                h = ctx.prefetch(A, 0)
+                if A.total_length() > 4:
+                    yield ctx.sync()
+                v = h.value
+                yield ctx.barrier()
+            """
+        )
+        assert "SPMD002" in rules_of(diags)
+
+    def test_barrier_does_not_count_as_sync(self):
+        """Only sync() services prefetches in the runner."""
+        diags = lint(
+            """
+            def program(ctx):
+                A = ctx.array("A", 4)
+                h = ctx.prefetch(A, 0)
+                yield ctx.barrier()
+                v = h.value
+                yield ctx.sync()
+            """
+        )
+        assert "SPMD002" in rules_of(diags)
+
+
+class TestSpmd003BarrierDivergence:
+    def test_pid_branch_flagged(self):
+        diags = lint(
+            """
+            def program(ctx):
+                if ctx.pid == 0:
+                    yield ctx.barrier()
+                yield ctx.sync()
+            """
+        )
+        assert "SPMD003" in rules_of(diags)
+
+    def test_taint_propagates_through_assignment(self):
+        diags = lint(
+            """
+            def program(ctx):
+                boss = ctx.pid == 0
+                if boss:
+                    yield ctx.barrier()
+                yield ctx.sync()
+            """
+        )
+        assert "SPMD003" in rules_of(diags)
+
+    def test_top_level_barrier_clean(self):
+        diags = lint(
+            """
+            def program(ctx):
+                for _ in range(ctx.p):
+                    yield ctx.barrier()
+            """
+        )
+        assert diags == []
+
+    def test_sync_in_pid_branch_allowed(self):
+        """sync() is a local wait; divergence is harmless."""
+        diags = lint(
+            """
+            def program(ctx):
+                if ctx.pid == 0:
+                    yield ctx.sync()
+                yield ctx.barrier()
+            """
+        )
+        assert diags == []
+
+
+class TestSpmd004NonCollectiveArray:
+    def test_pid_dependent_allocation_flagged(self):
+        diags = lint(
+            """
+            def program(ctx):
+                if ctx.pid == 0:
+                    A = ctx.array("A", 4)
+                yield ctx.barrier()
+            """
+        )
+        assert "SPMD004" in rules_of(diags)
+
+    def test_collective_allocation_clean(self):
+        diags = lint(
+            """
+            def program(ctx):
+                A = ctx.array("A", 4)
+                yield ctx.barrier()
+            """
+        )
+        assert diags == []
+
+
+class TestSpmd005DroppedHandle:
+    def test_bare_prefetch_flagged(self):
+        diags = lint(
+            """
+            def program(ctx):
+                A = ctx.array("A", 4)
+                ctx.prefetch(A, 0)
+                yield ctx.sync()
+            """
+        )
+        assert "SPMD005" in rules_of(diags)
+
+    def test_assigned_but_never_read_flagged(self):
+        diags = lint(
+            """
+            def program(ctx):
+                A = ctx.array("A", 4)
+                h = ctx.prefetch(A, 0)
+                yield ctx.sync()
+            """
+        )
+        assert "SPMD005" in rules_of(diags)
+
+    def test_consumed_handle_clean(self):
+        diags = lint(
+            """
+            def program(ctx):
+                A = ctx.array("A", 4)
+                handles = []
+                for r in range(ctx.p):
+                    handles.append(ctx.prefetch(A, r))
+                h = ctx.prefetch(A, 0)
+                yield ctx.sync()
+                return h.value
+            """
+        )
+        assert diags == []
+
+    def test_severity_is_warning(self):
+        assert RULES["SPMD005"].severity == "warning"
+
+
+class TestSeededBuggyProgram:
+    """The acceptance scenario: unyielded sync + barrier divergence."""
+
+    SOURCE = """
+        def buggy(ctx):
+            A = ctx.array("A", 8)
+            h = ctx.prefetch(A, (ctx.pid + 1) % ctx.p)
+            ctx.sync()                      # BUG: token not yielded
+            if ctx.pid == 0:
+                yield ctx.barrier()         # BUG: barrier divergence
+            yield ctx.sync()
+            return h.value
+    """
+
+    def test_both_bugs_flagged_with_rule_ids(self):
+        diags = lint(self.SOURCE)
+        assert "SPMD001" in rules_of(diags)
+        assert "SPMD003" in rules_of(diags)
+
+    def test_diagnostics_carry_location_and_function(self):
+        diags = lint(self.SOURCE)
+        d = next(d for d in diags if d.rule == "SPMD001")
+        assert d.function == "buggy"
+        assert d.line == 5
+        assert "SPMD001" in d.format()
+
+
+class TestEntryPoints:
+    def test_lint_callable_on_live_function(self):
+        def program(ctx):
+            A = ctx.array("A", 4)
+            h = ctx.prefetch(A, 0)
+            v = h.value  # read before sync
+            yield ctx.sync()
+            return v
+
+        diags = lint_callable(program)
+        assert "SPMD002" in rules_of(diags)
+        assert all(d.function == "program" for d in diags)
+
+    def test_lint_callable_non_program_returns_empty(self):
+        assert lint_callable(len) == []
+        assert lint_callable(lambda x: x) == []
+
+    def test_lint_source_syntax_error(self):
+        diags = lint_source("def broken(:\n", "bad.py")
+        assert rules_of(diags) == ["SPMD000"]
+        assert diags[0].file == "bad.py"
+
+    def test_repo_sources_are_clean(self):
+        """Guards the CI gate: `repro check src examples` must stay green."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        diags = lint_paths([str(root / "src"), str(root / "examples")])
+        assert [d.format() for d in diags if d.severity == "error"] == []
+
+    def test_catalog_lists_every_rule(self):
+        text = format_catalog()
+        for rule_id in RULES:
+            assert rule_id in text
+
+
+class TestCli:
+    def test_check_flags_buggy_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad_program.py"
+        bad.write_text(
+            textwrap.dedent(
+                """
+                def program(ctx):
+                    ctx.sync()
+                    if ctx.pid == 0:
+                        yield ctx.barrier()
+                """
+            )
+        )
+        rc = cli_main(["check", str(bad)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "SPMD001" in out
+        assert "SPMD003" in out
+
+    def test_check_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good_program.py"
+        good.write_text(
+            textwrap.dedent(
+                """
+                def program(ctx):
+                    A = ctx.array("A", 4)
+                    h = ctx.prefetch(A, 0)
+                    yield ctx.sync()
+                    return h.value
+                """
+            )
+        )
+        rc = cli_main(["check", str(good)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s)" in out
+
+    def test_check_select_filters_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad_program.py"
+        bad.write_text("def program(ctx):\n    ctx.sync()\n    yield ctx.barrier()\n")
+        rc = cli_main(["check", str(bad), "--select", "SPMD003"])
+        out = capsys.readouterr().out
+        assert rc == 0  # the only finding (SPMD001) was filtered out
+        assert "SPMD001" not in out
+
+    def test_check_unknown_rule_errors(self, tmp_path):
+        rc = cli_main(["check", str(tmp_path), "--select", "SPMD999"])
+        assert rc == 2
+
+    def test_check_missing_path_errors(self, tmp_path, capsys):
+        """A typo'd path must not silently pass the CI gate."""
+        rc = cli_main(["check", str(tmp_path / "no_such_dir")])
+        assert rc == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        rc = cli_main(["check", "--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SPMD001" in out
+
+
+class TestStrictFixture:
+    def test_strict_mode_blocks_buggy_program(self, spmd_strict):
+        m = Machine(2, IDEAL)
+
+        def program(ctx):
+            A = ctx.array("A", 4)
+            h = ctx.prefetch(A, 0)
+            v = h.value  # lint error: read before sync
+            yield ctx.sync()
+
+        with pytest.raises(LintError, match="SPMD002"):
+            run_spmd(m, program)
+
+    def test_strict_mode_passes_clean_program(self, spmd_strict):
+        m = Machine(2, IDEAL)
+
+        def program(ctx):
+            A = ctx.array("A", 4)
+            ctx.write(A, np.arange(4))
+            yield ctx.barrier()
+            h = ctx.prefetch(A, (ctx.pid + 1) % 2)
+            yield ctx.sync()
+            return int(h.value[0])
+
+        assert run_spmd(m, program) == [0, 0]

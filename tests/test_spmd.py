@@ -142,6 +142,46 @@ class TestSplitPhaseSemantics:
         assert run_spmd(m, correct) == [2, 1]
 
 
+class TestPendingPrefetches:
+    def test_completion_with_unserviced_prefetch_raises(self):
+        """A prefetch with no sync() before return used to vanish silently."""
+        m = Machine(2, IDEAL)
+
+        def program(ctx):
+            A = ctx.array("A", 4)
+            yield ctx.barrier()
+            ctx.prefetch(A, (ctx.pid + 1) % 2)
+            return ctx.pid  # BUG: never synced
+
+        with pytest.raises(HazardError, match="unserviced prefetch"):
+            run_spmd(m, program)
+
+    def test_synced_program_unaffected(self):
+        m = Machine(2, IDEAL)
+
+        def program(ctx):
+            A = ctx.array("A", 4)
+            yield ctx.barrier()
+            h = ctx.prefetch(A, (ctx.pid + 1) % 2)
+            yield ctx.sync()
+            return int(h.value[0])
+
+        assert run_spmd(m, program) == [0, 0]
+
+    def test_racy_program_unchecked_when_disabled(self):
+        """check_hazards=False remains a full escape hatch for the DSL."""
+        m = Machine(2, IDEAL, check_hazards=False)
+
+        def racy(ctx):
+            A = ctx.array("A", 4)
+            ctx.write(A, [ctx.pid + 1] * 4)
+            h = ctx.prefetch(A, (ctx.pid + 1) % 2)
+            yield ctx.sync()
+            return int(h.value[0])
+
+        assert run_spmd(m, racy) == [2, 1]
+
+
 class TestValidation:
     def test_non_generator_program_rejected(self):
         m = Machine(2, IDEAL)
