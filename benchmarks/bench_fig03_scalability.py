@@ -14,6 +14,7 @@ large n.
 import numpy as np
 
 from benchmarks.conftest import emit, fmt_seconds
+from benchmarks.emit import emit_json
 from repro.analysis.complexity import scalability_exponent
 from repro.core.connected_components import parallel_components
 from repro.core.histogram import parallel_histogram
@@ -55,6 +56,13 @@ def test_fig03_histogram_scalability(benchmark):
         row = f"{n:<6}" + "".join(f" {fmt_seconds(series[p][i])}" for p in PS)
         lines.append(row)
     emit("fig03_histogram_scalability", "\n".join(lines))
+    emit_json(
+        "fig03_histogram_scalability",
+        params={"machine": "cm5", "k": 256, "clock": "sim", "x": "n"},
+        series=[
+            {"label": f"p={p}", "x": list(HIST_NS), "y": series[p]} for p in PS
+        ],
+    )
 
     # Quadratic growth in n for fixed p (slope of log t vs log n -> 2).
     for p in PS:
@@ -76,6 +84,11 @@ def test_fig03_components_scalability(benchmark):
         row = f"{n:<6}" + "".join(f" {fmt_seconds(series[p][i])}" for p in PS)
         lines.append(row)
     emit("fig03_components_scalability", "\n".join(lines))
+    emit_json(
+        "fig03_components_scalability",
+        params={"machine": "cm5", "pattern": 9, "clock": "sim", "x": "n"},
+        series=[{"label": f"p={p}", "x": list(CC_NS), "y": series[p]} for p in PS],
+    )
 
     for p in PS:
         slope = scalability_exponent(np.array(CC_NS[-3:], float), np.array(series[p][-3:]))

@@ -14,6 +14,7 @@ import time
 import numpy as np
 
 from benchmarks.conftest import emit
+from benchmarks.emit import emit_json
 from repro.baselines import run_label
 from repro.images import darpa_like
 from repro.runtime import components, histogram
@@ -49,6 +50,14 @@ def test_runtime_backends(benchmark):
     if cores == 1:
         lines.append("  NOTE: single-core host; process backend cannot speed up here.")
     emit("runtime_backends", "\n".join(lines))
+    emit_json(
+        "runtime_backends",
+        params={"n": N, "k": K, "clock": "wall"},
+        rows=[{"name": name, "wall_s": t} for name, t in rows.items()],
+        notes="process backend cannot speed up on a single-core host"
+        if cores == 1
+        else "",
+    )
 
     # Correctness regardless of backend was asserted in tests; here just
     # sanity-check the measurements exist and are positive.

@@ -1,0 +1,106 @@
+"""Structured benchmark artifacts: JSON trajectories next to the text tables.
+
+The ``.txt`` files under ``benchmarks/results/`` reproduce the paper's
+tables for human readers; this module adds a machine-readable record of
+the same measurements so perf changes can be *proven* across PRs
+(diffable series, trend lines, CI assertions).  Every artifact carries
+the versioned schema tag ``repro-bench/v1`` and the host fingerprint
+needed to interpret wall-clock numbers.
+
+Two payload shapes:
+
+* ``series`` -- sweep benchmarks (a list of labeled ``x``/``y``
+  vectors, e.g. time vs. image side per processor count);
+* ``rows`` -- flat measurement tables (a list of dicts, one per
+  configuration).
+
+Usage from a benchmark::
+
+    from benchmarks.emit import emit_json
+    emit_json("fig03_histogram_scalability",
+              params={"k": 256, "machine": "cm5"},
+              series=[{"label": "p=16", "x": ns, "y": times}])
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCHEMA = "repro-bench/v1"
+
+#: Keys every artifact must carry (pinned by tests/test_bench_emit.py).
+REQUIRED_KEYS = ("schema", "name", "units", "host", "params")
+
+
+def host_fingerprint() -> dict:
+    """Where the numbers came from (wall-clock context)."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def emit_json(
+    name: str,
+    *,
+    params: dict | None = None,
+    series: list[dict] | None = None,
+    rows: list[dict] | None = None,
+    units: str = "seconds",
+    notes: str = "",
+) -> pathlib.Path:
+    """Write ``benchmarks/results/<name>.json`` and return its path.
+
+    Exactly one of ``series`` / ``rows`` may be omitted; passing
+    neither is an error (an empty artifact records nothing).
+    """
+    if series is None and rows is None:
+        raise ValueError("emit_json needs 'series' or 'rows'")
+    payload: dict = {
+        "schema": SCHEMA,
+        "name": name,
+        "units": units,
+        "host": host_fingerprint(),
+        "params": params or {},
+    }
+    if series is not None:
+        payload["series"] = series
+    if rows is not None:
+        payload["rows"] = rows
+    if notes:
+        payload["notes"] = notes
+    validate_bench_json(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"\n[{name}] -> {path}")
+    return path
+
+
+def validate_bench_json(obj) -> None:
+    """Raise ``ValueError`` unless ``obj`` is a valid v1 bench artifact."""
+    if not isinstance(obj, dict):
+        raise ValueError("bench artifact must be a JSON object")
+    for key in REQUIRED_KEYS:
+        if key not in obj:
+            raise ValueError(f"bench artifact lacks required key {key!r}")
+    if obj["schema"] != SCHEMA:
+        raise ValueError(f"unknown schema {obj['schema']!r} (expected {SCHEMA!r})")
+    if "series" not in obj and "rows" not in obj:
+        raise ValueError("bench artifact needs 'series' or 'rows'")
+    for s in obj.get("series", []):
+        for key in ("label", "x", "y"):
+            if key not in s:
+                raise ValueError(f"series entry lacks {key!r}")
+        if len(s["x"]) != len(s["y"]):
+            raise ValueError(f"series {s['label']!r}: x and y lengths differ")
+    rows = obj.get("rows", [])
+    if not isinstance(rows, list) or any(not isinstance(r, dict) for r in rows):
+        raise ValueError("'rows' must be a list of objects")
+    json.dumps(obj, allow_nan=False)  # strict-JSON check (TypeError/ValueError)

@@ -96,6 +96,7 @@ class PhaseRecord:
     comp_s: float
     words_moved: int
     barrier_s: float = 0.0
+    messages: int = 0
 
 
 @dataclass
@@ -133,6 +134,11 @@ class MachineReport:
     def words_moved(self) -> int:
         """Total remote words moved by all processors over the run."""
         return sum(ph.words_moved for ph in self.phases)
+
+    @property
+    def messages(self) -> int:
+        """Total latency charges (messages / prefetch batches) over the run."""
+        return sum(ph.messages for ph in self.phases)
 
     def phases_matching(self, prefix: str) -> list[PhaseRecord]:
         """All phases whose name starts with ``prefix``."""

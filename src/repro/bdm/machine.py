@@ -28,6 +28,35 @@ from repro.utils.errors import ConfigurationError, ValidationError
 from repro.utils.validation import check_power_of_two
 
 
+class MachineObserver:
+    """Base class for consumers of a machine's event stream.
+
+    Attach with :meth:`Machine.attach_observer`.  The machine invokes
+    the hooks below as it runs; all default to no-ops so subclasses
+    (e.g. :class:`~repro.bdm.trace.Tracer`,
+    :class:`~repro.obs.sim.MachineRecorder`) override only what they
+    need.
+    """
+
+    def on_phase(self, record, deltas, start_s: float) -> None:
+        """A phase closed: aggregated ``record``
+        (:class:`~repro.bdm.cost.PhaseRecord`), per-processor cost
+        ``deltas`` (:class:`~repro.bdm.cost.CostCounter` list), and the
+        simulated time ``start_s`` at which the phase began."""
+
+    def on_traffic(self, server: int, mover: int, words: int) -> None:
+        """``words`` words crossed the network between ``server`` (the
+        processor whose port served the transfer) and ``mover`` (the
+        processor charged for moving them)."""
+
+    def on_hazard(self, hazard) -> None:
+        """A same-phase hazard was detected (before the raise);
+        ``hazard`` is a :class:`repro.checker.shadow.Hazard`."""
+
+    def on_reset(self) -> None:
+        """The machine's cost records were cleared."""
+
+
 class Processor:
     """One virtual processor: identity plus cost charging."""
 
@@ -89,8 +118,14 @@ class Processor:
             raise ValidationError("words must be non-negative")
         self._charge_comm(words)
 
-    def _charge_comm(self, words: int) -> None:
-        """Charge a remote access of ``words`` words (called by arrays)."""
+    def _charge_comm(self, words: int, *, from_pid: int | None = None) -> None:
+        """Charge a remote access of ``words`` words (called by arrays).
+
+        ``from_pid`` names the processor on the other end of the
+        transfer (the serving port); when given, the traffic is also
+        reported to the machine's observers for the communication
+        matrix.
+        """
         params = self.machine.params
         charge_latency = True
         if self._batch_depth > 0:
@@ -103,6 +138,8 @@ class Processor:
             self.cost.messages += 1
         self.cost.comm_s += words * params.word_time_s()
         self.cost.words_moved += words
+        if from_pid is not None and from_pid != self.pid:
+            self.machine._note_traffic(from_pid, self.pid, words)
 
     def _charge_words_only(self, words: int) -> None:
         """Occupy this processor's network port for ``words`` word-times.
@@ -165,6 +202,29 @@ class Machine:
         self.in_phase = False
         self.phase_name: str | None = None  # label of the running phase
         self._tracer = None  # set by repro.bdm.trace.Tracer
+        self._observers: list[MachineObserver] = []
+        self._sim_time_s = 0.0  # simulated clock at the last barrier
+
+    # -- observers ---------------------------------------------------------
+
+    def attach_observer(self, observer: MachineObserver) -> None:
+        """Subscribe ``observer`` to this machine's event stream."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def detach_observer(self, observer: MachineObserver) -> None:
+        """Unsubscribe ``observer`` (no-op if not attached)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _note_traffic(self, server: int, mover: int, words: int) -> None:
+        if words and self._observers:
+            for obs in self._observers:
+                obs.on_traffic(server, mover, words)
+
+    def _note_hazard(self, hazard) -> None:
+        for obs in self._observers:
+            obs.on_hazard(hazard)
 
     # -- arrays ------------------------------------------------------------
 
@@ -189,7 +249,7 @@ class Machine:
             raise ValidationError("words must be non-negative")
         if src_pid == dst_pid or words == 0:
             return
-        self.procs[dst_pid]._charge_comm(words)
+        self.procs[dst_pid]._charge_comm(words, from_pid=src_pid)
         self._charge_server(src_pid, words)
 
     # -- phases ------------------------------------------------------------
@@ -224,11 +284,16 @@ class Machine:
                 comm_s=max(d.port_s for d in deltas),
                 comp_s=max(d.comp_s for d in deltas),
                 words_moved=sum(d.words_moved for d in deltas),
+                messages=sum(d.messages for d in deltas),
                 barrier_s=self.params.barrier_s,
             )
             self._phases.append(record)
+            start_s = self._sim_time_s
+            self._sim_time_s += record.elapsed_s + record.barrier_s
             for arr in self._arrays:
                 arr._clear_phase_writes()
+            for obs in self._observers:
+                obs.on_phase(record, deltas, start_s)
 
     def each_proc(self) -> Iterator[Processor]:
         """Iterate over processors (the SPMD 'my pid' loop)."""
@@ -245,10 +310,19 @@ class Machine:
         )
 
     def reset(self) -> None:
-        """Clear all cost records (arrays keep their contents)."""
+        """Clear all cost records (arrays keep their contents).
+
+        Attached observers are told via
+        :meth:`MachineObserver.on_reset`, so an attached
+        :class:`~repro.bdm.trace.Tracer` drops its recorded phases
+        instead of carrying stale pre-reset data.
+        """
         for proc in self.procs:
             proc.cost = CostCounter()
         self._phases.clear()
+        self._sim_time_s = 0.0
+        for obs in self._observers:
+            obs.on_reset()
 
     @property
     def elapsed_s(self) -> float:

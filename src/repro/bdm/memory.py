@@ -32,7 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.checker.shadow import ShadowMemory
-from repro.utils.errors import ValidationError
+from repro.utils.errors import HazardError, ValidationError
 
 
 class GlobalArray:
@@ -96,10 +96,19 @@ class GlobalArray:
         return self._machine.check_hazards and self._machine.in_phase
 
     def _shadow_read(self, owner: int, sel, pid: int) -> None:
-        self._shadow.record_read(owner, sel, pid, self._machine.phase_name)
+        try:
+            self._shadow.record_read(owner, sel, pid, self._machine.phase_name)
+        except HazardError as exc:
+            # Land the provenance in the event stream before raising.
+            self._machine._note_hazard(getattr(exc, "hazard", None))
+            raise
 
     def _shadow_write(self, owner: int, sel, pid: int) -> None:
-        self._shadow.record_write(owner, sel, pid, self._machine.phase_name)
+        try:
+            self._shadow.record_write(owner, sel, pid, self._machine.phase_name)
+        except HazardError as exc:
+            self._machine._note_hazard(getattr(exc, "hazard", None))
+            raise
 
     # -- access ------------------------------------------------------------
 
@@ -120,7 +129,7 @@ class GlobalArray:
         if owner != proc.pid:
             if self._checking:
                 self._shadow_read(owner, slice(start, stop), proc.pid)
-            proc._charge_comm(stop - start)
+            proc._charge_comm(stop - start, from_pid=owner)
             self._machine._charge_server(owner, stop - start)
         return block[start:stop].copy()
 
@@ -135,7 +144,7 @@ class GlobalArray:
         stop = start + len(values)
         self._validate_range(owner, start, stop)
         if owner != proc.pid:
-            proc._charge_comm(len(values))
+            proc._charge_comm(len(values), from_pid=owner)
             self._machine._charge_server(owner, len(values))
         if self._checking:
             self._shadow_write(owner, slice(start, stop), proc.pid)
@@ -156,7 +165,7 @@ class GlobalArray:
         if owner != proc.pid:
             if self._checking:
                 self._shadow_read(owner, indices, proc.pid)
-            proc._charge_comm(len(indices))
+            proc._charge_comm(len(indices), from_pid=owner)
             self._machine._charge_server(owner, len(indices))
         return self._blocks[owner][indices].copy()
 
@@ -180,7 +189,7 @@ class GlobalArray:
             )
         self._validate_range(owner, int(indices.min()), int(indices.max()) + 1)
         if owner != proc.pid:
-            proc._charge_comm(len(values))
+            proc._charge_comm(len(values), from_pid=owner)
             self._machine._charge_server(owner, len(values))
         if self._checking:
             self._shadow_write(owner, indices, proc.pid)

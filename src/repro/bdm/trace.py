@@ -5,12 +5,20 @@ critical path; this module keeps the *per-processor* breakdown so load
 imbalance is visible -- e.g. the CC merge phases, where a handful of
 group managers work while the clients idle at the barrier.
 
+:class:`Tracer` is a consumer of the machine's observer event stream
+(see :class:`~repro.bdm.machine.MachineObserver`): it subscribes via
+``machine.attach_observer`` rather than monkey-patching ``phase``, so
+it composes with the richer recorders in :mod:`repro.obs`.  A
+:meth:`Machine.reset() <repro.bdm.machine.Machine.reset>` clears the
+tracer's recorded phases along with the machine's own records.
+
 Usage::
 
     tracer = Tracer(machine)          # attach before running
     ... run the algorithm ...
     print(tracer.gantt())             # one row per processor
     print(tracer.imbalance_table())   # per-phase utilization
+    tracer.detach()                   # stop recording (optional)
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bdm.machine import Machine
+from repro.bdm.machine import Machine, MachineObserver
 from repro.utils.errors import ConfigurationError
 
 
@@ -43,12 +51,23 @@ class PhaseTrace:
             return 1.0
         return float(self.busy_s.mean() / peak)
 
+    @property
+    def imbalance(self) -> float:
+        """Critical path over mean busy time (>= 1; 1 = perfectly even)."""
+        mean = float(self.busy_s.mean())
+        if mean <= 0:
+            return 1.0
+        return self.elapsed_s / mean
 
-class Tracer:
+
+class Tracer(MachineObserver):
     """Records per-processor costs of every phase run on a machine.
 
-    Wraps the machine's ``phase`` context manager; attach exactly one
-    tracer per machine, before the first phase.
+    Subscribes to the machine's event stream; attach exactly one tracer
+    per machine, before the first phase (use
+    :class:`~repro.obs.sim.MachineRecorder` for unrestricted multi-
+    consumer recording).  :meth:`detach` unsubscribes, restoring the
+    machine's untraced state so another tracer may be attached.
     """
 
     def __init__(self, machine: Machine):
@@ -59,11 +78,33 @@ class Tracer:
         self.machine = machine
         self.phases: list[PhaseTrace] = []
         machine._tracer = self
-        self._original_phase = machine.phase
-        machine.phase = self._traced_phase  # type: ignore[method-assign]
+        machine.attach_observer(self)
 
-    def _traced_phase(self, name: str):
-        return _TracedPhase(self, name)
+    def detach(self) -> None:
+        """Stop recording and release the machine's tracer slot.
+
+        Recorded phases are kept for inspection; the machine accepts a
+        new :class:`Tracer` afterwards.
+        """
+        self.machine.detach_observer(self)
+        if self.machine._tracer is self:
+            self.machine._tracer = None
+
+    # -- observer hooks ----------------------------------------------------
+
+    def on_phase(self, record, deltas, start_s: float) -> None:
+        self.phases.append(
+            PhaseTrace(
+                name=record.name,
+                busy_s=np.array([d.total_s for d in deltas]),
+                barrier_s=record.barrier_s,
+            )
+        )
+
+    def on_reset(self) -> None:
+        self.phases.clear()
+
+    # -- rendering ---------------------------------------------------------
 
     def gantt(self, *, width: int = 60) -> str:
         """ASCII Gantt chart: one row per processor, time left-to-right.
@@ -71,6 +112,10 @@ class Tracer:
         Each phase occupies a horizontal span proportional to its
         critical-path time; within the span, a processor's row is
         filled ('#') for its busy fraction and dotted for idle time.
+        The spans are apportioned by largest remainder so every row is
+        exactly ``width`` characters of bar (phases too short for one
+        column are dropped from the rendering; per-phase rounding can
+        therefore never push a row past ``width``).
         """
         if not self.phases:
             return "(no phases recorded)"
@@ -78,14 +123,16 @@ class Tracer:
         total = sum(ph.elapsed_s for ph in self.phases)
         if total <= 0:
             return "(no time elapsed)"
+        spans = _apportion([ph.elapsed_s for ph in self.phases], width)
         rows = [[] for _ in range(p)]
         header = []
-        for ph in self.phases:
-            span = max(1, int(round(width * ph.elapsed_s / total)))
-            header.append(ph.name[: max(span - 1, 1)].ljust(span, " ")[:span])
+        for ph, span in zip(self.phases, spans):
+            if span == 0:
+                continue
+            header.append(ph.name[:span].ljust(span))
             for pid in range(p):
                 frac = ph.busy_s[pid] / ph.elapsed_s if ph.elapsed_s else 0.0
-                fill = int(round(span * frac))
+                fill = min(span, int(round(span * frac)))
                 rows[pid].append("#" * fill + "." * (span - fill))
         lines = ["phase: " + "|".join(header)]
         for pid in range(p):
@@ -112,31 +159,22 @@ class Tracer:
         return total_busy / (self.machine.p * total_elapsed)
 
 
-class _TracedPhase:
-    def __init__(self, tracer: Tracer, name: str):
-        self.tracer = tracer
-        self.name = name
-        self._inner = tracer._original_phase(name)
+def _apportion(weights: list[float], width: int) -> list[int]:
+    """Integer spans proportional to ``weights`` summing to ``width``.
 
-    def __enter__(self):
-        machine = self.tracer.machine
-        self._before = [proc.cost.snapshot() for proc in machine.procs]
-        return self._inner.__enter__()
-
-    def __exit__(self, *exc):
-        result = self._inner.__exit__(*exc)
-        machine = self.tracer.machine
-        busy = np.array(
-            [
-                proc.cost.minus(prev).total_s
-                for proc, prev in zip(machine.procs, self._before)
-            ]
-        )
-        self.tracer.phases.append(
-            PhaseTrace(
-                name=self.name,
-                busy_s=busy,
-                barrier_s=machine.params.barrier_s,
-            )
-        )
-        return result
+    Largest-remainder method: floor the exact quotas, then hand the
+    remaining columns to the largest fractional parts.  The result sums
+    to exactly ``width`` (unlike per-item rounding, which can overshoot).
+    """
+    total = sum(weights)
+    if total <= 0 or width <= 0:
+        return [0] * len(weights)
+    quotas = [w / total * width for w in weights]
+    spans = [int(q) for q in quotas]
+    leftovers = width - sum(spans)
+    order = sorted(
+        range(len(weights)), key=lambda i: quotas[i] - spans[i], reverse=True
+    )
+    for i in order[:leftovers]:
+        spans[i] += 1
+    return spans

@@ -12,6 +12,11 @@ Commands
 ``check``       statically lint SPMD programs (rule IDs SPMD001...) and
                 optionally smoke-run the built-in programs under the
                 shadow-memory race detector.
+``trace``       run a workload under the observability layer and export
+                a Chrome trace-event JSON (open in Perfetto /
+                ``chrome://tracing``) plus a metrics snapshot, on either
+                the simulated machine or the real multiprocessing
+                runtime.
 """
 
 from __future__ import annotations
@@ -62,6 +67,16 @@ def _add_input_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--report", action="store_true", help="print the per-phase cost breakdown"
     )
+    sub.add_argument(
+        "--trace-out",
+        metavar="OUT.json",
+        help="write a Chrome trace-event JSON of the run (Perfetto-loadable)",
+    )
+    sub.add_argument(
+        "--metrics-out",
+        metavar="OUT.json",
+        help="write a metrics snapshot (per-phase counters/gauges) as JSON",
+    )
 
 
 def cmd_generate(args) -> int:
@@ -78,10 +93,58 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _sim_recorder(args, params):
+    """Machine + attached recorder when trace/metrics output is requested."""
+    if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)):
+        return None, None
+    from repro.bdm.machine import Machine
+    from repro.obs import MachineRecorder
+
+    machine = Machine(args.processors, params)
+    return machine, MachineRecorder(machine)
+
+
+def _export_sim(args, rec) -> None:
+    if rec is None:
+        return
+    from repro.obs import sim_metrics, write_chrome_trace, write_metrics
+
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, rec.log)
+        print(
+            f"trace written to {args.trace_out} "
+            f"({len(rec.log.spans)} spans; open in Perfetto)"
+        )
+    if args.metrics_out:
+        write_metrics(args.metrics_out, sim_metrics(rec))
+        print(f"metrics written to {args.metrics_out}")
+
+
+def _export_wall(args, rec) -> None:
+    if rec is None:
+        return
+    from repro.obs import wall_metrics, write_chrome_trace, write_metrics
+
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, rec.log)
+        print(
+            f"trace written to {args.trace_out} "
+            f"({len(rec.log.spans)} spans; open in Perfetto)"
+        )
+    if args.metrics_out:
+        write_metrics(
+            args.metrics_out, wall_metrics(rec.log, workers=len(rec.worker_lanes))
+        )
+        print(f"metrics written to {args.metrics_out}")
+
+
 def cmd_histogram(args) -> int:
     image = _load_image(args)
     params = load_machine(args.machine)
-    res = parallel_histogram(image, args.levels, args.processors, params)
+    machine, rec = _sim_recorder(args, params)
+    res = parallel_histogram(
+        image, args.levels, args.processors, params, machine=machine
+    )
     hist = res.histogram
     print(
         f"histogram of {image.shape[0]}x{image.shape[1]} image, k={args.levels}, "
@@ -101,6 +164,7 @@ def cmd_histogram(args) -> int:
         eq = parallel_equalize(image, args.levels, args.processors, params)
         write_pgm(args.equalize, eq.image)
         print(f"equalized image written to {args.equalize}")
+    _export_sim(args, rec)
     return 0
 
 
@@ -108,17 +172,25 @@ def cmd_components(args) -> int:
     image = _load_image(args)
     params = load_machine(args.machine)
     if args.runtime:
+        wall_rec = None
+        if args.trace_out or args.metrics_out:
+            from repro.obs import WallRecorder
+
+            wall_rec = WallRecorder()
         labels = runtime_components(
-            image, connectivity=args.connectivity, grey=args.grey
+            image, connectivity=args.connectivity, grey=args.grey, recorder=wall_rec
         )
         print(f"runtime backend: {image.shape[0]}x{image.shape[1]}")
+        _export_wall(args, wall_rec)
     else:
+        machine, rec = _sim_recorder(args, params)
         res = parallel_components(
             image,
             args.processors,
             params,
             connectivity=args.connectivity,
             grey=args.grey,
+            machine=machine,
         )
         labels = res.labels
         print(
@@ -127,6 +199,7 @@ def cmd_components(args) -> int:
         )
         if args.report:
             print(res.report.summary(top=8))
+        _export_sim(args, rec)
     table = region_table(labels, image)
     print(
         f"{len(table)} components ({args.connectivity}-connectivity, "
@@ -244,6 +317,70 @@ def cmd_check(args) -> int:
     return 1 if n_errors else 0
 
 
+def cmd_trace(args) -> int:
+    image = _load_image(args)
+    if args.engine == "sim":
+        from repro.bdm.machine import Machine
+        from repro.obs import MachineRecorder, comm_heatmap
+
+        params = load_machine(args.machine)
+        machine = Machine(args.processors, params)
+        rec = MachineRecorder(machine)
+        if args.workload == "histogram":
+            parallel_histogram(
+                image, args.levels, args.processors, params, machine=machine
+            )
+        else:
+            parallel_components(
+                image,
+                args.processors,
+                params,
+                connectivity=args.connectivity,
+                grey=args.grey,
+                machine=machine,
+            )
+        report = machine.report()
+        print(
+            f"traced {args.workload} on simulated {params.name}, "
+            f"p={machine.p}: {len(report.phases)} phases, "
+            f"{report.words_moved} words moved, "
+            f"{report.elapsed_s * 1e3:.3f} ms simulated"
+        )
+        if args.report:
+            print(report.summary(top=8))
+        if args.heatmap:
+            print(comm_heatmap(rec.comm_matrix))
+        _export_sim(args, rec)
+    else:
+        from repro.obs import WallRecorder
+        from repro.runtime import histogram as rt_histogram
+        from repro.runtime import resolve_workers
+
+        rec = WallRecorder()
+        if args.workload == "histogram":
+            workers = resolve_workers(args.processors)
+            rt_histogram(
+                image, args.levels, workers=workers, backend="process", recorder=rec
+            )
+        else:
+            workers = resolve_workers(args.processors, image.shape)
+            runtime_components(
+                image,
+                connectivity=args.connectivity,
+                grey=args.grey,
+                workers=workers,
+                backend="process",
+                recorder=rec,
+            )
+        print(
+            f"traced {args.workload} on the multiprocessing runtime "
+            f"({len(rec.worker_lanes)} workers): "
+            f"{rec.log.end_s * 1e3:.2f} ms wall, {len(rec.log.spans)} spans"
+        )
+        _export_wall(args, rec)
+    return 0
+
+
 def cmd_machines(args) -> int:
     print(f"{'key':<9} {'name':<16} {'latency':>9} {'bandwidth':>12} {'op':>8}")
     for key in sorted(MACHINES):
@@ -323,6 +460,35 @@ def build_parser() -> argparse.ArgumentParser:
         "shadow-memory race detector",
     )
     chk.set_defaults(func=cmd_check)
+
+    trc = subs.add_parser(
+        "trace",
+        help="run a workload under the observability layer and export "
+        "a Chrome trace + metrics snapshot",
+    )
+    _add_input_args(trc)
+    trc.add_argument(
+        "--workload",
+        choices=("components", "histogram"),
+        default="components",
+        help="workload to trace (default components)",
+    )
+    trc.add_argument(
+        "--engine",
+        choices=("sim", "runtime"),
+        default="sim",
+        help="sim = BDM simulator (simulated clock), "
+        "runtime = real multiprocessing backend (wall clock)",
+    )
+    trc.add_argument("-k", "--levels", type=int, default=256)
+    trc.add_argument("--grey", action="store_true", help="grey-scale CC workload")
+    trc.add_argument("--connectivity", type=int, choices=(4, 8), default=8)
+    trc.add_argument(
+        "--heatmap",
+        action="store_true",
+        help="print the (server, mover) communication matrix (sim engine)",
+    )
+    trc.set_defaults(func=cmd_trace, trace_out="trace.json")
 
     mach = subs.add_parser("machines", help="list machine models")
     mach.set_defaults(func=cmd_machines)

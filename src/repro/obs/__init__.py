@@ -1,0 +1,67 @@
+"""Unified observability: tracing, metrics, and profiling for both engines.
+
+The paper is an *experimental study*: its contribution is per-phase
+timing breakdowns across four platforms.  This package is the repo's
+equivalent instrument -- one event model
+(:mod:`~repro.obs.events`) filled by two recorders:
+
+* :class:`~repro.obs.sim.MachineRecorder` observes the simulated
+  :class:`~repro.bdm.machine.Machine` (per-processor phase spans,
+  barrier waits, the (server, mover) communication matrix, hazard
+  provenance) on the simulated clock;
+* :class:`~repro.obs.runtime.WallRecorder` observes the real
+  :mod:`repro.runtime` multiprocessing backend (worker tasks, merge
+  rounds, shared-memory setup) on the wall clock, collected across
+  processes via a queue;
+
+and exporters that consume either:
+
+* :func:`~repro.obs.export.chrome_trace` /
+  :func:`~repro.obs.export.write_chrome_trace` -- Chrome trace-event
+  JSON, loadable in Perfetto or ``chrome://tracing``;
+* :func:`~repro.obs.metrics.sim_metrics` /
+  :func:`~repro.obs.metrics.wall_metrics` /
+  :func:`~repro.obs.metrics.write_metrics` -- counter/gauge snapshots;
+* :func:`~repro.obs.sim.comm_heatmap` -- the communication matrix as a
+  text heatmap.
+
+See ``docs/OBSERVABILITY.md`` for the full tour and the ``repro
+trace`` CLI subcommand for the one-shot entry point.
+"""
+
+from repro.obs.events import (
+    CAT_BARRIER,
+    CAT_PHASE,
+    CAT_ROUND,
+    CAT_SETUP,
+    CAT_TASK,
+    Count,
+    EventLog,
+    Instant,
+    Span,
+)
+from repro.obs.export import chrome_trace, validate_chrome_trace, write_chrome_trace
+from repro.obs.metrics import sim_metrics, wall_metrics, write_metrics
+from repro.obs.runtime import WallRecorder
+from repro.obs.sim import MachineRecorder, comm_heatmap
+
+__all__ = [
+    "Span",
+    "Instant",
+    "Count",
+    "EventLog",
+    "CAT_PHASE",
+    "CAT_BARRIER",
+    "CAT_TASK",
+    "CAT_ROUND",
+    "CAT_SETUP",
+    "MachineRecorder",
+    "comm_heatmap",
+    "WallRecorder",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "sim_metrics",
+    "wall_metrics",
+    "write_metrics",
+]

@@ -1,0 +1,161 @@
+"""Exporters: Chrome trace-event JSON for Perfetto / ``chrome://tracing``.
+
+The Chrome trace-event format is the de-facto interchange for timeline
+viewers: a JSON object with a ``traceEvents`` list of dicts, each with
+a phase type ``ph`` (``"X"`` complete span, ``"i"`` instant, ``"C"``
+counter, ``"M"`` metadata), a timestamp ``ts`` in microseconds, and a
+``pid``/``tid`` pair naming the track.  :func:`chrome_trace` maps an
+:class:`~repro.obs.events.EventLog` onto it -- simulated seconds are
+converted to microseconds, so a simulated CM-5 run opens in Perfetto
+with the same time axis the paper's figures use.
+
+:func:`validate_chrome_trace` is the schema check used by tests and the
+CI trace-smoke step: strict JSON-compatible structure, required keys,
+and non-overlapping spans per track.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.events import EventLog
+from repro.utils.errors import ValidationError
+
+#: Tolerance (µs) when checking span ordering; floating-point second ->
+#: microsecond conversion can wobble at the last ulp.
+_EPS_US = 1e-6
+
+
+def chrome_trace(log: EventLog, *, pid: int = 0) -> dict:
+    """Convert an :class:`EventLog` to a Chrome trace-event JSON object.
+
+    Every log lane becomes one ``tid`` (thread track) under a single
+    ``pid`` named after the log's source, with ``thread_name`` metadata
+    so viewers show ``P0, P1, ...`` / worker OS pids / ``driver``.
+    """
+    lanes = log.lanes()
+    # Stable small tids: ints (processors / OS pids) first, then strings.
+    tid_of = {lane: tid for tid, lane in enumerate(lanes)}
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"{log.source or 'repro'} [{log.clock} clock]"},
+        }
+    ]
+    for lane, tid in tid_of.items():
+        label = f"P{lane}" if isinstance(lane, int) and log.clock == "sim" else str(lane)
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+    for span in log.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": span.dur_s * 1e6,
+                "pid": pid,
+                "tid": tid_of[span.lane],
+                "args": dict(span.args),
+            }
+        )
+    for inst in log.instants:
+        events.append(
+            {
+                "name": inst.name,
+                "ph": "i",
+                "s": "p",  # process-scoped instant
+                "ts": inst.t_s * 1e6,
+                "pid": pid,
+                "tid": tid_of.get(inst.lane, 0),
+                "args": dict(inst.args),
+            }
+        )
+    for count in log.counts:
+        events.append(
+            {
+                "name": count.name,
+                "ph": "C",
+                "ts": count.t_s * 1e6,
+                "pid": pid,
+                "args": {str(count.lane): count.value},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": log.clock, "source": log.source},
+    }
+
+
+def write_chrome_trace(path, log: EventLog, *, pid: int = 0) -> dict:
+    """Serialize :func:`chrome_trace` to ``path``; returns the object."""
+    obj = chrome_trace(log, pid=pid)
+    validate_chrome_trace(obj)
+    with open(path, "w") as fh:
+        json.dump(obj, fh, indent=1)
+        fh.write("\n")
+    return obj
+
+
+def validate_chrome_trace(obj) -> None:
+    """Check ``obj`` is a well-formed Chrome trace-event object.
+
+    Raises :class:`~repro.utils.errors.ValidationError` unless:
+
+    * ``obj`` round-trips through strict JSON,
+    * ``traceEvents`` is a list of dicts, each with ``ph`` and ``pid``,
+    * non-metadata events carry a numeric ``ts`` and complete (``X``)
+      events a numeric ``dur``, a ``tid`` and a ``name``,
+    * on every ``(pid, tid)`` track the complete spans are
+      non-overlapping (barrier waits, phases, and worker tasks are
+      intervals on a single timeline per processor).
+    """
+    try:
+        obj = json.loads(json.dumps(obj, allow_nan=False))
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"trace is not strict JSON: {exc}") from exc
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ValidationError("trace must be an object with a 'traceEvents' list")
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        raise ValidationError("'traceEvents' must be a list")
+    tracks: dict[tuple, list[tuple[float, float]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValidationError(f"traceEvents[{i}] is not an object")
+        for key in ("ph", "pid"):
+            if key not in ev:
+                raise ValidationError(f"traceEvents[{i}] lacks required key {key!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("ts"), (int, float)):
+            raise ValidationError(f"traceEvents[{i}] lacks a numeric 'ts'")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)):
+                raise ValidationError(f"traceEvents[{i}] lacks a numeric 'dur'")
+            if "tid" not in ev or "name" not in ev:
+                raise ValidationError(f"traceEvents[{i}] lacks 'tid'/'name'")
+            tracks.setdefault((ev["pid"], ev["tid"]), []).append(
+                (float(ev["ts"]), float(ev["dur"]))
+            )
+    for (pid, tid), spans in tracks.items():
+        spans.sort()
+        for (t0, d0), (t1, _d1) in zip(spans, spans[1:]):
+            if t1 < t0 + d0 - _EPS_US:
+                raise ValidationError(
+                    f"overlapping spans on track pid={pid} tid={tid}: "
+                    f"[{t0}, {t0 + d0}) and [{t1}, ...)"
+                )

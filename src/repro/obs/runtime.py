@@ -1,0 +1,124 @@
+"""Wall-clock recording for the real multiprocessing runtime.
+
+The :mod:`repro.runtime` backend runs genuine OS processes, so spans
+must be collected *across* processes: the driver owns a
+:class:`WallRecorder`, hands its queue to the pool initializer, and
+workers push ``(name, os.getpid(), t0, t1, cat)`` tuples through it
+(``time.perf_counter`` is CLOCK_MONOTONIC, comparable across processes
+on the same host).  After the pool joins, :meth:`WallRecorder.drain`
+folds the worker spans into the driver's
+:class:`~repro.obs.events.EventLog` on a common epoch.
+
+Worker-side helpers are module-level so they survive pickling into pool
+workers: :func:`init_worker_sink` (called from the pool initializer)
+and :func:`task_span` (wraps one worker task).  Both are no-ops when no
+recorder is wired in, so the runtime costs nothing when unobserved.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from typing import Iterator
+
+from repro.obs.events import CAT_ROUND, CAT_SETUP, CAT_TASK, EventLog
+
+#: Worker-process side of the span pipe: (queue, epoch) or None.
+_SINK: tuple | None = None
+
+
+class WallRecorder:
+    """Collects wall-clock spans from the driver and pool workers.
+
+    Driver-side spans go straight into :attr:`log` (lane ``"driver"``);
+    worker spans arrive through the queue created by :meth:`make_queue`
+    and are folded in by :meth:`drain`.  All times are seconds since
+    the recorder's construction.
+    """
+
+    def __init__(self, *, source: str = "multiprocessing"):
+        self.log = EventLog(clock="wall", source=source)
+        self.epoch = time.perf_counter()
+        self._queue = None
+
+    # -- driver side -------------------------------------------------------
+
+    @contextlib.contextmanager
+    def span(
+        self, name: str, *, lane: int | str = "driver", cat: str = CAT_ROUND
+    ) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            t1 = time.perf_counter()
+            self.log.add_span(name, lane, t0 - self.epoch, t1 - t0, cat=cat)
+
+    def make_queue(self, ctx):
+        """Create the cross-process span queue on context ``ctx``."""
+        self._queue = ctx.SimpleQueue()
+        return self._queue
+
+    def worker_init_args(self) -> tuple | None:
+        """What the pool initializer needs to wire up the worker sink."""
+        if self._queue is None:
+            return None
+        return (self._queue, self.epoch)
+
+    def drain(self) -> int:
+        """Fold queued worker spans into the log; returns how many."""
+        if self._queue is None:
+            return 0
+        n = 0
+        while not self._queue.empty():
+            name, pid, t0, t1, cat = self._queue.get()
+            self.log.add_span(name, pid, t0 - self.epoch, t1 - t0, cat=cat)
+            n += 1
+        return n
+
+    @property
+    def worker_lanes(self) -> list[int]:
+        """Distinct worker OS pids observed so far (after :meth:`drain`)."""
+        return [lane for lane in self.log.lanes() if isinstance(lane, int)]
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def init_worker_sink(args: tuple | None) -> None:
+    """Install the span sink in a pool worker (from the initializer).
+
+    ``args`` is :meth:`WallRecorder.worker_init_args`; ``None`` leaves
+    recording off.  Also emits a ``worker:init`` span so every worker
+    process appears in the trace even if task scheduling starves it.
+    """
+    global _SINK
+    if args is None:
+        _SINK = None
+        return
+    queue, epoch = args
+    _SINK = (queue, epoch)
+    now = time.perf_counter()
+    queue.put(("worker:init", os.getpid(), now, now, CAT_SETUP))
+
+
+@contextlib.contextmanager
+def task_span(name: str, *, cat: str = CAT_TASK) -> Iterator[None]:
+    """Record one worker task span (no-op without an installed sink)."""
+    if _SINK is None:
+        yield
+        return
+    queue, _epoch = _SINK
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        queue.put((name, os.getpid(), t0, time.perf_counter(), cat))
+
+
+def span_or_null(recorder: WallRecorder | None, name: str, *, cat: str = CAT_ROUND):
+    """Driver-side span when ``recorder`` is set, else a null context."""
+    if recorder is None:
+        return contextlib.nullcontext()
+    return recorder.span(name, cat=cat)

@@ -1,0 +1,162 @@
+"""Event recording for the simulated BDM machine.
+
+:class:`MachineRecorder` subscribes to a
+:class:`~repro.bdm.machine.Machine`'s observer stream and turns it into
+an :class:`~repro.obs.events.EventLog` on the *simulated* clock plus a
+per-(server, mover) communication matrix:
+
+* every phase contributes one busy :class:`~repro.obs.events.Span` per
+  processor (category ``phase``) and, for processors that finish early,
+  a ``barrier`` span covering the idle wait until the phase's critical
+  path plus the barrier itself;
+* every remote access contributes to ``comm_matrix[server][mover]``
+  (the words served by ``server``'s port and charged to ``mover`` --
+  row sums therefore equal each processor's ``words_served``, column
+  sums its ``words_moved``);
+* detected hazards land as :class:`~repro.obs.events.Instant` events
+  carrying the full provenance of the
+  :class:`repro.checker.shadow.Hazard`.
+
+Usage::
+
+    machine = Machine(p, CM5)
+    rec = MachineRecorder(machine)      # attach before running
+    ... run the algorithm ...
+    write_chrome_trace("t.json", rec.log)
+    print(comm_heatmap(rec.comm_matrix))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bdm.machine import Machine, MachineObserver
+from repro.obs.events import CAT_BARRIER, CAT_PHASE, EventLog
+
+
+class MachineRecorder(MachineObserver):
+    """Collects a machine's event stream into an :class:`EventLog`.
+
+    Unlike the legacy one-:class:`~repro.bdm.trace.Tracer`-per-machine
+    restriction, any number of recorders may observe one machine (they
+    are independent consumers of the same stream).  Attach before the
+    phases of interest; :meth:`detach` stops recording.
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.log = EventLog(clock="sim", source=machine.params.name)
+        self.comm_matrix = np.zeros((machine.p, machine.p), dtype=np.int64)
+        self.phase_records: list = []  # (PhaseRecord, busy_s ndarray) pairs
+        machine.attach_observer(self)
+
+    def detach(self) -> None:
+        """Stop observing the machine (recorded events are kept)."""
+        self.machine.detach_observer(self)
+
+    # -- observer hooks ----------------------------------------------------
+
+    def on_phase(self, record, deltas, start_s: float) -> None:
+        busy = np.array([d.total_s for d in deltas])
+        self.phase_records.append((record, busy))
+        end_s = start_s + record.elapsed_s + record.barrier_s
+        for pid, delta in enumerate(deltas):
+            busy_s = delta.total_s
+            if busy_s > 0:
+                self.log.add_span(
+                    record.name,
+                    pid,
+                    start_s,
+                    busy_s,
+                    cat=CAT_PHASE,
+                    words_moved=delta.words_moved,
+                    words_served=delta.words_served,
+                    messages=delta.messages,
+                    comp_s=delta.comp_s,
+                    comm_s=delta.comm_s,
+                )
+            wait_s = end_s - (start_s + busy_s)
+            if wait_s > 0:
+                self.log.add_span(
+                    f"{record.name}:barrier",
+                    pid,
+                    start_s + busy_s,
+                    wait_s,
+                    cat=CAT_BARRIER,
+                )
+        self.log.add_count("words_moved", record.words_moved, t_s=end_s)
+        self.log.add_count("messages", record.messages, t_s=end_s)
+
+    def on_traffic(self, server: int, mover: int, words: int) -> None:
+        self.comm_matrix[server, mover] += words
+
+    def on_hazard(self, hazard) -> None:
+        lane = getattr(hazard, "accessor", None)
+        self.log.add_instant(
+            f"hazard:{getattr(hazard, 'kind', 'unknown')}",
+            lane if lane is not None else "hazard",
+            self.machine._sim_time_s,
+            **_hazard_args(hazard),
+        )
+
+    def on_reset(self) -> None:
+        self.log.clear()
+        self.comm_matrix[:] = 0
+        self.phase_records.clear()
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def words_served_by(self) -> np.ndarray:
+        """Row sums: words each processor's port served."""
+        return self.comm_matrix.sum(axis=1)
+
+    @property
+    def words_moved_by(self) -> np.ndarray:
+        """Column sums: words each processor was charged for moving."""
+        return self.comm_matrix.sum(axis=0)
+
+
+def _hazard_args(hazard) -> dict:
+    if hazard is None:
+        return {}
+    args = {}
+    for field in ("kind", "array", "owner", "accessor", "phase"):
+        value = getattr(hazard, field, None)
+        if value is not None:
+            args[field] = value
+    others = getattr(hazard, "others", None)
+    if others is not None:
+        args["others"] = list(others)
+    ranges = getattr(hazard, "ranges", None)
+    if ranges is not None:
+        args["ranges"] = [list(r) for r in ranges]
+    if not args:  # fall back to the repr so nothing is silently dropped
+        args["detail"] = repr(hazard)
+    return args
+
+
+def comm_heatmap(matrix: np.ndarray, *, chars: str = " .:-=+*#%@") -> str:
+    """Render a (server x mover) word-count matrix as a text heatmap.
+
+    Each cell is one character from ``chars`` scaled by the cell's share
+    of the largest entry; exact counts are appended per row (total words
+    served), per column totals in the footer (words moved).
+    """
+    matrix = np.asarray(matrix)
+    p = matrix.shape[0]
+    peak = matrix.max(initial=0)
+    lines = ["comm matrix: rows = serving processor, cols = moving processor"]
+    header = "      " + "".join(f"{j % 10}" for j in range(p))
+    lines.append(header)
+    for i in range(p):
+        cells = []
+        for j in range(p):
+            if peak == 0 or matrix[i, j] == 0:
+                cells.append(chars[0] if matrix[i, j] == 0 else chars[1])
+            else:
+                idx = 1 + int((len(chars) - 2) * matrix[i, j] / peak)
+                cells.append(chars[min(idx, len(chars) - 1)])
+        lines.append(f"P{i:<4} " + "".join(cells) + f"  {int(matrix[i].sum())}")
+    lines.append("moved " + " ".join(str(int(v)) for v in matrix.sum(axis=0)))
+    return "\n".join(lines)

@@ -28,6 +28,8 @@ from repro.core.change_array import apply_changes
 from repro.core.hooks import apply_hooks, create_tile_hooks
 from repro.core.merge import merge_schedule
 from repro.core.tiles import ProcessorGrid, edge_indices, perimeter_indices
+from repro.obs.events import CAT_SETUP
+from repro.obs.runtime import WallRecorder, init_worker_sink, span_or_null, task_span
 from repro.runtime.shmem import SharedNDArray, ShmMeta
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_image, check_power_of_two
@@ -82,15 +84,17 @@ def _pool_context():
 _WORK: dict = {}
 
 
-def _hist_init(image_meta: ShmMeta, k: int) -> None:
+def _hist_init(image_meta: ShmMeta, k: int, obs=None) -> None:
+    init_worker_sink(obs)
     _WORK["image"] = SharedNDArray.attach(image_meta)
     _WORK["k"] = k
 
 
 def _hist_band(band: tuple[int, int]) -> np.ndarray:
     lo, hi = band
-    img = _WORK["image"].array
-    return np.bincount(img[lo:hi].ravel(), minlength=_WORK["k"])
+    with task_span(f"hist:band[{lo}:{hi})"):
+        img = _WORK["image"].array
+        return np.bincount(img[lo:hi].ravel(), minlength=_WORK["k"])
 
 
 def histogram(
@@ -99,8 +103,14 @@ def histogram(
     *,
     workers: int | None = None,
     backend: str = "auto",
+    recorder: WallRecorder | None = None,
 ) -> np.ndarray:
-    """Histogram of an image's grey levels, process-parallel by bands."""
+    """Histogram of an image's grey levels, process-parallel by bands.
+
+    Pass a :class:`~repro.obs.runtime.WallRecorder` as ``recorder`` to
+    collect wall-clock spans (shared-memory setup, per-band worker
+    tasks, the driver-side reduce) across the pool.
+    """
     image = check_image(image, square=False)
     check_power_of_two("k", k)
     if image.max(initial=0) >= k:
@@ -113,10 +123,23 @@ def histogram(
     bounds = np.linspace(0, rows, workers + 1, dtype=np.int64)
     bands = [(int(bounds[i]), int(bounds[i + 1])) for i in range(workers)]
     ctx = _pool_context()
-    with SharedNDArray.from_array(np.ascontiguousarray(image)) as shm:
-        with ctx.Pool(workers, initializer=_hist_init, initargs=(shm.meta, k)) as pool:
-            partials = pool.map(_hist_band, bands)
-    return np.sum(partials, axis=0, dtype=np.int64)
+    obs = None
+    if recorder is not None:
+        recorder.make_queue(ctx)
+        obs = recorder.worker_init_args()
+    with span_or_null(recorder, "shmem:setup", cat=CAT_SETUP):
+        shm = SharedNDArray.from_array(np.ascontiguousarray(image))
+    with shm:
+        with ctx.Pool(
+            workers, initializer=_hist_init, initargs=(shm.meta, k, obs)
+        ) as pool:
+            with span_or_null(recorder, "hist:tally"):
+                partials = pool.map(_hist_band, bands)
+    with span_or_null(recorder, "hist:reduce"):
+        result = np.sum(partials, axis=0, dtype=np.int64)
+    if recorder is not None:
+        recorder.drain()
+    return result
 
 
 # --------------------------------------------------------------------------
@@ -124,7 +147,8 @@ def histogram(
 # --------------------------------------------------------------------------
 
 
-def _cc_init(image_meta: ShmMeta, labels_meta: ShmMeta, opts: dict) -> None:
+def _cc_init(image_meta: ShmMeta, labels_meta: ShmMeta, opts: dict, obs=None) -> None:
+    init_worker_sink(obs)
     _WORK["image"] = SharedNDArray.attach(image_meta)
     _WORK["labels"] = SharedNDArray.attach(labels_meta)
     _WORK["opts"] = opts
@@ -132,33 +156,35 @@ def _cc_init(image_meta: ShmMeta, labels_meta: ShmMeta, opts: dict) -> None:
 
 def _cc_label_tile(pid: int):
     """Worker: label own tile in shared memory; return the tile's hooks."""
-    opts = _WORK["opts"]
-    grid = ProcessorGrid(opts["p"], opts["shape"])
-    sl = grid.tile_slices(pid)
-    I, J = grid.coords(pid)
-    tile = _WORK["image"].array[sl]
-    lab = run_label(
-        tile,
-        connectivity=opts["connectivity"],
-        grey=opts["grey"],
-        label_base=1,
-        label_stride=grid.cols,
-        row_offset=I * grid.q,
-        col_offset=J * grid.r,
-    )
-    _WORK["labels"].array[sl] = lab
-    return pid, create_tile_hooks(lab)
+    with task_span(f"cc:label:t{pid}"):
+        opts = _WORK["opts"]
+        grid = ProcessorGrid(opts["p"], opts["shape"])
+        sl = grid.tile_slices(pid)
+        I, J = grid.coords(pid)
+        tile = _WORK["image"].array[sl]
+        lab = run_label(
+            tile,
+            connectivity=opts["connectivity"],
+            grey=opts["grey"],
+            label_base=1,
+            label_stride=grid.cols,
+            row_offset=I * grid.q,
+            col_offset=J * grid.r,
+        )
+        _WORK["labels"].array[sl] = lab
+        return pid, create_tile_hooks(lab)
 
 
 def _cc_finalize_tile(arg):
     """Worker: hook-based final interior relabel of own tile."""
     pid, hooks = arg
-    opts = _WORK["opts"]
-    grid = ProcessorGrid(opts["p"], opts["shape"])
-    sl = grid.tile_slices(pid)
-    labels = _WORK["labels"].array
-    labels[sl] = apply_hooks(labels[sl], hooks)
-    return pid
+    with task_span(f"cc:final:t{pid}"):
+        opts = _WORK["opts"]
+        grid = ProcessorGrid(opts["p"], opts["shape"])
+        sl = grid.tile_slices(pid)
+        labels = _WORK["labels"].array
+        labels[sl] = apply_hooks(labels[sl], hooks)
+        return pid
 
 
 def _cc_merge_group(arg):
@@ -171,6 +197,12 @@ def _cc_merge_group(arg):
     are separated by the driver (the pool.map barrier), mirroring the
     algorithm's own barrier structure.
     """
+    step_index, group_index = arg
+    with task_span(f"cc:merge:s{step_index}g{group_index}"):
+        return _cc_merge_group_inner(arg)
+
+
+def _cc_merge_group_inner(arg):
     step_index, group_index = arg
     opts = _WORK["opts"]
     grid = ProcessorGrid(opts["p"], opts["shape"])
@@ -218,11 +250,16 @@ def components(
     grey: bool = False,
     workers: int | None = None,
     backend: str = "auto",
+    recorder: WallRecorder | None = None,
 ) -> np.ndarray:
     """Connected component labels of an image, process-parallel by tiles.
 
     Output convention matches the sequential engines: background 0,
-    component label = 1 + row-major index of its first pixel.
+    component label = 1 + row-major index of its first pixel.  Pass a
+    :class:`~repro.obs.runtime.WallRecorder` as ``recorder`` to collect
+    wall-clock spans: shared-memory setup, per-tile label/finalize
+    tasks, one driver span per merge round, and the per-group merge
+    tasks inside each round.
     """
     image = check_image(image, square=False)
     shape = image.shape
@@ -233,20 +270,36 @@ def components(
     grid = ProcessorGrid(workers, shape)
     opts = {"p": workers, "shape": shape, "connectivity": connectivity, "grey": grey}
     ctx = _pool_context()
-    with SharedNDArray.from_array(np.ascontiguousarray(image)) as shm_img, \
-            SharedNDArray.create(shape, np.int64) as shm_lab:
+    obs = None
+    if recorder is not None:
+        recorder.make_queue(ctx)
+        obs = recorder.worker_init_args()
+    with span_or_null(recorder, "shmem:setup", cat=CAT_SETUP):
+        shm_img = SharedNDArray.from_array(np.ascontiguousarray(image))
+        shm_lab = SharedNDArray.create(shape, np.int64)
+    with shm_img, shm_lab:
         with ctx.Pool(
-            workers, initializer=_cc_init, initargs=(shm_img.meta, shm_lab.meta, opts)
+            workers,
+            initializer=_cc_init,
+            initargs=(shm_img.meta, shm_lab.meta, opts, obs),
         ) as pool:
-            hook_list = dict(pool.map(_cc_label_tile, range(workers)))
+            with span_or_null(recorder, "cc:label"):
+                hook_list = dict(pool.map(_cc_label_tile, range(workers)))
             labels = shm_lab.array
             # Merge rounds: groups within a round are independent, so
             # each round fans out to the pool; pool.map is the barrier.
             for step_index, step in enumerate(merge_schedule(grid)):
+                with span_or_null(recorder, f"cc:merge:r{step_index}"):
+                    pool.map(
+                        _cc_merge_group,
+                        [(step_index, g) for g in range(len(step.groups))],
+                    )
+            with span_or_null(recorder, "cc:final"):
                 pool.map(
-                    _cc_merge_group,
-                    [(step_index, g) for g in range(len(step.groups))],
+                    _cc_finalize_tile,
+                    [(pid, hook_list[pid]) for pid in range(workers)],
                 )
-            pool.map(_cc_finalize_tile, [(pid, hook_list[pid]) for pid in range(workers)])
             result = labels.copy()
+    if recorder is not None:
+        recorder.drain()
     return result

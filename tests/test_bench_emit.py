@@ -1,0 +1,108 @@
+"""Pins the structured benchmark-artifact format (benchmarks/emit.py).
+
+The checked-in ``benchmarks/results/runtime_backends.json`` is the
+reference example of the ``repro-bench/v1`` schema; this test keeps the
+emitter, the validator, and that example mutually consistent so the
+JSON trajectory stays machine-readable across PRs.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from benchmarks.emit import (
+    REQUIRED_KEYS,
+    SCHEMA,
+    emit_json,
+    host_fingerprint,
+    validate_bench_json,
+)
+
+EXAMPLE = (
+    pathlib.Path(__file__).parent.parent
+    / "benchmarks"
+    / "results"
+    / "runtime_backends.json"
+)
+
+
+class TestCheckedInExample:
+    def test_example_exists_and_is_strict_json(self):
+        obj = json.loads(EXAMPLE.read_text())
+        assert obj["schema"] == SCHEMA
+
+    def test_example_validates(self):
+        validate_bench_json(json.loads(EXAMPLE.read_text()))
+
+    def test_example_field_set(self):
+        obj = json.loads(EXAMPLE.read_text())
+        for key in REQUIRED_KEYS:
+            assert key in obj
+        assert obj["name"] == "runtime_backends"
+        assert obj["units"] == "seconds"
+        assert {"platform", "python", "cpus"} <= set(obj["host"])
+        assert all("name" in row and "wall_s" in row for row in obj["rows"])
+
+
+class TestEmitJson:
+    def test_writes_valid_artifact(self, tmp_path, monkeypatch):
+        import benchmarks.emit as emit_mod
+
+        monkeypatch.setattr(emit_mod, "RESULTS_DIR", tmp_path)
+        path = emit_json(
+            "demo",
+            params={"n": 8},
+            series=[{"label": "p=2", "x": [1, 2], "y": [0.1, 0.2]}],
+        )
+        assert path == tmp_path / "demo.json"
+        validate_bench_json(json.loads(path.read_text()))
+
+    def test_requires_payload(self):
+        with pytest.raises(ValueError, match="series' or 'rows"):
+            emit_json("empty")
+
+    def test_host_fingerprint_fields(self):
+        host = host_fingerprint()
+        assert host["cpus"] >= 1
+        assert host["python"]
+
+
+class TestValidator:
+    def _minimal(self):
+        return {
+            "schema": SCHEMA,
+            "name": "x",
+            "units": "seconds",
+            "host": host_fingerprint(),
+            "params": {},
+            "rows": [{"name": "a", "wall_s": 1.0}],
+        }
+
+    def test_accepts_minimal(self):
+        validate_bench_json(self._minimal())
+
+    def test_rejects_missing_key(self):
+        obj = self._minimal()
+        del obj["host"]
+        with pytest.raises(ValueError, match="host"):
+            validate_bench_json(obj)
+
+    def test_rejects_wrong_schema(self):
+        obj = self._minimal()
+        obj["schema"] = "other/v9"
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_json(obj)
+
+    def test_rejects_ragged_series(self):
+        obj = self._minimal()
+        del obj["rows"]
+        obj["series"] = [{"label": "p=2", "x": [1, 2], "y": [0.1]}]
+        with pytest.raises(ValueError, match="lengths differ"):
+            validate_bench_json(obj)
+
+    def test_rejects_non_json_values(self):
+        obj = self._minimal()
+        obj["rows"][0]["wall_s"] = float("nan")
+        with pytest.raises(ValueError):
+            validate_bench_json(obj)

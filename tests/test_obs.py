@@ -1,0 +1,243 @@
+"""Tests for the observability layer on the simulated engine.
+
+Covers the comm-matrix invariants against the cost counters for the
+paper's two data-movement primitives, the Chrome trace-event exporter
+(strict JSON round-trip, required keys, non-overlapping spans per
+track), the metrics snapshot against ``Machine.report()``, and hazard
+provenance landing in the event stream.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bdm import GlobalArray, Machine, broadcast, transpose
+from repro.core.connected_components import parallel_components
+from repro.core.histogram import parallel_histogram
+from repro.images import binary_test_image, random_greyscale
+from repro.machines import CM5, IDEAL
+from repro.obs import (
+    EventLog,
+    MachineRecorder,
+    chrome_trace,
+    comm_heatmap,
+    sim_metrics,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.utils.errors import HazardError, ValidationError
+
+
+def _transpose_machine(p=4, q=16):
+    machine = Machine(p, CM5)
+    rec = MachineRecorder(machine)
+    A = GlobalArray(machine, q, name="A")
+    A.scatter_rows(np.arange(p * q).reshape(p, q))
+    transpose(machine, A)
+    return machine, rec
+
+
+def _broadcast_machine(p=4, q=16):
+    machine = Machine(p, CM5)
+    rec = MachineRecorder(machine)
+    A = GlobalArray(machine, q, name="A")
+    A.scatter_rows(np.arange(p * q).reshape(p, q))
+    broadcast(machine, A)
+    return machine, rec
+
+
+class TestCommMatrix:
+    def test_transpose_row_sums_equal_words_served(self):
+        machine, rec = _transpose_machine()
+        served = np.array([proc.cost.words_served for proc in machine.procs])
+        assert np.array_equal(rec.words_served_by, served)
+
+    def test_transpose_column_sums_equal_words_moved(self):
+        machine, rec = _transpose_machine()
+        moved = np.array([proc.cost.words_moved for proc in machine.procs])
+        assert np.array_equal(rec.words_moved_by, moved)
+
+    def test_transpose_matrix_total_matches_report(self):
+        machine, rec = _transpose_machine()
+        assert int(rec.comm_matrix.sum()) == machine.report().words_moved
+
+    def test_broadcast_row_sums_equal_words_served(self):
+        machine, rec = _broadcast_machine()
+        served = np.array([proc.cost.words_served for proc in machine.procs])
+        assert np.array_equal(rec.words_served_by, served)
+
+    def test_broadcast_column_sums_equal_words_moved(self):
+        machine, rec = _broadcast_machine()
+        moved = np.array([proc.cost.words_moved for proc in machine.procs])
+        assert np.array_equal(rec.words_moved_by, moved)
+
+    def test_transpose_diagonal_is_free(self):
+        """Local block reads are not communication."""
+        _, rec = _transpose_machine()
+        assert np.array_equal(np.diag(rec.comm_matrix), np.zeros(4, dtype=np.int64))
+
+    def test_point_to_point_transfer_recorded(self):
+        machine = Machine(4, CM5)
+        rec = MachineRecorder(machine)
+        with machine.phase("xfer"):
+            machine.transfer(1, 3, 7)
+        assert rec.comm_matrix[1, 3] == 7
+        assert rec.comm_matrix.sum() == 7
+
+    def test_heatmap_mentions_totals(self):
+        machine, rec = _transpose_machine()
+        text = comm_heatmap(rec.comm_matrix)
+        assert "P0" in text and "moved" in text
+
+
+class TestChromeTrace:
+    def _cc_recorder(self):
+        machine = Machine(4, CM5)
+        rec = MachineRecorder(machine)
+        parallel_components(binary_test_image(9, 32), 4, machine=machine)
+        return machine, rec
+
+    def test_round_trips_strict_json(self):
+        _, rec = self._cc_recorder()
+        obj = chrome_trace(rec.log)
+        again = json.loads(json.dumps(obj))
+        assert again["traceEvents"]
+        validate_chrome_trace(again)
+
+    def test_required_keys_present(self):
+        _, rec = self._cc_recorder()
+        for ev in chrome_trace(rec.log)["traceEvents"]:
+            assert "ph" in ev and "pid" in ev
+            if ev["ph"] != "M":
+                assert isinstance(ev["ts"], (int, float))
+
+    def test_spans_non_overlapping_per_processor(self):
+        _, rec = self._cc_recorder()
+        obj = chrome_trace(rec.log)
+        tracks = {}
+        for ev in obj["traceEvents"]:
+            if ev["ph"] == "X":
+                tracks.setdefault((ev["pid"], ev["tid"]), []).append(
+                    (ev["ts"], ev["dur"])
+                )
+        assert tracks
+        for spans in tracks.values():
+            spans.sort()
+            for (t0, d0), (t1, _) in zip(spans, spans[1:]):
+                assert t1 >= t0 + d0 - 1e-6
+
+    def test_every_processor_has_a_span(self):
+        machine, rec = self._cc_recorder()
+        lanes = {s.lane for s in rec.log.spans}
+        assert set(range(machine.p)) <= lanes
+
+    def test_validator_rejects_overlap(self):
+        log = EventLog()
+        log.add_span("a", 0, 0.0, 2.0)
+        log.add_span("b", 0, 1.0, 2.0)
+        with pytest.raises(ValidationError, match="overlap"):
+            validate_chrome_trace(chrome_trace(log))
+
+    def test_validator_rejects_missing_keys(self):
+        with pytest.raises(ValidationError):
+            validate_chrome_trace({"traceEvents": [{"name": "x"}]})
+        with pytest.raises(ValidationError):
+            validate_chrome_trace([1, 2, 3])
+
+    def test_validator_rejects_non_json(self):
+        log = EventLog()
+        log.add_span("a", 0, 0.0, 1.0, payload=object())
+        with pytest.raises(ValidationError, match="JSON"):
+            validate_chrome_trace(chrome_trace(log))
+
+    def test_write_chrome_trace(self, tmp_path):
+        _, rec = self._cc_recorder()
+        path = tmp_path / "t.json"
+        write_chrome_trace(path, rec.log)
+        validate_chrome_trace(json.loads(path.read_text()))
+
+
+class TestMetricsSnapshot:
+    def test_per_phase_words_moved_match_report(self):
+        machine = Machine(4, CM5)
+        rec = MachineRecorder(machine)
+        img = random_greyscale(32, 16, seed=3)
+        parallel_histogram(img, 16, 4, machine=machine)
+        snap = sim_metrics(rec)
+        report = machine.report()
+        assert [ph["words_moved"] for ph in snap["phases"]] == [
+            ph.words_moved for ph in report.phases
+        ]
+        assert snap["totals"]["words_moved"] == report.words_moved
+        assert snap["totals"]["messages"] == report.messages
+        assert snap["totals"]["elapsed_s"] == pytest.approx(report.elapsed_s)
+
+    def test_snapshot_is_json_serializable(self, tmp_path):
+        machine = Machine(4, CM5)
+        rec = MachineRecorder(machine)
+        parallel_components(binary_test_image(5, 32), 4, machine=machine)
+        path = tmp_path / "m.json"
+        write_metrics(path, sim_metrics(rec))
+        again = json.loads(path.read_text())
+        assert again["schema"] == "repro-obs-metrics/v1"
+        assert again["p"] == 4
+        assert len(again["comm_matrix"]) == 4
+
+    def test_utilization_bounds(self):
+        machine = Machine(4, CM5)
+        rec = MachineRecorder(machine)
+        parallel_components(binary_test_image(9, 32), 4, machine=machine)
+        snap = sim_metrics(rec)
+        for ph in snap["phases"]:
+            assert 0.0 < ph["utilization"] <= 1.0
+            assert ph["imbalance"] >= 1.0
+
+
+class TestHazardEvents:
+    def test_hazard_lands_in_event_stream(self):
+        machine = Machine(4, IDEAL, check_hazards=True)
+        rec = MachineRecorder(machine)
+        arr = GlobalArray(machine, 4, name="h")
+        with pytest.raises(HazardError):
+            with machine.phase("racy"):
+                arr.write(machine.procs[1], 0, [1, 2, 3, 4])  # remote write
+                arr.read(machine.procs[2], 0)  # remote read of the same words
+        hazards = [i for i in rec.log.instants if i.name.startswith("hazard:")]
+        assert hazards
+        args = hazards[0].args
+        assert args["array"] == "h"
+        assert args["kind"] == "read-after-write"
+        assert args["phase"] == "racy"
+
+
+class TestRecorderLifecycle:
+    def test_reset_clears_recorder(self):
+        machine = Machine(2, CM5)
+        rec = MachineRecorder(machine)
+        with machine.phase("a"):
+            machine.procs[0].charge_comp(10)
+        machine.reset()
+        assert len(rec.log) == 0
+        assert rec.comm_matrix.sum() == 0
+        assert rec.phase_records == []
+
+    def test_detach_stops_recording(self):
+        machine = Machine(2, CM5)
+        rec = MachineRecorder(machine)
+        with machine.phase("a"):
+            machine.procs[0].charge_comp(10)
+        rec.detach()
+        with machine.phase("b"):
+            machine.procs[0].charge_comp(10)
+        assert [r.name for r, _ in rec.phase_records] == ["a"]
+
+    def test_multiple_recorders_coexist(self):
+        machine = Machine(2, CM5)
+        rec1 = MachineRecorder(machine)
+        rec2 = MachineRecorder(machine)
+        with machine.phase("a"):
+            machine.transfer(0, 1, 5)
+        assert rec1.comm_matrix[0, 1] == 5
+        assert rec2.comm_matrix[0, 1] == 5

@@ -1,0 +1,112 @@
+"""Tests for wall-clock observability of the multiprocessing runtime."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.merge import merge_schedule
+from repro.core.tiles import ProcessorGrid
+from repro.images import darpa_like
+from repro.obs import (
+    WallRecorder,
+    chrome_trace,
+    validate_chrome_trace,
+    wall_metrics,
+)
+from repro.runtime import components, histogram
+
+N = 64
+K = 256
+
+
+@pytest.fixture(scope="module")
+def image():
+    return darpa_like(N, K)
+
+
+class TestHistogramTrace:
+    def test_spans_per_worker(self, image):
+        rec = WallRecorder()
+        histogram(image, K, workers=2, backend="process", recorder=rec)
+        assert len(rec.worker_lanes) == 2  # every pool process traced
+        bands = [s for s in rec.log.spans if s.name.startswith("hist:band")]
+        assert len(bands) == 2
+
+    def test_driver_spans_present(self, image):
+        rec = WallRecorder()
+        histogram(image, K, workers=2, backend="process", recorder=rec)
+        names = {s.name for s in rec.log.spans if s.lane == "driver"}
+        assert {"shmem:setup", "hist:tally", "hist:reduce"} <= names
+
+    def test_result_unchanged_by_recording(self, image):
+        rec = WallRecorder()
+        traced = histogram(image, K, workers=2, backend="process", recorder=rec)
+        plain = histogram(image, K, workers=2, backend="process")
+        assert np.array_equal(traced, plain)
+
+    def test_serial_backend_records_nothing_from_workers(self, image):
+        rec = WallRecorder()
+        histogram(image, K, backend="serial", recorder=rec)
+        assert rec.worker_lanes == []
+
+
+class TestComponentsTrace:
+    @pytest.fixture(scope="class")
+    def traced(self, image):
+        rec = WallRecorder()
+        labels = components(image, grey=True, workers=4, backend="process", recorder=rec)
+        return rec, labels
+
+    def test_span_per_worker(self, traced):
+        rec, _ = traced
+        assert len(rec.worker_lanes) == 4
+
+    def test_span_per_merge_round(self, traced, image):
+        rec, _ = traced
+        rounds = len(merge_schedule(ProcessorGrid(4, image.shape)))
+        driver_rounds = [
+            s for s in rec.log.spans if s.name.startswith("cc:merge:r")
+        ]
+        assert len(driver_rounds) == rounds
+
+    def test_merge_group_tasks_recorded(self, traced):
+        rec, _ = traced
+        groups = [s for s in rec.log.spans if s.name.startswith("cc:merge:s")]
+        assert groups  # at least one group task span came through the queue
+
+    def test_chrome_trace_validates(self, traced):
+        rec, _ = traced
+        obj = chrome_trace(rec.log)
+        validate_chrome_trace(json.loads(json.dumps(obj)))
+
+    def test_result_unchanged_by_recording(self, traced, image):
+        _, labels = traced
+        plain = components(image, grey=True, workers=4, backend="process")
+        assert np.array_equal(labels, plain)
+
+    def test_wall_metrics_shape(self, traced):
+        rec, _ = traced
+        snap = wall_metrics(rec.log, workers=len(rec.worker_lanes))
+        assert snap["engine"] == "runtime"
+        assert snap["clock"] == "wall"
+        assert snap["p"] == 4
+        assert snap["totals"]["elapsed_s"] > 0
+        names = {ph["name"] for ph in snap["phases"]}
+        assert "cc:label" in names and "worker:init" in names
+        json.dumps(snap)  # must be serializable
+
+
+class TestWallRecorder:
+    def test_driver_span_timing(self):
+        rec = WallRecorder()
+        with rec.span("work"):
+            pass
+        (span,) = rec.log.spans
+        assert span.lane == "driver"
+        assert span.dur_s >= 0
+        assert span.start_s >= 0
+
+    def test_drain_without_queue_is_noop(self):
+        rec = WallRecorder()
+        assert rec.drain() == 0

@@ -112,6 +112,82 @@ class TestRendering:
         assert 0.0 < u <= 1.0
 
 
+class TestResetAndDetach:
+    def test_reset_clears_tracer_phases(self):
+        """A stale tracer must not keep phases from before the reset."""
+        m = Machine(4, CM5)
+        tracer = Tracer(m)
+        with m.phase("before"):
+            m.procs[0].charge_comp(100)
+        m.reset()
+        assert tracer.phases == []
+        with m.phase("after"):
+            m.procs[0].charge_comp(100)
+        assert [ph.name for ph in tracer.phases] == ["after"]
+
+    def test_detach_stops_recording(self):
+        m = Machine(4, CM5)
+        tracer = Tracer(m)
+        with m.phase("a"):
+            m.procs[0].charge_comp(100)
+        tracer.detach()
+        with m.phase("b"):
+            m.procs[0].charge_comp(100)
+        assert [ph.name for ph in tracer.phases] == ["a"]
+        # the machine still accounts phases normally after the detach
+        assert [ph.name for ph in m.report().phases] == ["a", "b"]
+
+    def test_detach_frees_tracer_slot(self):
+        m = Machine(2, IDEAL)
+        Tracer(m).detach()
+        Tracer(m)  # no ConfigurationError: slot was released
+
+    def test_detach_is_idempotent(self):
+        m = Machine(2, IDEAL)
+        tracer = Tracer(m)
+        tracer.detach()
+        tracer.detach()
+
+
+class TestGanttWidth:
+    def _run_phases(self, elapsed):
+        """One phase per entry of ``elapsed`` (abstract op counts)."""
+        m = Machine(2, CM5)
+        tracer = Tracer(m)
+        for i, ops in enumerate(elapsed):
+            with m.phase(f"ph{i}"):
+                m.procs[0].charge_comp(ops)
+        return tracer
+
+    def _bar_lengths(self, gantt):
+        rows = gantt.splitlines()[1:]
+        return [len(r.split("|", 1)[1].replace("|", "")) for r in rows]
+
+    @pytest.mark.parametrize("width", [7, 13, 40, 60])
+    def test_rows_never_exceed_width(self, width):
+        """Regression: per-phase int(round()) spans used to sum past width."""
+        # Many near-equal phases maximize rounding accumulation.
+        tracer = self._run_phases([10, 11, 10, 12, 11, 10, 13, 11, 10, 12])
+        for length in self._bar_lengths(tracer.gantt(width=width)):
+            assert length <= width
+
+    def test_rows_fill_width_exactly(self):
+        tracer = self._run_phases([100, 200, 300])
+        assert self._bar_lengths(tracer.gantt(width=30)) == [30, 30]
+
+    def test_rows_equal_length(self):
+        tracer = self._run_phases([7, 91, 23, 5, 44])
+        lengths = self._bar_lengths(tracer.gantt(width=33))
+        assert len(set(lengths)) == 1
+
+    def test_tiny_phase_dropped_not_overflowing(self):
+        """A phase far below one column's worth of time may be dropped,
+        but must never push the row past the requested width."""
+        tracer = self._run_phases([1, 10000, 10000])
+        for length in self._bar_lengths(tracer.gantt(width=10)):
+            assert length <= 10
+
+
 class TestMachineParameterPassing:
     def test_wrong_p_rejected(self):
         from repro.utils.errors import ValidationError
