@@ -16,9 +16,12 @@ The package provides
   broadcast primitives of Section 2,
 * machine models for the five platforms of the experimental study
   (:mod:`repro.machines`),
-* sequential baselines and test-image generators, and
+* sequential baselines and test-image generators,
 * a real multiprocessing runtime (:mod:`repro.runtime`) for wall-clock
-  parallel runs on multi-core hosts.
+  parallel runs on multi-core hosts, and
+* a kernel registry (:mod:`repro.kernels`) dispatching the hot local
+  steps to a per-pixel ``python`` reference or a bit-identical
+  vectorized ``numpy`` backend (see docs/KERNELS.md).
 
 Quickstart::
 
@@ -31,6 +34,7 @@ Quickstart::
     print(result.n_components, result.elapsed_s)
 """
 
+from repro import kernels
 from repro.core.connected_components import parallel_components, ComponentsResult
 from repro.core.equalization import parallel_equalize, EqualizationResult
 from repro.core.histogram import parallel_histogram, HistogramResult
@@ -44,6 +48,7 @@ from repro.machines.params import MACHINES, get_machine
 __version__ = "1.0.0"
 
 __all__ = [
+    "kernels",
     "parallel_components",
     "ComponentsResult",
     "parallel_histogram",

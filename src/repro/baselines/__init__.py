@@ -11,7 +11,11 @@ of the paper's Table 2 implement):
 * :func:`~repro.baselines.run_label.run_label` -- run-length two-pass
   union-find, a vectorized engine producing identical labels;
 * :func:`~repro.baselines.shiloach_vishkin.shiloach_vishkin_image` --
-  hook-and-shortcut CC, vectorized.
+  hook-and-shortcut CC, vectorized;
+* :func:`~repro.baselines.kernel_label.kernel_label` -- dispatches
+  through the :mod:`repro.kernels` registry (``python`` reference or
+  vectorized ``numpy`` backend, selectable per call or via
+  ``REPRO_KERNEL_BACKEND``).
 
 All engines share one labeling convention: a component's label is
 ``1 + min(row * n_cols + col)`` over its pixels (the row-major BFS seed
@@ -21,6 +25,7 @@ across engines and match the parallel algorithm's final labels.
 
 from repro.baselines.union_find import UnionFind
 from repro.baselines.bfs_label import bfs_label
+from repro.baselines.kernel_label import kernel_label
 from repro.baselines.run_label import run_label, extract_runs
 from repro.baselines.shiloach_vishkin import (
     shiloach_vishkin,
@@ -40,6 +45,7 @@ from repro.baselines.sequential import (
 __all__ = [
     "UnionFind",
     "bfs_label",
+    "kernel_label",
     "run_label",
     "extract_runs",
     "shiloach_vishkin",

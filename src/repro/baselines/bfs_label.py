@@ -91,6 +91,14 @@ def bfs_label(
                 continue
             color = img[si, sj]
             label = label_base + (row_offset + si) * stride + (col_offset + sj)
+            if label == 0:
+                # 0 is the background sentinel; a zero component label
+                # would defeat the visited check and loop forever.
+                raise ValidationError(
+                    f"seed ({si},{sj}) gets label 0 (the background "
+                    "sentinel); use label_base/offsets that keep "
+                    "foreground labels non-zero"
+                )
             labels[si, sj] = label
             queue = deque([(si, sj)])
             while queue:

@@ -68,6 +68,13 @@ def _add_input_args(sub: argparse.ArgumentParser) -> None:
         "--report", action="store_true", help="print the per-phase cost breakdown"
     )
     sub.add_argument(
+        "--kernel",
+        choices=("python", "numpy"),
+        default=None,
+        help="local-step kernel backend (default: $REPRO_KERNEL_BACKEND or numpy); "
+        "python = per-pixel reference, numpy = vectorized (bit-identical)",
+    )
+    sub.add_argument(
         "--trace-out",
         metavar="OUT.json",
         help="write a Chrome trace-event JSON of the run (Perfetto-loadable)",
@@ -143,7 +150,8 @@ def cmd_histogram(args) -> int:
     params = load_machine(args.machine)
     machine, rec = _sim_recorder(args, params)
     res = parallel_histogram(
-        image, args.levels, args.processors, params, machine=machine
+        image, args.levels, args.processors, params, machine=machine,
+        kernel=args.kernel,
     )
     hist = res.histogram
     print(
@@ -178,7 +186,11 @@ def cmd_components(args) -> int:
 
             wall_rec = WallRecorder()
         labels = runtime_components(
-            image, connectivity=args.connectivity, grey=args.grey, recorder=wall_rec
+            image,
+            connectivity=args.connectivity,
+            grey=args.grey,
+            kernel=args.kernel,
+            recorder=wall_rec,
         )
         print(f"runtime backend: {image.shape[0]}x{image.shape[1]}")
         _export_wall(args, wall_rec)
@@ -191,6 +203,7 @@ def cmd_components(args) -> int:
             connectivity=args.connectivity,
             grey=args.grey,
             machine=machine,
+            kernel=args.kernel,
         )
         labels = res.labels
         print(
@@ -328,7 +341,8 @@ def cmd_trace(args) -> int:
         rec = MachineRecorder(machine)
         if args.workload == "histogram":
             parallel_histogram(
-                image, args.levels, args.processors, params, machine=machine
+                image, args.levels, args.processors, params, machine=machine,
+                kernel=args.kernel,
             )
         else:
             parallel_components(
@@ -338,6 +352,7 @@ def cmd_trace(args) -> int:
                 connectivity=args.connectivity,
                 grey=args.grey,
                 machine=machine,
+                kernel=args.kernel,
             )
         report = machine.report()
         print(
@@ -360,7 +375,8 @@ def cmd_trace(args) -> int:
         if args.workload == "histogram":
             workers = resolve_workers(args.processors)
             rt_histogram(
-                image, args.levels, workers=workers, backend="process", recorder=rec
+                image, args.levels, workers=workers, backend="process",
+                kernel=args.kernel, recorder=rec,
             )
         else:
             workers = resolve_workers(args.processors, image.shape)
@@ -370,6 +386,7 @@ def cmd_trace(args) -> int:
                 grey=args.grey,
                 workers=workers,
                 backend="process",
+                kernel=args.kernel,
                 recorder=rec,
             )
         print(

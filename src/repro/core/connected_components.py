@@ -35,6 +35,7 @@ Complexities (equations (11)/(12)): ``T_comp = O(n^2/p)``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -48,6 +49,7 @@ from repro.core.costs import CostParams, DEFAULT_COSTS
 from repro.core.hooks import TileHooks, apply_hooks, create_tile_hooks, hook_ops
 from repro.core.merge import MergeStep, merge_schedule
 from repro.core.tiles import ProcessorGrid, edge_indices, perimeter_indices
+from repro.kernels import get as get_kernel, resolve_backend
 from repro.machines.params import MachineParams, IDEAL
 from repro.sorting.hybrid import hybrid_sort_ops
 from repro.utils.errors import ValidationError
@@ -102,6 +104,7 @@ def parallel_components(
     check_hazards: bool = True,
     overlap: bool = False,
     machine: Machine | None = None,
+    kernel: str | None = None,
 ) -> ComponentsResult:
     """Label the connected components of an ``n x n`` image on ``p`` processors.
 
@@ -119,7 +122,9 @@ def parallel_components(
         4 or 8 (the paper's two adjacency notions).
     engine:
         Sequential per-tile labeling engine: ``"runs"`` (fast,
-        default), ``"bfs"`` (paper-faithful reference) or ``"sv"``.
+        default), ``"bfs"`` (paper-faithful reference), ``"sv"``,
+        ``"twopass"``, or ``"kernel"`` (the :mod:`repro.kernels`
+        registry; its backend follows the ``kernel`` argument).
     shadow_manager:
         If True (paper's optimization) the processor across the border
         fetches and sorts its side in parallel with the manager;
@@ -142,13 +147,25 @@ def parallel_components(
         Optional pre-built :class:`Machine` (e.g. with a
         :class:`~repro.bdm.trace.Tracer` attached); must have ``p``
         processors.  When given, the other machine options are ignored.
+    kernel:
+        Kernel backend (``"python"`` / ``"numpy"``) for the local
+        steps dispatched through :mod:`repro.kernels` -- the change-array
+        relabel of the update phases, and the tile labeling when
+        ``engine="kernel"``.  ``None`` resolves ``REPRO_KERNEL_BACKEND``
+        / the numpy default.  The backend changes only how local
+        computation runs, never the simulated costs.
     """
     image = check_image(image, square=False)
     if distribution not in ("direct", "transpose"):
         raise ValidationError(f"unknown distribution {distribution!r}")
     if engine not in ENGINES:
         raise ValidationError(f"unknown engine {engine!r}; known: {sorted(ENGINES)}")
-    label_fn = ENGINES[engine]
+    kernel = resolve_backend(kernel)
+    if engine == "kernel":
+        label_fn = partial(ENGINES["kernel"], backend=kernel)
+    else:
+        label_fn = ENGINES[engine]
+    relabel_kernel = get_kernel("relabel", backend=kernel)
 
     grid = ProcessorGrid(p, image.shape)
     stride = grid.cols
@@ -210,6 +227,7 @@ def parallel_components(
             distribution=distribution,
             limited_updating=limited_updating,
             tile_pixels=tile_pixels,
+            relabel_kernel=relabel_kernel,
         )
         step_stats.append(stats)
 
@@ -259,6 +277,7 @@ def _run_merge_step(
     distribution: str,
     limited_updating: bool,
     tile_pixels: int,
+    relabel_kernel=None,
 ) -> MergeStepStats:
     """Execute one merge iteration (fetch/sort, solve, distribute+update)."""
     t = step.t
@@ -332,6 +351,7 @@ def _run_merge_step(
                     costs=costs,
                     limited_updating=limited_updating,
                     tile_pixels=tile_pixels,
+                    relabel_kernel=relabel_kernel,
                 )
 
     return MergeStepStats(
@@ -345,19 +365,29 @@ def _run_merge_step(
     )
 
 
-def _update_tile(proc, pid, labels, border_idx, ch, *, costs, limited_updating, tile_pixels):
-    """Relabel a processor's pixels against a change array."""
+def _update_tile(
+    proc, pid, labels, border_idx, ch, *,
+    costs, limited_updating, tile_pixels, relabel_kernel=None,
+):
+    """Relabel a processor's pixels against a change array.
+
+    The binary-search relabel itself is a kernel-dispatched local step;
+    the default (``relabel_kernel=None``) is the vectorized
+    :func:`~repro.core.change_array.apply_changes` equivalent.
+    """
     if len(ch) == 0:
         return
+    if relabel_kernel is None:
+        relabel = partial(apply_changes, changes=ch)
+    else:
+        relabel = partial(relabel_kernel, alphas=ch.alphas, betas=ch.betas)
     if limited_updating:
         cur = labels.read_indices(proc, pid, border_idx)
-        new = apply_changes(cur, ch)
-        labels.write_indices(proc, pid, border_idx, new)
+        labels.write_indices(proc, pid, border_idx, relabel(cur))
         proc.charge_comp(costs.binary_search_ops(len(border_idx), len(ch)))
     else:
         cur = labels.read(proc, pid)
-        new = apply_changes(cur, ch)
-        labels.write(proc, pid, new)
+        labels.write(proc, pid, relabel(cur))
         proc.charge_comp(costs.binary_search_ops(tile_pixels, len(ch)))
 
 

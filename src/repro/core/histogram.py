@@ -32,6 +32,7 @@ from repro.bdm.memory import GlobalArray
 from repro.bdm.transpose import transpose, gather_to
 from repro.core.costs import CostParams, DEFAULT_COSTS
 from repro.core.tiles import ProcessorGrid
+from repro.kernels import get as get_kernel
 from repro.machines.params import MachineParams, IDEAL
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_image, check_power_of_two
@@ -72,6 +73,7 @@ def parallel_histogram(
     check_hazards: bool = True,
     overlap: bool = False,
     machine: Machine | None = None,
+    kernel: str | None = None,
 ) -> HistogramResult:
     """Histogram an image's ``k`` grey levels on ``p`` processors.
 
@@ -82,7 +84,10 @@ def parallel_histogram(
     makes ``k/p`` or ``p/k`` integral).  Returns the histogram together
     with the simulated cost report.  ``overlap=True`` models perfect
     split-phase overlap of communication and computation (see
-    :class:`~repro.bdm.machine.Machine`).
+    :class:`~repro.bdm.machine.Machine`).  ``kernel`` selects the local
+    tally kernel backend (``"python"`` / ``"numpy"``; ``None`` resolves
+    ``REPRO_KERNEL_BACKEND`` / the numpy default) -- the backend changes
+    only how the local computation runs, never the simulated costs.
     """
     image = check_image(image, square=False)
     check_power_of_two("k", k)
@@ -96,12 +101,13 @@ def parallel_histogram(
         raise ValidationError(f"machine has {machine.p} processors, expected {p}")
     tiles = grid.scatter(image)
 
-    # Step 1: local tallies H_i[0..k-1].
+    # Step 1: local tallies H_i[0..k-1] (kernel-dispatched local step).
+    tally_kernel = get_kernel("histogram", backend=kernel)
     H = GlobalArray(machine, k, dtype=np.int64, name="H")
     tile_pixels = grid.q * grid.r
     with machine.phase("hist:tally"):
         for proc in machine.procs:
-            tally = np.bincount(tiles[proc.pid].ravel(), minlength=k)
+            tally = tally_kernel(tiles[proc.pid], k)
             H.write(proc, proc.pid, tally)
             proc.charge_comp(costs.hist_tally_per_pixel * tile_pixels + k)
 

@@ -1,0 +1,91 @@
+"""Kernel dispatch registry: one name, several interchangeable backends.
+
+The hot *local* steps of the paper's algorithms -- the per-tile tally of
+Section 4 step 1, the per-tile labeling of Section 5.1, border pixel
+extraction for the merge iterations, and the change-array relabel of
+Procedure 1 -- are isolated behind a tiny registry so each can be
+served by either
+
+* ``"python"`` -- the per-pixel reference implementations (the exact
+  procedures the paper describes, at interpreter speed), or
+* ``"numpy"``  -- vectorized equivalents proven **bit-identical** by
+  the differential property suite (``tests/test_kernels_differential``)
+  and the golden fixtures (``tests/test_kernels_golden``).
+
+Only local computation hides behind a kernel; communication, cost
+accounting (``CostCounter``) and observability (``repro.obs``) are
+untouched by the backend choice.
+
+Selection precedence: an explicit ``backend=`` argument, else the
+``REPRO_KERNEL_BACKEND`` environment variable, else ``"numpy"``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.utils.errors import ValidationError
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Fallback backend when neither argument nor environment selects one.
+DEFAULT_BACKEND = "numpy"
+
+#: The recognized backends, in reference-first order.
+BACKENDS = ("python", "numpy")
+
+_REGISTRY: dict[tuple[str, str], Callable] = {}
+
+
+def register(name: str, backend: str) -> Callable[[Callable], Callable]:
+    """Decorator: register a function as kernel ``name`` for ``backend``."""
+    if backend not in BACKENDS:
+        raise ValidationError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+
+    def _register(fn: Callable) -> Callable:
+        key = (name, backend)
+        if key in _REGISTRY:
+            raise ValidationError(f"kernel {name!r} already registered for {backend!r}")
+        _REGISTRY[key] = fn
+        return fn
+
+    return _register
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a backend name from the argument, environment, or default."""
+    if backend is None:
+        backend = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    backend = str(backend).strip().lower()
+    if backend not in BACKENDS:
+        raise ValidationError(
+            f"unknown kernel backend {backend!r}; known: {list(BACKENDS)}"
+        )
+    return backend
+
+
+def get(name: str, backend: str | None = None) -> Callable:
+    """Look up kernel ``name`` for ``backend`` (resolved per precedence)."""
+    backend = resolve_backend(backend)
+    try:
+        return _REGISTRY[(name, backend)]
+    except KeyError:
+        known = sorted({n for n, _ in _REGISTRY})
+        raise ValidationError(
+            f"unknown kernel {name!r} for backend {backend!r}; known kernels: {known}"
+        ) from None
+
+
+def kernel_names() -> list[str]:
+    """Sorted names of all registered kernels."""
+    return sorted({name for name, _ in _REGISTRY})
+
+
+def backends_of(name: str) -> list[str]:
+    """Backends registered for kernel ``name`` (reference-first order)."""
+    found = [b for b in BACKENDS if (name, b) in _REGISTRY]
+    if not found:
+        raise ValidationError(f"unknown kernel {name!r}; known kernels: {kernel_names()}")
+    return found

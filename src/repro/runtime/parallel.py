@@ -11,7 +11,12 @@ Mirrors the BDM algorithms' structure with real OS processes:
   pool (pool.map is the round barrier); workers finally apply the
   hook-based interior relabel in parallel.
 
-Both return results bit-identical to the sequential engines.
+Both return results bit-identical to the sequential engines.  The hot
+local steps inside the workers -- band tally, tile labeling, border
+extraction, change-array relabel -- dispatch through the
+:mod:`repro.kernels` registry, so each call can select the ``python``
+reference or the vectorized ``numpy`` backend (``kernel=`` argument or
+``REPRO_KERNEL_BACKEND``).
 """
 
 from __future__ import annotations
@@ -21,17 +26,15 @@ import os
 
 import numpy as np
 
-from repro.baselines.run_label import run_label
-from repro.baselines.sequential import sequential_histogram
 from repro.core.border_graph import BorderSide, solve_border_merge
-from repro.core.change_array import apply_changes
 from repro.core.hooks import apply_hooks, create_tile_hooks
 from repro.core.merge import merge_schedule
-from repro.core.tiles import ProcessorGrid, edge_indices, perimeter_indices
+from repro.core.tiles import ProcessorGrid, perimeter_indices
+from repro.kernels import get as get_kernel, resolve_backend
 from repro.obs.events import CAT_SETUP
 from repro.obs.runtime import WallRecorder, init_worker_sink, span_or_null, task_span
 from repro.runtime.shmem import SharedNDArray, ShmMeta
-from repro.utils.errors import ValidationError
+from repro.utils.errors import ConfigurationError, ValidationError
 from repro.utils.validation import check_image, check_power_of_two
 
 __all__ = ["histogram", "components", "resolve_workers"]
@@ -55,7 +58,10 @@ def resolve_workers(workers: int | None, shape=None) -> int:
             try:
                 ProcessorGrid(workers, shape)
                 break
-            except Exception:
+            # Only the divisibility/size probe may fail softly; anything
+            # else (a real bug) must propagate, not silently halve the
+            # worker count.
+            except ConfigurationError:
                 workers //= 2
     return workers
 
@@ -84,17 +90,18 @@ def _pool_context():
 _WORK: dict = {}
 
 
-def _hist_init(image_meta: ShmMeta, k: int, obs=None) -> None:
+def _hist_init(image_meta: ShmMeta, k: int, kernel: str, obs=None) -> None:
     init_worker_sink(obs)
     _WORK["image"] = SharedNDArray.attach(image_meta)
     _WORK["k"] = k
+    _WORK["hist_kernel"] = get_kernel("histogram", backend=kernel)
 
 
 def _hist_band(band: tuple[int, int]) -> np.ndarray:
     lo, hi = band
     with task_span(f"hist:band[{lo}:{hi})"):
         img = _WORK["image"].array
-        return np.bincount(img[lo:hi].ravel(), minlength=_WORK["k"])
+        return _WORK["hist_kernel"](img[lo:hi], _WORK["k"])
 
 
 def histogram(
@@ -103,21 +110,25 @@ def histogram(
     *,
     workers: int | None = None,
     backend: str = "auto",
+    kernel: str | None = None,
     recorder: WallRecorder | None = None,
 ) -> np.ndarray:
     """Histogram of an image's grey levels, process-parallel by bands.
 
-    Pass a :class:`~repro.obs.runtime.WallRecorder` as ``recorder`` to
-    collect wall-clock spans (shared-memory setup, per-band worker
-    tasks, the driver-side reduce) across the pool.
+    ``kernel`` selects the local tally kernel backend (``"python"`` /
+    ``"numpy"``; ``None`` resolves ``REPRO_KERNEL_BACKEND`` / the numpy
+    default).  Pass a :class:`~repro.obs.runtime.WallRecorder` as
+    ``recorder`` to collect wall-clock spans (shared-memory setup,
+    per-band worker tasks, the driver-side reduce) across the pool.
     """
     image = check_image(image, square=False)
     check_power_of_two("k", k)
     if image.max(initial=0) >= k:
         raise ValidationError(f"image has grey levels >= k={k}")
     workers = resolve_workers(workers)
+    kernel = resolve_backend(kernel)
     if _resolve_backend(backend, workers) == "serial":
-        return sequential_histogram(image, k)
+        return get_kernel("histogram", backend=kernel)(image, k)
 
     rows = image.shape[0]
     bounds = np.linspace(0, rows, workers + 1, dtype=np.int64)
@@ -131,7 +142,7 @@ def histogram(
         shm = SharedNDArray.from_array(np.ascontiguousarray(image))
     with shm:
         with ctx.Pool(
-            workers, initializer=_hist_init, initargs=(shm.meta, k, obs)
+            workers, initializer=_hist_init, initargs=(shm.meta, k, kernel, obs)
         ) as pool:
             with span_or_null(recorder, "hist:tally"):
                 partials = pool.map(_hist_band, bands)
@@ -162,7 +173,7 @@ def _cc_label_tile(pid: int):
         sl = grid.tile_slices(pid)
         I, J = grid.coords(pid)
         tile = _WORK["image"].array[sl]
-        lab = run_label(
+        lab = get_kernel("tile_label", backend=opts["kernel"])(
             tile,
             connectivity=opts["connectivity"],
             grey=opts["grey"],
@@ -212,34 +223,34 @@ def _cc_merge_group_inner(arg):
     group = step.groups[group_index]
     q, r = grid.q, grid.r
     edge_a, edge_b = step.edge_names
-    edge_rc = {
-        name: np.unravel_index(edge_indices(q, r, name), (q, r))
-        for name in (edge_a, edge_b)
-    }
-    side_a = _collect_side(labels, image, grid, group.side_a_pids, edge_rc[edge_a])
-    side_b = _collect_side(labels, image, grid, group.side_b_pids, edge_rc[edge_b])
+    extract = get_kernel("border_extract", backend=opts["kernel"])
+    side_a = _collect_side(labels, image, grid, group.side_a_pids, edge_a, extract)
+    side_b = _collect_side(labels, image, grid, group.side_b_pids, edge_b, extract)
     solve = solve_border_merge(
         side_a, side_b, connectivity=opts["connectivity"], grey=opts["grey"]
     )
     if len(solve.changes) == 0:
         return 0
+    relabel = get_kernel("relabel", backend=opts["kernel"])
     border_rows, border_cols = np.unravel_index(perimeter_indices(q, r), (q, r))
     for pid in group.region:
         r0, c0 = grid.tile_origin(pid)
         rows = border_rows + r0
         cols = border_cols + c0
-        labels[rows, cols] = apply_changes(labels[rows, cols], solve.changes)
+        labels[rows, cols] = relabel(
+            labels[rows, cols], solve.changes.alphas, solve.changes.betas
+        )
     return len(solve.changes)
 
 
-def _collect_side(labels, image, grid, pids, edge_rc) -> BorderSide:
-    er, ec = edge_rc
+def _collect_side(labels, image, grid, pids, edge, extract) -> BorderSide:
+    """One border side's labels and colors via the border_extract kernel."""
     lab_parts = []
     col_parts = []
     for pid in pids:
-        r0, c0 = grid.tile_origin(pid)
-        lab_parts.append(labels[er + r0, ec + c0])
-        col_parts.append(image[er + r0, ec + c0])
+        sl = grid.tile_slices(pid)
+        lab_parts.append(extract(labels[sl], edge))
+        col_parts.append(extract(image[sl], edge))
     return BorderSide(np.concatenate(lab_parts), np.concatenate(col_parts))
 
 
@@ -250,25 +261,38 @@ def components(
     grey: bool = False,
     workers: int | None = None,
     backend: str = "auto",
+    kernel: str | None = None,
     recorder: WallRecorder | None = None,
 ) -> np.ndarray:
     """Connected component labels of an image, process-parallel by tiles.
 
     Output convention matches the sequential engines: background 0,
-    component label = 1 + row-major index of its first pixel.  Pass a
-    :class:`~repro.obs.runtime.WallRecorder` as ``recorder`` to collect
-    wall-clock spans: shared-memory setup, per-tile label/finalize
-    tasks, one driver span per merge round, and the per-group merge
-    tasks inside each round.
+    component label = 1 + row-major index of its first pixel.
+    ``kernel`` selects the backend of the local-step kernels (tile
+    labeling, border extraction, change-array relabel): ``"python"`` /
+    ``"numpy"``, ``None`` resolving ``REPRO_KERNEL_BACKEND`` / the
+    numpy default.  Pass a :class:`~repro.obs.runtime.WallRecorder` as
+    ``recorder`` to collect wall-clock spans: shared-memory setup,
+    per-tile label/finalize tasks, one driver span per merge round, and
+    the per-group merge tasks inside each round.
     """
     image = check_image(image, square=False)
     shape = image.shape
     workers = resolve_workers(workers, shape)
+    kernel = resolve_backend(kernel)
     if _resolve_backend(backend, workers) == "serial" or workers == 1:
-        return run_label(image, connectivity=connectivity, grey=grey)
+        return get_kernel("tile_label", backend=kernel)(
+            image, connectivity=connectivity, grey=grey
+        )
 
     grid = ProcessorGrid(workers, shape)
-    opts = {"p": workers, "shape": shape, "connectivity": connectivity, "grey": grey}
+    opts = {
+        "p": workers,
+        "shape": shape,
+        "connectivity": connectivity,
+        "grey": grey,
+        "kernel": kernel,
+    }
     ctx = _pool_context()
     obs = None
     if recorder is not None:

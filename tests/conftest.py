@@ -6,14 +6,38 @@ for connected components -- the library itself never imports them.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 from scipy import ndimage
 
 # Every SPMD program executed by the suite is statically linted (autouse
 # fixture; findings surface as SpmdLintWarning) on top of the dynamic
 # shadow-memory hazard checking that Machine enables by default.
 pytest_plugins = ("repro.checker.pytest_plugin",)
+
+# Pinned Hypothesis profiles: ``derandomize=True`` makes every run
+# (locally and in CI) explore the same example sequence, so the
+# differential kernel suite is a deterministic gate rather than a coin
+# flip.  ``repro-ci`` digs deeper; select it with
+# ``HYPOTHESIS_PROFILE=repro-ci`` (the CI kernels job does).
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "repro-ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=200,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 STRUCT_4 = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
 STRUCT_8 = np.ones((3, 3), dtype=bool)

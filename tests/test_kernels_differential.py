@@ -1,0 +1,329 @@
+"""Differential property suite for the :mod:`repro.kernels` registry.
+
+The claim the kernel layer makes -- numpy kernels are **bit-identical**
+to the per-pixel Python references -- is exactly the kind of statement
+Hypothesis can attack: random rectangular images (binary and grey,
+both connectivities, degenerate all-background / all-foreground and
+1-pixel-wide shapes included), random label offsets, random change
+arrays.  Every test here compares whole arrays with
+``np.array_equal``; there is no tolerance anywhere.
+
+The suite runs under the derandomized ``repro`` / ``repro-ci``
+profiles pinned in ``conftest.py``, so failures reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import kernels
+from repro.baselines import (
+    bfs_label,
+    kernel_label,
+    run_label,
+    sequential_histogram,
+    two_pass_label,
+)
+from repro.core.change_array import ChangeArray, apply_changes
+from repro.core.tiles import edge_indices
+from repro.utils.errors import ValidationError
+
+from tests.conftest import canonicalize
+
+
+def _image_strategy(max_side: int = 10, max_level: int = 4):
+    return st.integers(1, max_side).flatmap(
+        lambda rows: st.integers(1, max_side).flatmap(
+            lambda cols: arrays(
+                np.int32, (rows, cols), elements=st.integers(0, max_level)
+            )
+        )
+    )
+
+
+connectivities = st.sampled_from([4, 8])
+grey_flags = st.booleans()
+
+
+# ---------------------------------------------------------------------------
+# registry basics
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_known_kernels_and_backends(self):
+        assert kernels.kernel_names() == [
+            "border_extract",
+            "histogram",
+            "relabel",
+            "tile_label",
+        ]
+        for name in kernels.kernel_names():
+            assert kernels.backends_of(name) == ["python", "numpy"]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValidationError):
+            kernels.get("no_such_kernel")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            kernels.get("histogram", backend="fortran")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "python")
+        assert kernels.resolve_backend() == "python"
+        assert kernels.get("tile_label") is kernels.get("tile_label", backend="python")
+        monkeypatch.delenv(kernels.ENV_VAR)
+        assert kernels.resolve_backend() == kernels.DEFAULT_BACKEND
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "python")
+        assert kernels.resolve_backend("numpy") == "numpy"
+
+    def test_kernel_label_backend_argument(self, small_binary):
+        a = kernel_label(small_binary, backend="python")
+        b = kernel_label(small_binary, backend="numpy")
+        assert np.array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# tile labeling: numpy kernel vs every reference engine
+# ---------------------------------------------------------------------------
+
+
+class TestTileLabelDifferential:
+    @given(image=_image_strategy(), connectivity=connectivities, grey=grey_flags)
+    @example(image=np.zeros((5, 7), dtype=np.int32), connectivity=8, grey=False)
+    @example(image=np.ones((5, 7), dtype=np.int32), connectivity=4, grey=True)
+    @example(image=np.ones((1, 9), dtype=np.int32), connectivity=8, grey=False)
+    @example(image=np.ones((9, 1), dtype=np.int32), connectivity=4, grey=False)
+    @example(image=np.ones((1, 1), dtype=np.int32), connectivity=8, grey=True)
+    def test_bit_identical_to_references(self, image, connectivity, grey):
+        kw = dict(connectivity=connectivity, grey=grey)
+        expected = bfs_label(image, **kw)
+        got = kernels.get("tile_label", backend="numpy")(image, **kw)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+        assert np.array_equal(two_pass_label(image, **kw), expected)
+        assert np.array_equal(run_label(image, **kw), expected)
+
+    @given(
+        image=_image_strategy(max_side=8),
+        connectivity=connectivities,
+        grey=grey_flags,
+        label_base=st.integers(0, 3),
+        label_stride=st.integers(1, 64) | st.none(),
+        row_offset=st.integers(0, 32),
+        col_offset=st.integers(0, 32),
+    )
+    @example(  # a foreground seed at the effective origin gets label 0
+        image=np.ones((2, 2), dtype=np.int32), connectivity=8, grey=False,
+        label_base=0, label_stride=None, row_offset=0, col_offset=0,
+    )
+    def test_seed_label_convention_with_offsets(
+        self, image, connectivity, grey, label_base, label_stride, row_offset, col_offset
+    ):
+        """The paper's ``(Iq + i) n + (Jr + j) + 1`` tile-offset labels.
+
+        ``label_base=0`` can assign a foreground seed the background
+        sentinel 0 (historically an infinite loop in ``bfs_label``);
+        both backends must reject such inputs identically.
+        """
+        kw = dict(
+            connectivity=connectivity,
+            grey=grey,
+            label_base=label_base,
+            label_stride=label_stride,
+            row_offset=row_offset,
+            col_offset=col_offset,
+        )
+        numpy_kernel = kernels.get("tile_label", backend="numpy")
+        try:
+            expected = bfs_label(image, **kw)
+        except ValidationError:
+            with pytest.raises(ValidationError):
+                numpy_kernel(image, **kw)
+            return
+        got = numpy_kernel(image, **kw)
+        assert np.array_equal(got, expected)
+
+    def test_zero_seed_label_rejected(self):
+        """Label 0 collides with the background sentinel -> rejected.
+
+        The per-pixel reference used to spin forever on this input (the
+        seed never counts as visited); now both backends raise.
+        """
+        img = np.ones((3, 3), dtype=np.int32)
+        for backend in kernels.BACKENDS:
+            with pytest.raises(ValidationError):
+                kernels.get("tile_label", backend=backend)(img, label_base=0)
+
+    @given(image=_image_strategy(), connectivity=connectivities, grey=grey_flags)
+    def test_label_convention_canonical(self, image, connectivity, grey):
+        """Every component is labeled 1 + min row-major index of its pixels."""
+        labels = kernels.get("tile_label", backend="numpy")(
+            image, connectivity=connectivity, grey=grey
+        )
+        assert np.array_equal(canonicalize(labels), labels)
+        assert np.array_equal(labels != 0, np.asarray(image) != 0)
+
+    @given(image=_image_strategy(max_side=8, max_level=3), connectivity=connectivities)
+    def test_grey_permutation_invariance(self, image, connectivity):
+        """Grey CC depends only on the equality pattern of levels.
+
+        Relabeling the non-zero grey levels through any injective map
+        (here: level -> level + 7) must leave the labeling unchanged.
+        """
+        permuted = np.where(image != 0, image + 7, 0).astype(np.int32)
+        kern = kernels.get("tile_label", backend="numpy")
+        a = kern(image, connectivity=connectivity, grey=True)
+        b = kern(permuted, connectivity=connectivity, grey=True)
+        assert np.array_equal(a, b)
+
+    @given(
+        image=_image_strategy(max_side=8, max_level=1),
+        connectivity=connectivities,
+        scale=st.integers(2, 250),
+    )
+    def test_binary_value_invariance(self, image, connectivity, scale):
+        """Binary CC sees only foreground/background, not the values."""
+        scaled = (image * scale).astype(np.int32)
+        kern = kernels.get("tile_label", backend="numpy")
+        assert np.array_equal(
+            kern(image, connectivity=connectivity, grey=False),
+            kern(scaled, connectivity=connectivity, grey=False),
+        )
+
+    def test_python_backend_is_bfs(self, small_binary):
+        assert np.array_equal(
+            kernels.get("tile_label", backend="python")(small_binary),
+            bfs_label(small_binary),
+        )
+
+
+# ---------------------------------------------------------------------------
+# histogram
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramDifferential:
+    @given(
+        image=_image_strategy(max_side=12, max_level=7),
+        k=st.sampled_from([8, 16, 64]),
+    )
+    @example(image=np.zeros((3, 3), dtype=np.int32), k=8)
+    @example(image=np.full((2, 5), 7, dtype=np.int32), k=8)
+    def test_backends_match_reference(self, image, k):
+        expected = sequential_histogram(image, k)
+        for backend in kernels.BACKENDS:
+            got = kernels.get("histogram", backend=backend)(image, k)
+            assert got.dtype == expected.dtype
+            assert np.array_equal(got, expected)
+        assert int(expected.sum()) == image.size  # the paper's sum(H) == n^2
+
+    def test_level_overflow_rejected(self):
+        img = np.full((2, 2), 9, dtype=np.int32)
+        for backend in kernels.BACKENDS:
+            with pytest.raises(ValidationError):
+                kernels.get("histogram", backend=backend)(img, 8)
+
+
+# ---------------------------------------------------------------------------
+# relabel (change-array consumption)
+# ---------------------------------------------------------------------------
+
+
+class TestRelabelDifferential:
+    @given(
+        labels=arrays(np.int64, st.integers(0, 40), elements=st.integers(0, 30)),
+        mapping=st.dictionaries(
+            st.integers(0, 30), st.integers(0, 500), max_size=12
+        ),
+    )
+    def test_backends_match_apply_changes(self, labels, mapping):
+        alphas = np.array(sorted(mapping), dtype=np.int64)
+        betas = np.array([mapping[a] for a in sorted(mapping)], dtype=np.int64)
+        expected = apply_changes(labels, ChangeArray(alphas, betas))
+        for backend in kernels.BACKENDS:
+            got = kernels.get("relabel", backend=backend)(labels, alphas, betas)
+            assert got.dtype == expected.dtype
+            assert np.array_equal(got, expected)
+
+    @given(labels=arrays(np.int64, (4, 5), elements=st.integers(0, 9)))
+    def test_empty_change_array_is_identity_copy(self, labels):
+        empty = np.empty(0, dtype=np.int64)
+        for backend in kernels.BACKENDS:
+            got = kernels.get("relabel", backend=backend)(labels, empty, empty)
+            assert np.array_equal(got, labels)
+            assert got is not labels  # a copy, like apply_changes
+
+    def test_mismatched_pairs_rejected(self):
+        labels = np.arange(4, dtype=np.int64)
+        for backend in kernels.BACKENDS:
+            with pytest.raises(ValidationError):
+                kernels.get("relabel", backend=backend)(
+                    labels, np.array([1, 2]), np.array([3])
+                )
+
+
+# ---------------------------------------------------------------------------
+# border extraction
+# ---------------------------------------------------------------------------
+
+
+class TestBorderExtractDifferential:
+    @given(
+        tile=_image_strategy(max_side=9, max_level=50),
+        edge=st.sampled_from(["top", "bottom", "left", "right"]),
+    )
+    def test_backends_match_edge_indices(self, tile, edge):
+        rows, cols = tile.shape
+        expected = tile.ravel()[edge_indices(rows, cols, edge)]
+        for backend in kernels.BACKENDS:
+            got = kernels.get("border_extract", backend=backend)(tile, edge)
+            assert np.array_equal(got, expected)
+
+    def test_unknown_edge_rejected(self):
+        tile = np.zeros((3, 3), dtype=np.int32)
+        for backend in kernels.BACKENDS:
+            with pytest.raises(ValidationError):
+                kernels.get("border_extract", backend=backend)(tile, "diagonal")
+
+
+# ---------------------------------------------------------------------------
+# engine registry integration
+# ---------------------------------------------------------------------------
+
+
+class TestKernelEngine:
+    @given(image=_image_strategy(max_side=8), connectivity=connectivities)
+    @settings(max_examples=25)
+    def test_sequential_components_kernel_engine(self, image, connectivity):
+        from repro.baselines import sequential_components
+
+        assert np.array_equal(
+            sequential_components(image, connectivity=connectivity, engine="kernel"),
+            sequential_components(image, connectivity=connectivity, engine="bfs"),
+        )
+
+    def test_parallel_components_kernel_engine(self, small_grey):
+        import repro
+
+        res = repro.parallel_components(
+            small_grey, 4, grey=True, engine="kernel", kernel="numpy"
+        )
+        ref = repro.parallel_components(small_grey, 4, grey=True, engine="bfs")
+        assert np.array_equal(res.labels, ref.labels)
+
+    def test_parallel_components_python_kernel(self, small_binary):
+        import repro
+
+        res = repro.parallel_components(
+            small_binary, 4, engine="kernel", kernel="python"
+        )
+        ref = repro.parallel_components(small_binary, 4, engine="runs")
+        assert np.array_equal(res.labels, ref.labels)

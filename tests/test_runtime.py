@@ -67,6 +67,28 @@ class TestResolveWorkers:
         # n = 6: p=16 -> grid 4x4 divides 6? no -> 4 -> 2x2 ok? 6%2==0 yes
         assert resolve_workers(16, 6) == 4
 
+    def test_non_divisible_shape_degrades_not_raises(self):
+        # A prime side: no grid larger than 1x1 divides it, so the count
+        # must degrade all the way to 1 rather than raise.
+        assert resolve_workers(16, 7) == 1
+        assert resolve_workers(16, (7, 7)) == 1
+
+    def test_real_bugs_propagate(self, monkeypatch):
+        """Only the divisibility probe may fail softly.
+
+        Historically this loop caught bare ``Exception``, so a genuine
+        defect inside ProcessorGrid (simulated here) was silently
+        translated into a smaller worker count.  It must propagate.
+        """
+        from repro.runtime import parallel as rt_parallel
+
+        def boom(workers, shape):
+            raise RuntimeError("genuine bug, not a divisibility failure")
+
+        monkeypatch.setattr(rt_parallel, "ProcessorGrid", boom)
+        with pytest.raises(RuntimeError, match="genuine bug"):
+            resolve_workers(4, 24)
+
 
 class TestHistogramBackends:
     def test_serial_matches_sequential(self, small_grey):
