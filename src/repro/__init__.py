@@ -35,6 +35,7 @@ Quickstart::
 """
 
 from repro import kernels
+from repro.faults import FaultPlan, FaultSpec
 from repro.core.connected_components import parallel_components, ComponentsResult
 from repro.core.equalization import parallel_equalize, EqualizationResult
 from repro.core.histogram import parallel_histogram, HistogramResult
@@ -49,6 +50,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "kernels",
+    "FaultPlan",
+    "FaultSpec",
     "parallel_components",
     "ComponentsResult",
     "parallel_histogram",

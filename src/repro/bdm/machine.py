@@ -53,6 +53,12 @@ class MachineObserver:
         """A same-phase hazard was detected (before the raise);
         ``hazard`` is a :class:`repro.checker.shadow.Hazard`."""
 
+    def on_instant(self, name: str, lane, t_s: float, args: dict) -> None:
+        """A point event was noted via :meth:`Machine.note_instant`
+        (e.g. a fault injection or a shadow-manager failover); ``lane``
+        is the processor id it concerns (or ``None`` for the machine),
+        ``t_s`` the simulated time, ``args`` structured context."""
+
     def on_reset(self) -> None:
         """The machine's cost records were cleared."""
 
@@ -225,6 +231,18 @@ class Machine:
     def _note_hazard(self, hazard) -> None:
         for obs in self._observers:
             obs.on_hazard(hazard)
+
+    def note_instant(self, name: str, lane=None, **args) -> None:
+        """Publish a point event at the current simulated time.
+
+        Used by the fault-injection / failover machinery (and open to
+        algorithm code) to mark occurrences -- a lost manager, a
+        shadow takeover -- on the simulated timeline; observers such as
+        :class:`~repro.obs.sim.MachineRecorder` turn them into
+        :class:`~repro.obs.events.Instant` log entries.
+        """
+        for obs in self._observers:
+            obs.on_instant(name, lane, self._sim_time_s, args)
 
     # -- arrays ------------------------------------------------------------
 

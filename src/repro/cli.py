@@ -17,6 +17,10 @@ Commands
                 ``chrome://tracing``) plus a metrics snapshot, on either
                 the simulated machine or the real multiprocessing
                 runtime.
+``chaos``       run the seeded single-fault chaos matrix against a
+                workload and report each plan's recovery outcome
+                (``histogram``/``components`` also accept a
+                ``--fault-plan`` JSON for one specific plan).
 """
 
 from __future__ import annotations
@@ -100,15 +104,43 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def _sim_recorder(args, params):
-    """Machine + attached recorder when trace/metrics output is requested."""
-    if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)):
+def _sim_recorder(args, params, *, force: bool = False):
+    """Machine + attached recorder when trace/metrics output is requested.
+
+    ``force=True`` builds them regardless (used when a fault plan is
+    active, so recovery events can be reported even without exports).
+    """
+    wanted = getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)
+    if not (wanted or force):
         return None, None
     from repro.bdm.machine import Machine
     from repro.obs import MachineRecorder
 
     machine = Machine(args.processors, params)
     return machine, MachineRecorder(machine)
+
+
+def _load_fault_plan(args):
+    """Load and announce the ``--fault-plan`` JSON, if given."""
+    path = getattr(args, "fault_plan", None)
+    if not path:
+        return None
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.load(path)
+    print(f"fault plan: {plan.describe()} (seed {plan.seed})")
+    return plan
+
+
+def _print_fault_events(rec) -> None:
+    """Summarize recorded ``fault:*`` instants (wall or sim recorder)."""
+    if rec is None:
+        return
+    events = rec.fault_events()
+    if events:
+        print(f"fault events: {', '.join(i.name for i in events)}")
+    else:
+        print("fault events: none")
 
 
 def _export_sim(args, rec) -> None:
@@ -148,19 +180,50 @@ def _export_wall(args, rec) -> None:
 def cmd_histogram(args) -> int:
     image = _load_image(args)
     params = load_machine(args.machine)
-    machine, rec = _sim_recorder(args, params)
-    res = parallel_histogram(
-        image, args.levels, args.processors, params, machine=machine,
-        kernel=args.kernel,
-    )
-    hist = res.histogram
-    print(
-        f"histogram of {image.shape[0]}x{image.shape[1]} image, k={args.levels}, "
-        f"p={args.processors} on simulated {params.name}"
-    )
-    print(f"simulated time: {res.elapsed_s * 1e3:.3f} ms")
-    if args.report:
-        print(res.report.summary())
+    plan = _load_fault_plan(args)
+    if args.runtime:
+        from repro.obs import WallRecorder
+        from repro.runtime import histogram as rt_histogram, resolve_workers
+
+        rec = None
+        if args.trace_out or args.metrics_out or plan is not None:
+            rec = WallRecorder()
+        hist = rt_histogram(
+            image,
+            args.levels,
+            workers=resolve_workers(args.processors),
+            backend="process",
+            kernel=args.kernel,
+            recorder=rec,
+            fault_plan=plan,
+        )
+        print(
+            f"histogram of {image.shape[0]}x{image.shape[1]} image, "
+            f"k={args.levels} on the multiprocessing runtime"
+        )
+        if plan is not None:
+            _print_fault_events(rec)
+        _export_wall(args, rec)
+    else:
+        if plan is not None and not plan.is_empty:
+            raise ReproError(
+                "the simulator fault model covers components only; "
+                "use --runtime for histogram fault injection"
+            )
+        machine, rec = _sim_recorder(args, params)
+        res = parallel_histogram(
+            image, args.levels, args.processors, params, machine=machine,
+            kernel=args.kernel,
+        )
+        hist = res.histogram
+        print(
+            f"histogram of {image.shape[0]}x{image.shape[1]} image, k={args.levels}, "
+            f"p={args.processors} on simulated {params.name}"
+        )
+        print(f"simulated time: {res.elapsed_s * 1e3:.3f} ms")
+        if args.report:
+            print(res.report.summary())
+        _export_sim(args, rec)
     occupied = np.flatnonzero(hist)
     print(f"occupied levels: {len(occupied)}/{args.levels}")
     top = np.argsort(hist)[::-1][:8]
@@ -172,30 +235,37 @@ def cmd_histogram(args) -> int:
         eq = parallel_equalize(image, args.levels, args.processors, params)
         write_pgm(args.equalize, eq.image)
         print(f"equalized image written to {args.equalize}")
-    _export_sim(args, rec)
     return 0
 
 
 def cmd_components(args) -> int:
     image = _load_image(args)
     params = load_machine(args.machine)
+    plan = _load_fault_plan(args)
     if args.runtime:
         wall_rec = None
-        if args.trace_out or args.metrics_out:
+        if args.trace_out or args.metrics_out or plan is not None:
             from repro.obs import WallRecorder
 
             wall_rec = WallRecorder()
+        from repro.runtime import resolve_workers
+
         labels = runtime_components(
             image,
             connectivity=args.connectivity,
             grey=args.grey,
+            workers=resolve_workers(args.processors, image.shape),
+            backend="process",
             kernel=args.kernel,
             recorder=wall_rec,
+            fault_plan=plan,
         )
         print(f"runtime backend: {image.shape[0]}x{image.shape[1]}")
+        if plan is not None:
+            _print_fault_events(wall_rec)
         _export_wall(args, wall_rec)
     else:
-        machine, rec = _sim_recorder(args, params)
+        machine, rec = _sim_recorder(args, params, force=plan is not None)
         res = parallel_components(
             image,
             args.processors,
@@ -204,12 +274,17 @@ def cmd_components(args) -> int:
             grey=args.grey,
             machine=machine,
             kernel=args.kernel,
+            fault_plan=plan,
         )
         labels = res.labels
         print(
             f"simulated {params.name}, p={args.processors}: "
             f"{res.elapsed_s * 1e3:.3f} ms"
         )
+        if plan is not None:
+            nf = sum(s.n_failovers for s in res.step_stats)
+            print(f"merge-round failovers: {nf}")
+            _print_fault_events(rec)
         if args.report:
             print(res.report.summary(top=8))
         _export_sim(args, rec)
@@ -398,6 +473,132 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _chaos_runner(args, image, n_tasks):
+    """Baseline result + a ``run_one(plan) -> (result, event_names)`` closure."""
+    if args.engine == "process":
+        from repro.obs import WallRecorder
+        from repro.runtime import components as rt_components
+        from repro.runtime import histogram as rt_histogram
+
+        if args.workload == "histogram":
+            baseline = rt_histogram(
+                image, args.levels, backend="serial", kernel=args.kernel
+            )
+
+            def run_one(plan):
+                rec = WallRecorder()
+                res = rt_histogram(
+                    image, args.levels, workers=n_tasks, backend="process",
+                    kernel=args.kernel, recorder=rec, fault_plan=plan,
+                    timeout=args.timeout, max_retries=args.retries,
+                )
+                return res, [i.name for i in rec.fault_events()]
+        else:
+            baseline = rt_components(
+                image, connectivity=args.connectivity, grey=args.grey,
+                backend="serial", kernel=args.kernel,
+            )
+
+            def run_one(plan):
+                rec = WallRecorder()
+                res = rt_components(
+                    image, connectivity=args.connectivity, grey=args.grey,
+                    workers=n_tasks, backend="process", kernel=args.kernel,
+                    recorder=rec, fault_plan=plan,
+                    timeout=args.timeout, max_retries=args.retries,
+                )
+                return res, [i.name for i in rec.fault_events()]
+    else:
+        from repro.bdm.machine import Machine
+        from repro.obs import MachineRecorder
+
+        params = load_machine(args.machine)
+        baseline = parallel_components(
+            image, n_tasks, params, connectivity=args.connectivity,
+            grey=args.grey, kernel=args.kernel,
+        ).labels
+
+        def run_one(plan):
+            machine = Machine(n_tasks, params)
+            rec = MachineRecorder(machine)
+            res = parallel_components(
+                image, n_tasks, params, connectivity=args.connectivity,
+                grey=args.grey, machine=machine, kernel=args.kernel,
+                fault_plan=plan,
+            )
+            return res.labels, [i.name for i in rec.fault_events()]
+
+    return baseline, run_one
+
+
+def _chaos_case(run_one, plan, baseline) -> tuple[str, list[str], bool]:
+    """One plan's verdict: (outcome text, fault event names, ok?)."""
+    import warnings
+
+    from repro.utils.errors import DegradedRunWarning, FaultError
+
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result, events = run_one(plan)
+    except FaultError as exc:
+        # A typed, prompt failure is an acceptable outcome: the run did
+        # not hang and did not return wrong labels.
+        return f"typed {type(exc).__name__}", [], True
+    degraded = any(isinstance(w.message, DegradedRunWarning) for w in caught)
+    if not np.array_equal(result, baseline):
+        return "MISMATCH vs unfaulted baseline", events, False
+    return ("recovered, identical (degraded)" if degraded
+            else "recovered, identical"), events, True
+
+
+def cmd_chaos(args) -> int:
+    from repro.core.merge import merge_schedule
+    from repro.core.tiles import ProcessorGrid
+    from repro.faults import assert_no_shm_leak, single_fault_plans
+
+    image = _load_image(args)
+    if args.engine == "sim" and args.workload == "histogram":
+        raise ReproError("the simulator fault model covers components only")
+    if args.engine == "process":
+        from repro.runtime import resolve_workers
+
+        shape = image.shape if args.workload == "components" else None
+        n_tasks = resolve_workers(args.processors, shape)
+    else:
+        n_tasks = args.processors
+    n_rounds = 0
+    if args.workload == "components":
+        n_rounds = len(merge_schedule(ProcessorGrid(n_tasks, image.shape)))
+    plans = single_fault_plans(
+        workload=args.workload, engine=args.engine,
+        n_rounds=n_rounds, n_tasks=n_tasks, seed=args.seed,
+    )
+    print(
+        f"chaos matrix: {len(plans)} single-fault plan(s) for {args.workload} "
+        f"on the {args.engine} engine ({n_tasks} tasks, {n_rounds} merge rounds)"
+    )
+    if args.list:
+        for plan in plans:
+            print(f"  {plan.describe()}")
+        return 0
+
+    baseline, run_one = _chaos_runner(args, image, n_tasks)
+    failures = 0
+    with assert_no_shm_leak():
+        for i, plan in enumerate(plans, start=1):
+            outcome, events, ok = _chaos_case(run_one, plan, baseline)
+            if not ok:
+                failures += 1
+            suffix = f"  [{', '.join(events)}]" if events else ""
+            print(f"  [{i:>2}/{len(plans)}] {plan.describe():<32} {outcome}{suffix}")
+    if failures:
+        print(f"{failures} plan(s) FAILED")
+        return 1
+    print("all plans recovered (no hangs, no mismatches, no leaked shm segments)")
+    return 0
+
+
 def cmd_machines(args) -> int:
     print(f"{'key':<9} {'name':<16} {'latency':>9} {'bandwidth':>12} {'op':>8}")
     for key in sorted(MACHINES):
@@ -427,6 +628,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_args(hist)
     hist.add_argument("-k", "--levels", type=int, default=256)
     hist.add_argument("--equalize", metavar="OUT.pgm", help="write equalized image")
+    hist.add_argument("--runtime", action="store_true", help="use the real-parallel backend")
+    hist.add_argument(
+        "--fault-plan",
+        metavar="PLAN.json",
+        help="inject faults from a repro-faults/v1 plan (requires --runtime)",
+    )
     hist.set_defaults(func=cmd_histogram)
 
     comp = subs.add_parser("components", help="parallel connected components")
@@ -434,6 +641,12 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--grey", action="store_true", help="grey-scale CC (Section 6)")
     comp.add_argument("--connectivity", type=int, choices=(4, 8), default=8)
     comp.add_argument("--runtime", action="store_true", help="use the real-parallel backend")
+    comp.add_argument(
+        "--fault-plan",
+        metavar="PLAN.json",
+        help="inject faults from a repro-faults/v1 plan (process sites with "
+        "--runtime, sim:merge shadow-manager failover without)",
+    )
     comp.add_argument("--ascii", type=int, metavar="WIDTH", help="print an ASCII label map")
     comp.add_argument("-o", "--output", metavar="OUT.pgm", help="write the label map")
     comp.set_defaults(func=cmd_components)
@@ -506,6 +719,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the (server, mover) communication matrix (sim engine)",
     )
     trc.set_defaults(func=cmd_trace, trace_out="trace.json")
+
+    cha = subs.add_parser(
+        "chaos",
+        help="run the seeded single-fault chaos matrix and report recovery",
+    )
+    cha.add_argument("image", nargs="?", help="PGM/PBM input file")
+    cha.add_argument(
+        "--pattern",
+        type=int,
+        choices=range(0, 10),
+        help="generate input: 1-9 = Figure 1 test images, 0 = DARPA-like scene",
+    )
+    cha.add_argument("--size", type=int, default=128, help="pattern size (default 128)")
+    cha.add_argument("-p", "--processors", type=int, default=16)
+    cha.add_argument(
+        "--workload", choices=("components", "histogram"), default="components"
+    )
+    cha.add_argument(
+        "--engine",
+        choices=("process", "sim"),
+        default="process",
+        help="process = hardened multiprocessing runtime, "
+        "sim = BDM simulator (shadow-manager failover; components only)",
+    )
+    cha.add_argument(
+        "--machine",
+        default="cm5",
+        help=f"machine model for --engine sim ({', '.join(sorted(MACHINES))})",
+    )
+    cha.add_argument("-k", "--levels", type=int, default=256)
+    cha.add_argument("--grey", action="store_true")
+    cha.add_argument("--connectivity", type=int, choices=(4, 8), default=8)
+    cha.add_argument(
+        "--kernel", choices=("python", "numpy"), default=None,
+        help="local-step kernel backend",
+    )
+    cha.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    cha.add_argument(
+        "--timeout", type=float, default=2.0,
+        help="per-task deadline in seconds (default 2.0; crash/hang plans "
+        "recover via deadline expiry, so this bounds each plan's cost)",
+    )
+    cha.add_argument(
+        "--retries", type=int, default=2, help="retry budget per task (default 2)"
+    )
+    cha.add_argument(
+        "--list", action="store_true", help="print the matrix and exit without running"
+    )
+    cha.set_defaults(func=cmd_chaos)
 
     mach = subs.add_parser("machines", help="list machine models")
     mach.set_defaults(func=cmd_machines)

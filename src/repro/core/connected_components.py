@@ -49,10 +49,16 @@ from repro.core.costs import CostParams, DEFAULT_COSTS
 from repro.core.hooks import TileHooks, apply_hooks, create_tile_hooks, hook_ops
 from repro.core.merge import MergeStep, merge_schedule
 from repro.core.tiles import ProcessorGrid, edge_indices, perimeter_indices
+from repro.faults.plan import FaultPlan
 from repro.kernels import get as get_kernel, resolve_backend
 from repro.machines.params import MachineParams, IDEAL
+from repro.obs.events import (
+    FAULT_FAILOVER,
+    FAULT_MANAGER_CRASH,
+    FAULT_SHADOW_CRASH,
+)
 from repro.sorting.hybrid import hybrid_sort_ops
-from repro.utils.errors import ValidationError
+from repro.utils.errors import FailoverError, ValidationError
 from repro.utils.validation import check_image
 
 
@@ -67,6 +73,7 @@ class MergeStepStats:
     n_vertices: int
     n_edges: int
     n_changes: int
+    n_failovers: int = 0
 
 
 @dataclass
@@ -105,6 +112,7 @@ def parallel_components(
     overlap: bool = False,
     machine: Machine | None = None,
     kernel: str | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ComponentsResult:
     """Label the connected components of an ``n x n`` image on ``p`` processors.
 
@@ -154,6 +162,19 @@ def parallel_components(
         ``engine="kernel"``.  ``None`` resolves ``REPRO_KERNEL_BACKEND``
         / the numpy default.  The backend changes only how local
         computation runs, never the simulated costs.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  The simulator
+        honors ``sim:merge`` specs: a processor loss at a merge-round
+        boundary.  Losing a group's *manager* triggers the paper's
+        natural redundancy -- the shadow manager already holds one
+        sorted border side, so it fetches the other, solves the border
+        graph, and publishes the change list itself (bit-identical
+        labels, one failover instant on the simulated timeline).
+        Losing the *shadow* makes the manager fetch both sides, as if
+        ``shadow_manager=False`` for that group.  Losing both (or the
+        manager with ``shadow_manager=False``) is unrecoverable and
+        raises :class:`~repro.utils.errors.FailoverError`.  Specs at
+        other sites target the process runtime and are ignored here.
     """
     image = check_image(image, square=False)
     if distribution not in ("direct", "transpose"):
@@ -228,6 +249,7 @@ def parallel_components(
             limited_updating=limited_updating,
             tile_pixels=tile_pixels,
             relabel_kernel=relabel_kernel,
+            fault_plan=fault_plan,
         )
         step_stats.append(stats)
 
@@ -278,44 +300,95 @@ def _run_merge_step(
     limited_updating: bool,
     tile_pixels: int,
     relabel_kernel=None,
+    fault_plan: FaultPlan | None = None,
 ) -> MergeStepStats:
-    """Execute one merge iteration (fetch/sort, solve, distribute+update)."""
+    """Execute one merge iteration (fetch/sort, solve, distribute+update).
+
+    Per group the protocol runs three roles: the side-A fetcher, the
+    side-B fetcher, and the *publisher* (solves the border graph and
+    serves the change list).  Normally the manager holds A + publish
+    and the shadow holds B; a ``sim:merge`` fault reassigns roles at
+    the round boundary -- manager lost, the shadow takes all three
+    (failover); shadow lost, the manager does.  The faulted processor's
+    tile memory stays served (single global address space), and it
+    rejoins as an ordinary update-phase client, so labels stay
+    bit-identical to the unfaulted run.
+    """
     t = step.t
     edge_a, edge_b = step.edge_names
     idx_a = edge_cache[edge_a]
     idx_b = edge_cache[edge_b]
     side_len = len(idx_a) * len(step.groups[0].side_a_pids)
 
+    # -- role assignment (applies any merge-round-boundary faults) -------
+    n_failovers = 0
+    roles: dict[int, tuple[int, int, int]] = {}  # manager -> (fetch_a, fetch_b, publisher)
+    for gi, group in enumerate(step.groups):
+        fetch_a = publisher = group.manager
+        fetch_b = group.shadow if shadow_manager else group.manager
+        lost: set[str] = set()
+        if fault_plan is not None:
+            for spec in fault_plan.match_all("sim:merge", round=t - 1, group=gi):
+                lost |= {"manager", "shadow"} if spec.target == "both" else {spec.target}
+        if "manager" in lost:
+            machine.note_instant(
+                FAULT_MANAGER_CRASH, lane=group.manager, round=t - 1, group=gi
+            )
+            if "shadow" in lost or not shadow_manager:
+                detail = (
+                    f"shadow P{group.shadow} lost too"
+                    if "shadow" in lost
+                    else "no shadow manager to fail over to"
+                )
+                raise FailoverError(
+                    f"merge round {t - 1} group {gi}: manager P{group.manager} "
+                    f"lost and {detail}",
+                    site="sim:merge",
+                )
+            machine.note_instant(
+                FAULT_FAILOVER,
+                lane=group.shadow,
+                round=t - 1,
+                group=gi,
+                manager=group.manager,
+                shadow=group.shadow,
+            )
+            fetch_a = fetch_b = publisher = group.shadow
+            n_failovers += 1
+        elif "shadow" in lost and shadow_manager:
+            machine.note_instant(
+                FAULT_SHADOW_CRASH, lane=group.shadow, round=t - 1, group=gi
+            )
+            fetch_b = group.manager
+            n_failovers += 1
+        roles[group.manager] = (fetch_a, fetch_b, publisher)
+
     sides_a: dict[int, BorderSide] = {}
     sides_b: dict[int, BorderSide] = {}
     with machine.phase(f"cc:m{t}:fetch"):
         for group in step.groups:
-            mgr = machine.procs[group.manager]
+            fetch_a, fetch_b, _ = roles[group.manager]
+            pa = machine.procs[fetch_a]
             sides_a[group.manager] = _fetch_side(
-                machine, mgr, group.side_a_pids, idx_a, labels, colors
+                machine, pa, group.side_a_pids, idx_a, labels, colors
             )
-            mgr.charge_comp(hybrid_sort_ops(side_len))
-            if shadow_manager:
-                shd = machine.procs[group.shadow]
-                sides_b[group.manager] = _fetch_side(
-                    machine, shd, group.side_b_pids, idx_b, labels, colors
-                )
-                shd.charge_comp(hybrid_sort_ops(side_len))
-            else:
-                sides_b[group.manager] = _fetch_side(
-                    machine, mgr, group.side_b_pids, idx_b, labels, colors
-                )
-                mgr.charge_comp(hybrid_sort_ops(side_len))
+            pa.charge_comp(hybrid_sort_ops(side_len))
+            pb = machine.procs[fetch_b]
+            sides_b[group.manager] = _fetch_side(
+                machine, pb, group.side_b_pids, idx_b, labels, colors
+            )
+            pb.charge_comp(hybrid_sort_ops(side_len))
 
     changes: dict[int, ChangeArray] = {}
     n_vertices = n_edges = n_changes = 0
     with machine.phase(f"cc:m{t}:solve"):
         for group in step.groups:
-            mgr = machine.procs[group.manager]
-            if shadow_manager:
-                # Manager prefetches the shadow's sorted side (labels +
-                # colors); the shadow reverts to being a client.
-                machine.transfer(group.shadow, group.manager, 2 * side_len)
+            _, fetch_b, publisher = roles[group.manager]
+            pub = machine.procs[publisher]
+            if fetch_b != publisher:
+                # Publisher prefetches the other fetcher's sorted side
+                # (labels + colors); that fetcher reverts to a client.
+                machine.transfer(fetch_b, publisher, 2 * side_len)
             solve = solve_border_merge(
                 sides_a[group.manager],
                 sides_b[group.manager],
@@ -323,7 +396,7 @@ def _run_merge_step(
                 grey=grey,
             )
             changes[group.manager] = solve.changes
-            mgr.charge_comp(
+            pub.charge_comp(
                 costs.graph_build_per_vertex * solve.n_vertices
                 + costs.graph_cc_per_vertex * solve.n_vertices
                 + costs.change_per_entry * len(solve.changes)
@@ -334,18 +407,19 @@ def _run_merge_step(
             n_changes += len(solve.changes)
 
     if distribution == "transpose":
-        _distribute_transpose(machine, step, changes)
+        _distribute_transpose(machine, step, changes, roles)
 
     with machine.phase(f"cc:m{t}:update"):
         for group in step.groups:
+            publisher = roles[group.manager][2]
             ch = changes[group.manager]
             ch_words = 1 + 2 * len(ch)
             for pid in group.region:
                 proc = machine.procs[pid]
-                if distribution == "direct" and pid != group.manager:
+                if distribution == "direct" and pid != publisher:
                     # Client prefetches chSize, then the change pairs,
-                    # straight from the manager (equation (8)).
-                    machine.transfer(group.manager, pid, ch_words)
+                    # straight from the publisher (equation (8)).
+                    machine.transfer(publisher, pid, ch_words)
                 _update_tile(
                     proc, pid, labels, border_idx, ch,
                     costs=costs,
@@ -362,6 +436,7 @@ def _run_merge_step(
         n_vertices=n_vertices,
         n_edges=n_edges,
         n_changes=n_changes,
+        n_failovers=n_failovers,
     )
 
 
@@ -391,15 +466,21 @@ def _update_tile(
         proc.charge_comp(costs.binary_search_ops(tile_pixels, len(ch)))
 
 
-def _distribute_transpose(machine: Machine, step: MergeStep, changes: dict[int, ChangeArray]) -> None:
+def _distribute_transpose(
+    machine: Machine,
+    step: MergeStep,
+    changes: dict[int, ChangeArray],
+    roles: dict[int, tuple[int, int, int]],
+) -> None:
     """Equation (9)/(10): two-round change-list distribution.
 
-    Round 1: the manager hands each of the ``f`` region processors one
+    Round 1: the publisher (the manager, or the shadow after a
+    failover) hands each of the ``f`` region processors one
     ``ceil(c/f)``-word slice of the serialized change list.  Round 2:
     the processors exchange slices circularly, so everyone assembles
     the full list at cost ``2 (tau + c - c/f)`` instead of the direct
-    scheme's ``f``-fold serialization at the manager.
-    The reassembled list replaces the manager-held one in ``changes``
+    scheme's ``f``-fold serialization at the publisher.
+    The reassembled list replaces the publisher-held one in ``changes``
     consumption order, keeping the data path honest.
     """
     t = step.t
@@ -423,10 +504,11 @@ def _distribute_transpose(machine: Machine, step: MergeStep, changes: dict[int, 
     with machine.phase(f"cc:m{t}:dist1"):
         for group in step.groups:
             region, f, slice_len, padded, _ = group_meta[group.manager]
+            publisher = roles[group.manager][2]
             for rank, pid in enumerate(region):
                 proc = machine.procs[pid]
-                if pid != group.manager:
-                    machine.transfer(group.manager, pid, slice_len + 1)
+                if pid != publisher:
+                    machine.transfer(publisher, pid, slice_len + 1)
                 slices.write(proc, pid, padded[rank * slice_len : (rank + 1) * slice_len])
 
     with machine.phase(f"cc:m{t}:dist2"):

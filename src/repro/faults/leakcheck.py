@@ -1,0 +1,71 @@
+"""Shared-memory leak detection for tests and the chaos CLI.
+
+POSIX shared memory created by :class:`multiprocessing.shared_memory`
+lives in ``/dev/shm`` under names prefixed ``psm_``; a segment whose
+owner never calls ``unlink`` persists after every process exits.  The
+helpers here snapshot that namespace so tests (and the ``repro chaos``
+subcommand) can assert every error path tears its segments down.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from typing import Iterator
+
+#: Where POSIX shared memory is mounted on Linux.
+SHM_DIR = "/dev/shm"
+
+#: Name prefix of segments created by multiprocessing.shared_memory.
+SHM_PREFIX = "psm_"
+
+
+def shm_segments() -> set[str]:
+    """Names of live ``psm_``-prefixed shared-memory segments.
+
+    Empty on platforms without a scannable ``/dev/shm`` (the leak
+    check degrades to a no-op there rather than failing).
+    """
+    try:
+        names = os.listdir(SHM_DIR)
+    except OSError:
+        return set()
+    return {n for n in names if n.startswith(SHM_PREFIX)}
+
+
+def leaked_since(before: set[str], *, grace_s: float = 1.0) -> set[str]:
+    """Segments present now but not in ``before``.
+
+    Unlink can lag a terminated pool by a beat, so re-check for up to
+    ``grace_s`` before declaring a leak.
+    """
+    deadline = time.monotonic() + grace_s
+    while True:
+        leaked = shm_segments() - before
+        if not leaked or time.monotonic() >= deadline:
+            return leaked
+        time.sleep(0.05)
+
+
+@contextlib.contextmanager
+def assert_no_shm_leak(*, grace_s: float = 1.0) -> Iterator[None]:
+    """Assert the wrapped block leaks no shared-memory segments.
+
+    The assertion runs even when the block raises, so a test can wrap
+    a call it *expects* to fail and still check teardown::
+
+        with assert_no_shm_leak():
+            with pytest.raises(FaultError):
+                components(img, fault_plan=plan, degrade=False)
+    """
+    before = shm_segments()
+    try:
+        yield
+    finally:
+        leaked = leaked_since(before, grace_s=grace_s)
+        if leaked:
+            raise AssertionError(
+                f"leaked shared-memory segment(s): {sorted(leaked)} "
+                f"(check every SharedNDArray error path unlinks)"
+            )

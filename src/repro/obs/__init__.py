@@ -31,10 +31,20 @@ trace`` CLI subcommand for the one-shot entry point.
 
 from repro.obs.events import (
     CAT_BARRIER,
+    CAT_FAULT,
     CAT_PHASE,
     CAT_ROUND,
     CAT_SETUP,
     CAT_TASK,
+    FAULT_DEGRADE,
+    FAULT_FAILOVER,
+    FAULT_GIVEUP,
+    FAULT_MANAGER_CRASH,
+    FAULT_RESPAWN,
+    FAULT_RETRY,
+    FAULT_SHADOW_CRASH,
+    FAULT_TIMEOUT,
+    FAULT_WORKER_DEATH,
     Count,
     EventLog,
     Instant,
@@ -55,6 +65,16 @@ __all__ = [
     "CAT_TASK",
     "CAT_ROUND",
     "CAT_SETUP",
+    "CAT_FAULT",
+    "FAULT_TIMEOUT",
+    "FAULT_RETRY",
+    "FAULT_RESPAWN",
+    "FAULT_WORKER_DEATH",
+    "FAULT_GIVEUP",
+    "FAULT_DEGRADE",
+    "FAULT_MANAGER_CRASH",
+    "FAULT_SHADOW_CRASH",
+    "FAULT_FAILOVER",
     "MachineRecorder",
     "comm_heatmap",
     "WallRecorder",

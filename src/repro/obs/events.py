@@ -30,6 +30,21 @@ CAT_BARRIER = "barrier"  # idle wait at the phase-closing barrier
 CAT_TASK = "task"        # a worker task in the real runtime
 CAT_ROUND = "round"      # a driver-side merge round / pool dispatch
 CAT_SETUP = "setup"      # shared-memory / pool setup
+CAT_FAULT = "fault"      # fault-injection / recovery events
+
+#: Instant/counter names emitted by the fault-recovery machinery
+#: (:mod:`repro.runtime.dispatch` on the wall clock, the simulator's
+#: failover model on the simulated clock).  Grouped here so exporters,
+#: dashboards, and tests agree on the vocabulary.
+FAULT_TIMEOUT = "fault:timeout"          # a task missed its deadline
+FAULT_RETRY = "fault:retry"              # a task attempt is being retried
+FAULT_RESPAWN = "fault:respawn"          # the worker pool was respawned
+FAULT_WORKER_DEATH = "fault:worker-death"  # a worker exited abnormally
+FAULT_GIVEUP = "fault:giveup"            # retry budget exhausted
+FAULT_DEGRADE = "fault:degrade"          # fell back to the serial engine
+FAULT_MANAGER_CRASH = "fault:manager-crash"  # sim: a manager was lost
+FAULT_SHADOW_CRASH = "fault:shadow-crash"    # sim: a shadow was lost
+FAULT_FAILOVER = "fault:failover"        # sim: the shadow took over
 
 
 @dataclass(frozen=True)

@@ -3,16 +3,24 @@
 The :mod:`repro.runtime` backend runs genuine OS processes, so spans
 must be collected *across* processes: the driver owns a
 :class:`WallRecorder`, hands its queue to the pool initializer, and
-workers push ``(name, os.getpid(), t0, t1, cat)`` tuples through it
-(``time.perf_counter`` is CLOCK_MONOTONIC, comparable across processes
-on the same host).  After the pool joins, :meth:`WallRecorder.drain`
-folds the worker spans into the driver's
-:class:`~repro.obs.events.EventLog` on a common epoch.
+workers push tagged tuples through it (``time.perf_counter`` is
+CLOCK_MONOTONIC, comparable across processes on the same host).  After
+the pool joins, :meth:`WallRecorder.drain` folds the worker events into
+the driver's :class:`~repro.obs.events.EventLog` on a common epoch.
+
+Two event kinds cross the queue: ``("span", name, pid, t0, t1, cat)``
+for worker task intervals, and ``("instant", name, pid, t, args)`` for
+point events (e.g. a corrupt payload detected inside a merge task).
+The driver side additionally records instants and counter samples
+directly -- the fault-recovery dispatcher
+(:mod:`repro.runtime.dispatch`) uses those for its timeout / retry /
+respawn / degradation events.
 
 Worker-side helpers are module-level so they survive pickling into pool
-workers: :func:`init_worker_sink` (called from the pool initializer)
-and :func:`task_span` (wraps one worker task).  Both are no-ops when no
-recorder is wired in, so the runtime costs nothing when unobserved.
+workers: :func:`init_worker_sink` (called from the pool initializer),
+:func:`task_span` (wraps one worker task), and :func:`worker_instant`.
+All are no-ops when no recorder is wired in, so the runtime costs
+nothing when unobserved.
 """
 
 from __future__ import annotations
@@ -29,10 +37,10 @@ _SINK: tuple | None = None
 
 
 class WallRecorder:
-    """Collects wall-clock spans from the driver and pool workers.
+    """Collects wall-clock events from the driver and pool workers.
 
     Driver-side spans go straight into :attr:`log` (lane ``"driver"``);
-    worker spans arrive through the queue created by :meth:`make_queue`
+    worker events arrive through the queue created by :meth:`make_queue`
     and are folded in by :meth:`drain`.  All times are seconds since
     the recorder's construction.
     """
@@ -55,8 +63,16 @@ class WallRecorder:
             t1 = time.perf_counter()
             self.log.add_span(name, lane, t0 - self.epoch, t1 - t0, cat=cat)
 
+    def instant(self, name: str, *, lane: int | str = "driver", **args) -> None:
+        """Record a driver-side point event (fault/retry/degrade...)."""
+        self.log.add_instant(name, lane, time.perf_counter() - self.epoch, **args)
+
+    def count(self, name: str, value: float, *, lane: int | str = "total") -> None:
+        """Record one counter sample at the current wall time."""
+        self.log.add_count(name, value, lane=lane, t_s=time.perf_counter() - self.epoch)
+
     def make_queue(self, ctx):
-        """Create the cross-process span queue on context ``ctx``."""
+        """Create the cross-process event queue on context ``ctx``."""
         self._queue = ctx.SimpleQueue()
         return self._queue
 
@@ -67,13 +83,18 @@ class WallRecorder:
         return (self._queue, self.epoch)
 
     def drain(self) -> int:
-        """Fold queued worker spans into the log; returns how many."""
+        """Fold queued worker events into the log; returns how many."""
         if self._queue is None:
             return 0
         n = 0
         while not self._queue.empty():
-            name, pid, t0, t1, cat = self._queue.get()
-            self.log.add_span(name, pid, t0 - self.epoch, t1 - t0, cat=cat)
+            msg = self._queue.get()
+            if msg[0] == "span":
+                _, name, pid, t0, t1, cat = msg
+                self.log.add_span(name, pid, t0 - self.epoch, t1 - t0, cat=cat)
+            elif msg[0] == "instant":
+                _, name, pid, t, args = msg
+                self.log.add_instant(name, pid, t - self.epoch, **args)
             n += 1
         return n
 
@@ -81,6 +102,10 @@ class WallRecorder:
     def worker_lanes(self) -> list[int]:
         """Distinct worker OS pids observed so far (after :meth:`drain`)."""
         return [lane for lane in self.log.lanes() if isinstance(lane, int)]
+
+    def fault_events(self) -> list:
+        """All recorded fault-category instants (``fault:*`` names)."""
+        return [i for i in self.log.instants if i.name.startswith("fault:")]
 
 
 # -- worker side -------------------------------------------------------------
@@ -100,7 +125,7 @@ def init_worker_sink(args: tuple | None) -> None:
     queue, epoch = args
     _SINK = (queue, epoch)
     now = time.perf_counter()
-    queue.put(("worker:init", os.getpid(), now, now, CAT_SETUP))
+    queue.put(("span", "worker:init", os.getpid(), now, now, CAT_SETUP))
 
 
 @contextlib.contextmanager
@@ -114,7 +139,15 @@ def task_span(name: str, *, cat: str = CAT_TASK) -> Iterator[None]:
     try:
         yield
     finally:
-        queue.put((name, os.getpid(), t0, time.perf_counter(), cat))
+        queue.put(("span", name, os.getpid(), t0, time.perf_counter(), cat))
+
+
+def worker_instant(name: str, **args) -> None:
+    """Record a worker-side point event (no-op without a sink)."""
+    if _SINK is None:
+        return
+    queue, _epoch = _SINK
+    queue.put(("instant", name, os.getpid(), time.perf_counter(), args))
 
 
 def span_or_null(recorder: WallRecorder | None, name: str, *, cat: str = CAT_ROUND):
@@ -122,3 +155,9 @@ def span_or_null(recorder: WallRecorder | None, name: str, *, cat: str = CAT_ROU
     if recorder is None:
         return contextlib.nullcontext()
     return recorder.span(name, cat=cat)
+
+
+def instant_or_null(recorder: WallRecorder | None, name: str, **args) -> None:
+    """Driver-side instant when ``recorder`` is set, else nothing."""
+    if recorder is not None:
+        recorder.instant(name, **args)

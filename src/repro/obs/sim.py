@@ -90,6 +90,15 @@ class MachineRecorder(MachineObserver):
     def on_traffic(self, server: int, mover: int, words: int) -> None:
         self.comm_matrix[server, mover] += words
 
+    def on_instant(self, name: str, lane, t_s: float, args: dict) -> None:
+        self.log.add_instant(name, lane if lane is not None else "machine", t_s, **args)
+        if name.startswith("fault:"):
+            self.log.add_count(name, 1, t_s=t_s)
+
+    def fault_events(self) -> list:
+        """All recorded fault-category instants (``fault:*`` names)."""
+        return [i for i in self.log.instants if i.name.startswith("fault:")]
+
     def on_hazard(self, hazard) -> None:
         lane = getattr(hazard, "accessor", None)
         self.log.add_instant(

@@ -8,21 +8,34 @@ Mirrors the BDM algorithms' structure with real OS processes:
 * **components** -- workers label their tiles in shared memory with the
   globally-offset initial labels; the merge schedule then runs round by
   round with each round's independent border groups fanned out to the
-  pool (pool.map is the round barrier); workers finally apply the
-  hook-based interior relabel in parallel.
+  pool; workers finally apply the hook-based interior relabel in
+  parallel.
 
 Both return results bit-identical to the sequential engines.  The hot
 local steps inside the workers -- band tally, tile labeling, border
 extraction, change-array relabel -- dispatch through the
-:mod:`repro.kernels` registry, so each call can select the ``python``
-reference or the vectorized ``numpy`` backend (``kernel=`` argument or
+:mod:`repro.kernels` registry (``kernel=`` argument or
 ``REPRO_KERNEL_BACKEND``).
+
+The runtime is **hardened** (see ``docs/FAULTS.md``): every fan-out
+goes through :func:`repro.runtime.dispatch.run_tasks` -- per-task
+deadlines (``REPRO_TASK_TIMEOUT``) instead of unbounded ``pool.map``
+barriers, bounded retry with exponential backoff, pool respawn on
+worker loss, shared-memory teardown on every error path, and (when
+recovery is exhausted) graceful degradation to the serial engine with
+a :class:`~repro.utils.errors.DegradedRunWarning` and a
+``fault:degrade`` obs instant.  A seeded
+:class:`~repro.faults.FaultPlan` can inject crashes, hangs, transient
+exceptions, and corrupted border payloads to exercise all of it
+deterministically.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import os
+import warnings
 
 import numpy as np
 
@@ -30,11 +43,32 @@ from repro.core.border_graph import BorderSide, solve_border_merge
 from repro.core.hooks import apply_hooks, create_tile_hooks
 from repro.core.merge import merge_schedule
 from repro.core.tiles import ProcessorGrid, perimeter_indices
+from repro.faults.inject import (
+    corrupt_labels,
+    fire,
+    install_plan,
+    validate_border_labels,
+)
+from repro.faults.plan import FaultPlan
 from repro.kernels import get as get_kernel, resolve_backend
-from repro.obs.events import CAT_SETUP
-from repro.obs.runtime import WallRecorder, init_worker_sink, span_or_null, task_span
+from repro.obs.events import CAT_SETUP, FAULT_DEGRADE
+from repro.obs.runtime import (
+    WallRecorder,
+    init_worker_sink,
+    instant_or_null,
+    span_or_null,
+    task_span,
+    worker_instant,
+)
+from repro.runtime.dispatch import PoolSupervisor, run_tasks
 from repro.runtime.shmem import SharedNDArray, ShmMeta
-from repro.utils.errors import ConfigurationError, ValidationError
+from repro.utils.errors import (
+    ConfigurationError,
+    CorruptPayloadError,
+    DegradedRunWarning,
+    FaultError,
+    ValidationError,
+)
 from repro.utils.validation import check_image, check_power_of_two
 
 __all__ = ["histogram", "components", "resolve_workers"]
@@ -83,6 +117,24 @@ def _pool_context():
         return mp.get_context("spawn")
 
 
+def _degrade_or_raise(exc: FaultError, degrade: bool, recorder, what: str):
+    """Shared tail of both engines' recovery-exhausted path."""
+    if recorder is not None:
+        recorder.drain()  # keep worker spans collected before the fault
+    if not degrade:
+        raise exc
+    warnings.warn(
+        DegradedRunWarning(
+            f"parallel {what} degraded to the serial engine after "
+            f"unrecoverable fault: {exc}"
+        ),
+        stacklevel=3,
+    )
+    instant_or_null(
+        recorder, FAULT_DEGRADE, what=what, error=type(exc).__name__, detail=str(exc)
+    )
+
+
 # --------------------------------------------------------------------------
 # histogram
 # --------------------------------------------------------------------------
@@ -90,15 +142,19 @@ def _pool_context():
 _WORK: dict = {}
 
 
-def _hist_init(image_meta: ShmMeta, k: int, kernel: str, obs=None) -> None:
+def _hist_init(
+    image_meta: ShmMeta, k: int, kernel: str, obs=None, plan: FaultPlan | None = None
+) -> None:
     init_worker_sink(obs)
+    install_plan(plan)
     _WORK["image"] = SharedNDArray.attach(image_meta)
     _WORK["k"] = k
     _WORK["hist_kernel"] = get_kernel("histogram", backend=kernel)
 
 
-def _hist_band(band: tuple[int, int]) -> np.ndarray:
-    lo, hi = band
+def _hist_band(arg) -> np.ndarray:
+    (index, lo, hi), attempt = arg
+    fire("hist:band", task=index, attempt=attempt)
     with task_span(f"hist:band[{lo}:{hi})"):
         img = _WORK["image"].array
         return _WORK["hist_kernel"](img[lo:hi], _WORK["k"])
@@ -112,14 +168,26 @@ def histogram(
     backend: str = "auto",
     kernel: str | None = None,
     recorder: WallRecorder | None = None,
+    fault_plan: FaultPlan | None = None,
+    timeout: float | None = None,
+    max_retries: int | None = None,
+    degrade: bool = True,
 ) -> np.ndarray:
     """Histogram of an image's grey levels, process-parallel by bands.
 
     ``kernel`` selects the local tally kernel backend (``"python"`` /
     ``"numpy"``; ``None`` resolves ``REPRO_KERNEL_BACKEND`` / the numpy
     default).  Pass a :class:`~repro.obs.runtime.WallRecorder` as
-    ``recorder`` to collect wall-clock spans (shared-memory setup,
-    per-band worker tasks, the driver-side reduce) across the pool.
+    ``recorder`` to collect wall-clock spans and fault events.
+
+    ``fault_plan`` injects deterministic faults into the worker tasks;
+    ``timeout`` / ``max_retries`` override the per-task deadline and
+    retry budget (defaults ``REPRO_TASK_TIMEOUT`` /
+    ``REPRO_TASK_RETRIES``).  When recovery is exhausted the call
+    either degrades to the serial engine (``degrade=True``, the
+    default: a :class:`~repro.utils.errors.DegradedRunWarning` plus a
+    ``fault:degrade`` obs instant, result still bit-identical) or
+    raises the typed :class:`~repro.utils.errors.FaultError`.
     """
     image = check_image(image, square=False)
     check_power_of_two("k", k)
@@ -129,23 +197,50 @@ def histogram(
     kernel = resolve_backend(kernel)
     if _resolve_backend(backend, workers) == "serial":
         return get_kernel("histogram", backend=kernel)(image, k)
+    try:
+        return _histogram_process(
+            image, k, workers, kernel, recorder, fault_plan, timeout, max_retries
+        )
+    except FaultError as exc:
+        _degrade_or_raise(exc, degrade, recorder, "histogram")
+        return get_kernel("histogram", backend=kernel)(image, k)
 
+
+def _histogram_process(
+    image, k, workers, kernel, recorder, fault_plan, timeout, max_retries
+) -> np.ndarray:
     rows = image.shape[0]
     bounds = np.linspace(0, rows, workers + 1, dtype=np.int64)
-    bands = [(int(bounds[i]), int(bounds[i + 1])) for i in range(workers)]
+    bands = [(i, int(bounds[i]), int(bounds[i + 1])) for i in range(workers)]
     ctx = _pool_context()
     obs = None
     if recorder is not None:
         recorder.make_queue(ctx)
         obs = recorder.worker_init_args()
-    with span_or_null(recorder, "shmem:setup", cat=CAT_SETUP):
-        shm = SharedNDArray.from_array(np.ascontiguousarray(image))
-    with shm:
-        with ctx.Pool(
-            workers, initializer=_hist_init, initargs=(shm.meta, k, kernel, obs)
-        ) as pool:
-            with span_or_null(recorder, "hist:tally"):
-                partials = pool.map(_hist_band, bands)
+    with contextlib.ExitStack() as stack:
+        with span_or_null(recorder, "shmem:setup", cat=CAT_SETUP):
+            shm = stack.enter_context(
+                SharedNDArray.from_array(np.ascontiguousarray(image))
+            )
+        pool = stack.enter_context(
+            PoolSupervisor(
+                ctx,
+                workers,
+                initializer=_hist_init,
+                initargs=(shm.meta, k, kernel, obs, fault_plan),
+                recorder=recorder,
+            )
+        )
+        with span_or_null(recorder, "hist:tally"):
+            partials = run_tasks(
+                pool,
+                _hist_band,
+                bands,
+                site="hist:band",
+                timeout=timeout,
+                max_retries=max_retries,
+                recorder=recorder,
+            )
     with span_or_null(recorder, "hist:reduce"):
         result = np.sum(partials, axis=0, dtype=np.int64)
     if recorder is not None:
@@ -158,15 +253,24 @@ def histogram(
 # --------------------------------------------------------------------------
 
 
-def _cc_init(image_meta: ShmMeta, labels_meta: ShmMeta, opts: dict, obs=None) -> None:
+def _cc_init(
+    image_meta: ShmMeta,
+    labels_meta: ShmMeta,
+    opts: dict,
+    obs=None,
+    plan: FaultPlan | None = None,
+) -> None:
     init_worker_sink(obs)
+    install_plan(plan)
     _WORK["image"] = SharedNDArray.attach(image_meta)
     _WORK["labels"] = SharedNDArray.attach(labels_meta)
     _WORK["opts"] = opts
 
 
-def _cc_label_tile(pid: int):
+def _cc_label_tile(arg):
     """Worker: label own tile in shared memory; return the tile's hooks."""
+    pid, attempt = arg
+    fire("cc:label", task=pid, attempt=attempt)
     with task_span(f"cc:label:t{pid}"):
         opts = _WORK["opts"]
         grid = ProcessorGrid(opts["p"], opts["shape"])
@@ -188,7 +292,8 @@ def _cc_label_tile(pid: int):
 
 def _cc_finalize_tile(arg):
     """Worker: hook-based final interior relabel of own tile."""
-    pid, hooks = arg
+    (pid, hooks), attempt = arg
+    fire("cc:final", task=pid, attempt=attempt)
     with task_span(f"cc:final:t{pid}"):
         opts = _WORK["opts"]
         grid = ProcessorGrid(opts["p"], opts["shape"])
@@ -205,16 +310,22 @@ def _cc_merge_group(arg):
     graph, and applies the change list to the perimeters of every tile
     in its region.  Groups within one merge round touch disjoint
     regions, so the rounds can run with full pool parallelism; rounds
-    are separated by the driver (the pool.map barrier), mirroring the
+    are separated by the driver (the dispatch barrier), mirroring the
     algorithm's own barrier structure.
+
+    Injected faults fire at entry -- before any shared-memory mutation
+    -- so a killed or retried attempt re-runs from a consistent view.
+    A ``corrupt`` spec damages the fetched border payload instead; the
+    validation below detects it and raises the retryable
+    :class:`~repro.utils.errors.CorruptPayloadError`.
     """
-    step_index, group_index = arg
+    (step_index, group_index), attempt = arg
+    spec = fire("cc:merge", round=step_index, group=group_index, attempt=attempt)
     with task_span(f"cc:merge:s{step_index}g{group_index}"):
-        return _cc_merge_group_inner(arg)
+        return _cc_merge_group_inner(step_index, group_index, corrupt_spec=spec)
 
 
-def _cc_merge_group_inner(arg):
-    step_index, group_index = arg
+def _cc_merge_group_inner(step_index, group_index, corrupt_spec=None):
     opts = _WORK["opts"]
     grid = ProcessorGrid(opts["p"], opts["shape"])
     image = _WORK["image"].array
@@ -226,6 +337,16 @@ def _cc_merge_group_inner(arg):
     extract = get_kernel("border_extract", backend=opts["kernel"])
     side_a = _collect_side(labels, image, grid, group.side_a_pids, edge_a, extract)
     side_b = _collect_side(labels, image, grid, group.side_b_pids, edge_b, extract)
+    if corrupt_spec is not None:
+        side_a = BorderSide(corrupt_labels(side_a.labels), side_a.colors)
+    try:
+        validate_border_labels(side_a.labels)
+        validate_border_labels(side_b.labels)
+    except CorruptPayloadError:
+        worker_instant(
+            "fault:corrupt-detected", round=step_index, group=group_index
+        )
+        raise
     solve = solve_border_merge(
         side_a, side_b, connectivity=opts["connectivity"], grey=opts["grey"]
     )
@@ -263,18 +384,27 @@ def components(
     backend: str = "auto",
     kernel: str | None = None,
     recorder: WallRecorder | None = None,
+    fault_plan: FaultPlan | None = None,
+    timeout: float | None = None,
+    max_retries: int | None = None,
+    degrade: bool = True,
 ) -> np.ndarray:
     """Connected component labels of an image, process-parallel by tiles.
 
     Output convention matches the sequential engines: background 0,
     component label = 1 + row-major index of its first pixel.
-    ``kernel`` selects the backend of the local-step kernels (tile
-    labeling, border extraction, change-array relabel): ``"python"`` /
-    ``"numpy"``, ``None`` resolving ``REPRO_KERNEL_BACKEND`` / the
-    numpy default.  Pass a :class:`~repro.obs.runtime.WallRecorder` as
-    ``recorder`` to collect wall-clock spans: shared-memory setup,
-    per-tile label/finalize tasks, one driver span per merge round, and
-    the per-group merge tasks inside each round.
+    ``kernel`` selects the backend of the local-step kernels
+    (``"python"`` / ``"numpy"``, ``None`` resolving
+    ``REPRO_KERNEL_BACKEND`` / the numpy default).  Pass a
+    :class:`~repro.obs.runtime.WallRecorder` as ``recorder`` to collect
+    wall-clock spans and fault events.
+
+    Fault tolerance mirrors :func:`histogram`: ``fault_plan`` injects
+    deterministic faults, ``timeout`` / ``max_retries`` bound each
+    attempt, and an unrecoverable fault either degrades to the serial
+    engine (``degrade=True``, default -- warning + ``fault:degrade``
+    instant, result bit-identical) or raises the typed
+    :class:`~repro.utils.errors.FaultError`.
     """
     image = check_image(image, square=False)
     shape = image.shape
@@ -284,7 +414,22 @@ def components(
         return get_kernel("tile_label", backend=kernel)(
             image, connectivity=connectivity, grey=grey
         )
+    try:
+        return _components_process(
+            image, shape, workers, connectivity, grey, kernel,
+            recorder, fault_plan, timeout, max_retries,
+        )
+    except FaultError as exc:
+        _degrade_or_raise(exc, degrade, recorder, "components")
+        return get_kernel("tile_label", backend=kernel)(
+            image, connectivity=connectivity, grey=grey
+        )
 
+
+def _components_process(
+    image, shape, workers, connectivity, grey, kernel,
+    recorder, fault_plan, timeout, max_retries,
+) -> np.ndarray:
     grid = ProcessorGrid(workers, shape)
     opts = {
         "p": workers,
@@ -298,32 +443,55 @@ def components(
     if recorder is not None:
         recorder.make_queue(ctx)
         obs = recorder.worker_init_args()
-    with span_or_null(recorder, "shmem:setup", cat=CAT_SETUP):
-        shm_img = SharedNDArray.from_array(np.ascontiguousarray(image))
-        shm_lab = SharedNDArray.create(shape, np.int64)
-    with shm_img, shm_lab:
-        with ctx.Pool(
-            workers,
-            initializer=_cc_init,
-            initargs=(shm_img.meta, shm_lab.meta, opts, obs),
-        ) as pool:
-            with span_or_null(recorder, "cc:label"):
-                hook_list = dict(pool.map(_cc_label_tile, range(workers)))
-            labels = shm_lab.array
-            # Merge rounds: groups within a round are independent, so
-            # each round fans out to the pool; pool.map is the barrier.
-            for step_index, step in enumerate(merge_schedule(grid)):
-                with span_or_null(recorder, f"cc:merge:r{step_index}"):
-                    pool.map(
-                        _cc_merge_group,
-                        [(step_index, g) for g in range(len(step.groups))],
-                    )
-            with span_or_null(recorder, "cc:final"):
-                pool.map(
-                    _cc_finalize_tile,
-                    [(pid, hook_list[pid]) for pid in range(workers)],
+    dispatch_opts = dict(timeout=timeout, max_retries=max_retries, recorder=recorder)
+    # The ExitStack guarantees the shared segments are closed AND
+    # unlinked on *every* path out of this function -- including a
+    # FaultError escaping mid-merge and a failure while creating the
+    # second segment (which used to leak the first one in /dev/shm).
+    with contextlib.ExitStack() as stack:
+        with span_or_null(recorder, "shmem:setup", cat=CAT_SETUP):
+            shm_img = stack.enter_context(
+                SharedNDArray.from_array(np.ascontiguousarray(image))
+            )
+            shm_lab = stack.enter_context(SharedNDArray.create(shape, np.int64))
+        pool = stack.enter_context(
+            PoolSupervisor(
+                ctx,
+                workers,
+                initializer=_cc_init,
+                initargs=(shm_img.meta, shm_lab.meta, opts, obs, fault_plan),
+                recorder=recorder,
+            )
+        )
+        with span_or_null(recorder, "cc:label"):
+            hook_list = dict(
+                run_tasks(
+                    pool, _cc_label_tile, range(workers), site="cc:label",
+                    **dispatch_opts,
                 )
-            result = labels.copy()
+            )
+        labels = shm_lab.array
+        # Merge rounds: groups within a round are independent, so each
+        # round fans out to the pool; the dispatch barrier separates
+        # rounds, deadline-aware instead of an unbounded pool.map.
+        for step_index, step in enumerate(merge_schedule(grid)):
+            with span_or_null(recorder, f"cc:merge:r{step_index}"):
+                run_tasks(
+                    pool,
+                    _cc_merge_group,
+                    [(step_index, g) for g in range(len(step.groups))],
+                    site="cc:merge",
+                    **dispatch_opts,
+                )
+        with span_or_null(recorder, "cc:final"):
+            run_tasks(
+                pool,
+                _cc_finalize_tile,
+                [(pid, hook_list[pid]) for pid in range(workers)],
+                site="cc:final",
+                **dispatch_opts,
+            )
+        result = labels.copy()
     if recorder is not None:
         recorder.drain()
     return result

@@ -46,3 +46,77 @@ class LintError(ReproError):
     Raised by strict-mode entry points (the ``spmd_strict`` pytest
     fixture); plain ``repro check`` reports diagnostics without raising.
     """
+
+
+class FaultError(ReproError, RuntimeError):
+    """A fault (injected or real) could not be recovered from.
+
+    The hardened runtime (:mod:`repro.runtime.dispatch`) and the
+    simulator's failover model (:mod:`repro.core.connected_components`)
+    guarantee that a faulted run either returns results bit-identical
+    to the unfaulted serial engine -- via retry, shadow-manager
+    failover, or degradation to the serial engine -- or raises a typed
+    subclass of this error within the configured deadline.  It never
+    hangs and never returns silently wrong labels.
+
+    ``site`` names the fault site (see :data:`repro.faults.plan.SITES`)
+    when known.
+    """
+
+    def __init__(self, message: str, *, site: str | None = None):
+        super().__init__(message)
+        self.site = site
+
+
+class TransientTaskError(FaultError):
+    """An injected transient exception inside a worker task.
+
+    Retryable: the dispatcher re-runs the task (with backoff) and only
+    escalates to :class:`RecoveryExhaustedError` when retries run out.
+    """
+
+
+class CorruptPayloadError(FaultError):
+    """A border payload failed validation (e.g. negative labels).
+
+    Raised by the merge task's payload check when an injected (or real)
+    corruption is detected before the border graph is solved; retryable
+    like :class:`TransientTaskError`.
+    """
+
+
+class TaskTimeoutError(FaultError):
+    """A worker task missed its deadline on every allowed attempt.
+
+    Covers both hangs and hard worker crashes (a crashed worker's task
+    never completes, so its deadline expires); the dispatcher respawns
+    the pool and retries before raising this.
+    """
+
+
+class WorkerCrashError(FaultError):
+    """A pool worker died (non-zero exit) while tasks were in flight."""
+
+
+class RecoveryExhaustedError(FaultError):
+    """A retryable task fault persisted past the retry budget."""
+
+
+class DegradedRunWarning(UserWarning):
+    """The process-parallel runtime fell back to the serial engine.
+
+    Emitted (with a ``fault:degrade`` obs instant) when fault recovery
+    was exhausted and the caller allowed degradation; the returned
+    result is still bit-identical to the serial engine -- it just was
+    not computed in parallel.
+    """
+
+
+class FailoverError(FaultError):
+    """The simulator lost both the manager and its shadow in one round.
+
+    The paper's redundancy covers any *single* manager loss per border:
+    the shadow manager directly across the border takes over the solve.
+    Losing both ends of a border in the same round leaves nobody to
+    solve it, so the run fails with this typed error.
+    """

@@ -214,3 +214,104 @@ class TestReportCommand:
         empty.mkdir()
         code = main(["report", "--results", str(empty)])
         assert code == 2
+
+
+class TestFaultPlanFlags:
+    def _write_plan(self, tmp_path, faults):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"schema": "repro-faults/v1", "faults": faults}))
+        return str(path)
+
+    def test_components_sim_failover(self, capsys, tmp_path):
+        plan = self._write_plan(
+            tmp_path,
+            [{"site": "sim:merge", "kind": "crash", "round": 0, "group": 0}],
+        )
+        out = run_cli(
+            capsys, "components", "--pattern", "4", "--size", "64", "-p", "16",
+            "--fault-plan", plan,
+        )
+        assert "merge-round failovers: 1" in out
+        assert "fault:failover" in out
+
+    def test_components_runtime_retry(self, capsys, tmp_path):
+        plan = self._write_plan(
+            tmp_path,
+            [{"site": "cc:merge", "kind": "exception", "round": 0, "group": 0}],
+        )
+        out = run_cli(
+            capsys, "components", "--pattern", "4", "--size", "64", "-p", "4",
+            "--runtime", "--fault-plan", plan,
+        )
+        assert "fault:retry" in out
+
+    def test_histogram_sim_rejects_plan(self, capsys, tmp_path):
+        plan = self._write_plan(
+            tmp_path, [{"site": "hist:band", "kind": "exception", "task": 0}]
+        )
+        code = main(
+            ["histogram", "--pattern", "6", "--size", "64",
+             "--fault-plan", plan]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "use --runtime" in captured.err
+
+    def test_histogram_runtime_with_plan(self, capsys, tmp_path):
+        plan = self._write_plan(
+            tmp_path, [{"site": "hist:band", "kind": "exception", "task": 0}]
+        )
+        out = run_cli(
+            capsys, "histogram", "--pattern", "0", "--size", "64", "-p", "4",
+            "-k", "256", "--runtime", "--fault-plan", plan,
+        )
+        assert "fault:retry" in out
+
+    def test_bad_plan_file_is_a_cli_error(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        code = main(
+            ["components", "--pattern", "4", "--size", "64",
+             "--fault-plan", str(path)]
+        )
+        assert code == 2
+
+
+class TestChaosCommand:
+    def test_list_prints_matrix_without_running(self, capsys):
+        out = run_cli(
+            capsys, "chaos", "--pattern", "4", "--size", "64", "-p", "4",
+            "--engine", "sim", "--list",
+        )
+        assert "single-fault plan(s)" in out
+        assert "crash@sim:merge" in out
+
+    def test_sim_matrix_recovers(self, capsys):
+        out = run_cli(
+            capsys, "chaos", "--pattern", "4", "--size", "64", "-p", "4",
+            "--engine", "sim",
+        )
+        assert "all plans recovered" in out
+        assert "fault:failover" in out
+        assert "MISMATCH" not in out
+
+    def test_sim_histogram_rejected(self, capsys):
+        code = main(
+            ["chaos", "--pattern", "4", "--size", "64",
+             "--workload", "histogram", "--engine", "sim"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "components only" in captured.err
+
+    def test_process_histogram_exception_plans(self, capsys, monkeypatch):
+        # Keep the CLI-level process test cheap: histogram's matrix is
+        # small and its exception plans need no deadline waits.  The
+        # full matrix runs in tests/test_faults_runtime.py.
+        out = run_cli(
+            capsys, "chaos", "--pattern", "0", "--size", "64", "-p", "4",
+            "--workload", "histogram", "--timeout", "1.5",
+        )
+        assert "all plans recovered" in out
