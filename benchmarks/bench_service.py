@@ -1,0 +1,235 @@
+"""Serving layer: batched+cached throughput vs naive per-request dispatch.
+
+A closed-loop load generator drives the in-process service
+:class:`~repro.service.Client` from a pool of worker threads, modelling
+the repeated-image workload a dashboard or test rig produces: ``N``
+requests drawn round-robin from ``D`` distinct images, so each image
+recurs ``N/D`` times.  Two service configurations are measured on the
+identical request stream:
+
+* ``batched+cached``  -- micro-batching window on, result cache on
+  (the serving layer as shipped);
+* ``unbatched+uncached`` -- batch size 1, zero window, cache off
+  (every request pays its own pool dispatch and its own computation).
+
+Throughput and latency percentiles go to
+``benchmarks/results/service.json`` (``repro-bench/v1``), and the
+script *asserts* the >= 2x batched+cached speedup the serving layer
+exists to provide, so a regression fails the run rather than shipping
+a slower artifact.
+
+A saturation pass then offers more concurrency than a deliberately
+shallow admission queue can hold and checks the overload contract:
+some requests are shed with a typed ``ServiceOverloadError``, everything
+else completes, the service stays responsive afterwards, and no
+``/dev/shm`` segment leaks.
+
+Run as a script (CI runs the smoke variant)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke  # tiny, fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import pathlib
+import sys
+import threading
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _p in (str(_ROOT), str(_ROOT / "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+import numpy as np  # noqa: E402
+
+from benchmarks.emit import emit_json  # noqa: E402
+from repro.faults import assert_no_shm_leak  # noqa: E402
+from repro.images import darpa_like  # noqa: E402
+from repro.service import Client, ServiceConfig  # noqa: E402
+from repro.utils.errors import ServiceOverloadError  # noqa: E402
+
+K = 256
+
+CONFIGS = {
+    "batched+cached": dict(max_batch=8, max_delay_s=0.002, cache=True),
+    "unbatched+uncached": dict(max_batch=1, max_delay_s=0.0, cache=False),
+}
+
+
+def _make_workload(n_requests: int, n_distinct: int, size: int) -> list[np.ndarray]:
+    images = [darpa_like(size, K, seed=100 + i) for i in range(n_distinct)]
+    return [images[i % n_distinct] for i in range(n_requests)]
+
+
+def _drive(client: Client, workload: list[np.ndarray], threads: int) -> dict:
+    """Closed-loop run: ``threads`` concurrent clients, one shared stream."""
+    latencies: list[float] = []
+    shed = 0
+    lock = threading.Lock()
+
+    def one(image) -> None:
+        nonlocal shed
+        t0 = time.perf_counter()
+        try:
+            client.submit("histogram", image, k=K)
+        except ServiceOverloadError:
+            with lock:
+                shed += 1
+            return
+        dt = time.perf_counter() - t0
+        with lock:
+            latencies.append(dt)
+
+    t0 = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(threads) as tpe:
+        list(tpe.map(one, workload))
+    elapsed = time.perf_counter() - t0
+    lat = np.array(sorted(latencies)) if latencies else np.array([0.0])
+    return {
+        "requests": len(workload),
+        "served": len(latencies),
+        "shed": shed,
+        "elapsed_s": elapsed,
+        "throughput_rps": len(latencies) / elapsed if elapsed else 0.0,
+        "p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "p95_ms": float(np.percentile(lat, 95) * 1e3),
+        "p99_ms": float(np.percentile(lat, 99) * 1e3),
+    }
+
+
+def _compare(args) -> tuple[list[dict], float]:
+    workload = _make_workload(args.requests, args.distinct, args.size)
+    rows = []
+    for label, overrides in CONFIGS.items():
+        config = ServiceConfig(
+            workers=args.workers,
+            queue_depth=max(4 * args.threads, 64),  # headroom: measure speed, not shedding
+            **overrides,
+        )
+        with Client(config) as client:
+            row = _drive(client, workload, args.threads)
+            snap = client.stats()
+        row.update(
+            config=label,
+            workers=args.workers,
+            threads=args.threads,
+            distinct_images=args.distinct,
+            image_size=args.size,
+            mean_batch=snap["batcher"]["requests"] / max(snap["batcher"]["batches"], 1),
+            cache_hits=snap.get("cache", {}).get("hits", 0),
+            coalesced=snap["service"]["coalesced"],
+        )
+        assert row["shed"] == 0, f"{label}: unexpected shedding in the speed run"
+        rows.append(row)
+        print(
+            f"  {label:<20} {row['throughput_rps']:>8.1f} req/s   "
+            f"p50 {row['p50_ms']:.2f}ms  p95 {row['p95_ms']:.2f}ms  "
+            f"p99 {row['p99_ms']:.2f}ms  mean batch {row['mean_batch']:.2f}  "
+            f"cache hits {row['cache_hits']}"
+        )
+    speedup = rows[0]["throughput_rps"] / max(rows[1]["throughput_rps"], 1e-12)
+    print(f"  speedup (batched+cached / unbatched+uncached): {speedup:.2f}x")
+    return rows, speedup
+
+
+def _saturate(args) -> dict:
+    """Offer more concurrency than the queue can hold; check the contract."""
+    depth = max(args.threads // 4, 2)
+    config = ServiceConfig(
+        workers=args.workers,
+        max_batch=8,
+        max_delay_s=0.002,
+        queue_depth=depth,
+        cache=False,  # distinct images anyway; make every request real work
+    )
+    # All-distinct images so neither the cache nor in-flight coalescing
+    # can absorb the overload for us.
+    workload = [
+        darpa_like(args.size, K, seed=1000 + i)
+        for i in range(args.requests)
+    ]
+    with assert_no_shm_leak():
+        with Client(config) as client:
+            row = _drive(client, workload, args.threads)
+            # Still serving after the storm: the shed path must not wedge
+            # the batcher, the pool, or the admission queue.
+            probe = client.submit("histogram", workload[0], k=K)
+            assert np.array_equal(
+                probe, np.bincount(workload[0].ravel(), minlength=K)
+            )
+            snap = client.stats()
+    row.update(
+        config="saturation",
+        workers=args.workers,
+        threads=args.threads,
+        queue_depth=depth,
+        admission_shed=snap["admission"]["shed"],
+    )
+    assert row["shed"] > 0, "saturation run failed to trigger load shedding"
+    assert row["served"] + row["shed"] == row["requests"], "requests went missing"
+    assert snap["admission"]["shed"] == row["shed"]
+    print(
+        f"  saturation (depth {depth}, {args.threads} threads): "
+        f"{row['served']} served, {row['shed']} shed "
+        f"({row['throughput_rps']:.1f} req/s for the survivors); "
+        f"no deadlock, no shm leak"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny, fast variant")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=240)
+    parser.add_argument("--distinct", type=int, default=8)
+    parser.add_argument("--size", type=int, default=128)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.workers = min(args.workers, 2)
+        args.threads = min(args.threads, 8)
+        args.requests = min(args.requests, 48)
+        args.distinct = min(args.distinct, 4)
+        args.size = min(args.size, 64)
+
+    print(
+        f"service load test: {args.requests} requests over {args.distinct} "
+        f"distinct {args.size}x{args.size} images, {args.threads} client "
+        f"threads, {args.workers} workers"
+    )
+    rows, speedup = _compare(args)
+    rows.append(_saturate(args))
+
+    floor = 1.2 if args.smoke else 2.0
+    assert speedup >= floor, (
+        f"batched+cached speedup {speedup:.2f}x is below the {floor}x floor"
+    )
+    emit_json(
+        "service_smoke" if args.smoke else "service",
+        params={
+            "requests": args.requests,
+            "distinct_images": args.distinct,
+            "image_size": args.size,
+            "threads": args.threads,
+            "workers": args.workers,
+            "op": "histogram",
+            "k": K,
+            "speedup": speedup,
+            "smoke": args.smoke,
+        },
+        rows=rows,
+        units="requests/second",
+        notes="closed-loop load generator over the in-process service client; "
+        "'saturation' row offers more concurrency than the admission queue "
+        "holds and records typed load shedding",
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

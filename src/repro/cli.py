@@ -21,6 +21,11 @@ Commands
                 workload and report each plan's recovery outcome
                 (``histogram``/``components`` also accept a
                 ``--fault-plan`` JSON for one specific plan).
+``serve``       run the async batch-serving layer on a unix socket:
+                micro-batched dispatch onto a shared worker pool,
+                content-addressed result caching, bounded queues with
+                load shedding (``--selftest`` runs an in-process
+                round-trip and exits).
 """
 
 from __future__ import annotations
@@ -41,6 +46,18 @@ from repro.machines import MACHINES, load_machine
 from repro.runtime import components as runtime_components
 from repro.utils.errors import ReproError
 from repro.utils.render import ascii_labels
+
+
+def _package_version() -> str:
+    """The installed distribution's version, else the in-tree fallback."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
 
 
 def _load_image(args) -> np.ndarray:
@@ -304,7 +321,14 @@ def cmd_components(args) -> int:
     if args.output:
         from repro.analysis.regions import compact_labels
 
-        write_pgm(args.output, compact_labels(labels))
+        compacted = compact_labels(labels)
+        n_regions = int(compacted.max(initial=0))
+        if n_regions > 255:
+            raise ReproError(
+                f"label map has {n_regions} components, which does not fit an "
+                f"8-bit PGM (max 255); use a smaller image or coarser levels"
+            )
+        write_pgm(args.output, compacted)
         print(f"label map written to {args.output} (compacted labels)")
     return 0
 
@@ -599,6 +623,99 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def _serve_selftest(config) -> int:
+    """In-process round-trip: batched requests, then a cache hit on repeat."""
+    from repro.images import darpa_like
+    from repro.service import Client
+
+    with Client(config) as client:
+        image = darpa_like(64, 256)
+        first = client.submit("histogram", image, k=256)
+        again = client.submit("histogram", image, k=256)
+        if not np.array_equal(first, again):
+            raise ReproError("selftest: cache returned a different histogram")
+        labels = client.submit("components", image, grey=True)
+        if labels.shape != image.shape:
+            raise ReproError("selftest: bad label-map shape")
+        snap = client.stats()
+    cache = snap.get("cache", {})
+    if config.cache and not cache.get("hits"):
+        raise ReproError("selftest: repeated request did not hit the cache")
+    print(
+        f"selftest OK: {snap['service']['completed']} request(s) served, "
+        f"{snap['batcher']['batches']} batch(es), "
+        f"{cache.get('hits', 0)} cache hit(s)"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.obs import WallRecorder, wall_metrics, write_metrics
+    from repro.service import ServiceConfig, ServiceServer
+
+    plan = _load_fault_plan(args)
+    recorder = WallRecorder() if (args.metrics_out or plan is not None) else None
+    config = ServiceConfig(
+        workers=args.workers,
+        kernel=args.kernel,
+        max_batch=args.batch_size,
+        max_delay_s=args.max_delay,
+        queue_depth=args.queue_depth,
+        cache=not args.no_cache,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        fault_plan=plan,
+    )
+    if args.selftest:
+        return _serve_selftest(config)
+    if not args.socket:
+        raise ReproError("provide --socket PATH (or use --selftest)")
+
+    async def _serve() -> None:
+        from repro.service import BatchService
+
+        service = BatchService(config, recorder=recorder)
+        server = ServiceServer(service, args.socket)
+        await server.start()
+        print(
+            f"serving on {args.socket} "
+            f"({config.workers} worker(s), kernel={config.kernel}, "
+            f"batch<={config.max_batch}, window={config.max_delay_s * 1e3:.1f}ms, "
+            f"queue depth {config.queue_depth}, "
+            f"cache={'on' if config.cache else 'off'})",
+            flush=True,
+        )
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            snap = service.snapshot()
+            print(
+                f"served {snap['service']['completed']} request(s) in "
+                f"{snap.get('batcher', {}).get('batches', 0)} batch(es); "
+                f"shed {snap.get('admission', {}).get('shed', 0)}",
+                flush=True,
+            )
+            if recorder is not None and args.metrics_out:
+                write_metrics(
+                    args.metrics_out,
+                    wall_metrics(recorder.log, workers=len(recorder.worker_lanes)),
+                )
+                print(f"metrics written to {args.metrics_out}", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted", flush=True)
+    finally:
+        if os.path.exists(args.socket):
+            os.unlink(args.socket)
+    return 0
+
+
 def cmd_machines(args) -> int:
     print(f"{'key':<9} {'name':<16} {'latency':>9} {'bandwidth':>12} {'op':>8}")
     for key in sorted(MACHINES):
@@ -615,6 +732,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Parallel image histogramming and connected components "
         "(Bader & JaJa, PPoPP 1995 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     subs = parser.add_subparsers(dest="command", required=True)
 
@@ -768,6 +888,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="print the matrix and exit without running"
     )
     cha.set_defaults(func=cmd_chaos)
+
+    srv = subs.add_parser(
+        "serve",
+        help="run the async batch-serving layer on a unix socket",
+    )
+    srv.add_argument(
+        "--socket", metavar="PATH", help="unix-domain socket path to listen on"
+    )
+    srv.add_argument(
+        "--selftest",
+        action="store_true",
+        help="serve a short in-process workload (batched + cached) and exit",
+    )
+    srv.add_argument("--workers", type=int, default=2, help="pool workers (default 2)")
+    srv.add_argument(
+        "--batch-size", type=int, default=8,
+        help="max requests coalesced per dispatch (default 8)",
+    )
+    srv.add_argument(
+        "--max-delay", type=float, default=0.002,
+        help="batching window in seconds (default 0.002)",
+    )
+    srv.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admission bound; beyond it requests are shed (default 64)",
+    )
+    srv.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    srv.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="result-cache entry bound (default 256)",
+    )
+    srv.add_argument(
+        "--cache-bytes", type=int, default=64 << 20,
+        help="result-cache byte bound (default 64 MiB)",
+    )
+    srv.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds (default $REPRO_TASK_TIMEOUT or 300)",
+    )
+    srv.add_argument(
+        "--retries", type=int, default=None,
+        help="per-task retry budget (default $REPRO_TASK_RETRIES or 2)",
+    )
+    srv.add_argument(
+        "--kernel", choices=("python", "numpy"), default=None,
+        help="local-step kernel backend",
+    )
+    srv.add_argument(
+        "--fault-plan",
+        metavar="PLAN.json",
+        help="inject faults from a repro-faults/v1 plan (site svc:exec) so "
+        "degraded serving can be exercised",
+    )
+    srv.add_argument(
+        "--metrics-out",
+        metavar="OUT.json",
+        help="write a metrics snapshot (service:* counters) on shutdown",
+    )
+    srv.set_defaults(func=cmd_serve)
 
     mach = subs.add_parser("machines", help="list machine models")
     mach.set_defaults(func=cmd_machines)

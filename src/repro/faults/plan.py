@@ -29,6 +29,13 @@ Sites
     manager fails over), ``"shadow"`` (the manager solves both sides
     itself), or ``"both"`` (unrecoverable; the run raises
     :class:`~repro.utils.errors.FailoverError`).
+``svc:exec``
+    One request-execution task of the batch-serving layer
+    (:mod:`repro.service`; ``task`` selects the request's index within
+    its batch).  Lets ``repro serve --fault-plan`` exercise degraded
+    serving: the dispatcher retries/respawns underneath the batch and
+    the executor falls back to in-process serial compute when recovery
+    is exhausted.
 
 Kinds
 -----
@@ -68,7 +75,7 @@ from repro.utils.errors import ValidationError
 SCHEMA = "repro-faults/v1"
 
 #: Recognized fault sites.
-SITES = ("hist:band", "cc:label", "cc:merge", "cc:final", "sim:merge")
+SITES = ("hist:band", "cc:label", "cc:merge", "cc:final", "sim:merge", "svc:exec")
 
 #: Recognized fault kinds.
 KINDS = ("crash", "hang", "exception", "corrupt")

@@ -6,7 +6,11 @@ real files.  Supported formats:
 
 * ``P1``/``P4`` -- PBM bitmaps (read as 0/1 images; note PBM's "1 =
   black" is mapped to foreground 1);
-* ``P2``/``P5`` -- PGM greymaps, maxval <= 65535.
+* ``P2``/``P5`` -- PGM greymaps, 8-bit (``0 < maxval <= 255``).
+
+Deeper-than-8-bit greymaps are rejected on both read and write: the
+engines' grey-level pipeline is defined over <= 256 levels, and a file
+the writer can produce must always be one the reader accepts.
 """
 
 from __future__ import annotations
@@ -59,9 +63,19 @@ def read_pnm(path) -> np.ndarray:
 
     if magic in (b"P2", b"P5"):
         maxval_tok, pos = next_token()
-        maxval = int(maxval_tok)
-        if not (0 < maxval <= 65535):
-            raise ValidationError(f"bad PGM maxval {maxval}")
+        try:
+            maxval = int(maxval_tok)
+        except ValueError:
+            raise ValidationError(
+                f"bad PGM maxval {maxval_tok!r}: not an integer"
+            ) from None
+        if maxval <= 0:
+            raise ValidationError(f"bad PGM maxval {maxval}: must be positive")
+        if maxval > 255:
+            raise ValidationError(
+                f"bad PGM maxval {maxval}: only 8-bit greymaps (maxval <= 255) "
+                f"are supported"
+            )
     else:
         maxval = 1
 
@@ -83,12 +97,7 @@ def read_pnm(path) -> np.ndarray:
         img = bits.astype(np.int32).ravel()
     else:  # P5
         pos += 1
-        if maxval < 256:
-            raw = np.frombuffer(data[pos : pos + width * height], dtype=np.uint8)
-        else:
-            raw = np.frombuffer(
-                data[pos : pos + 2 * width * height], dtype=">u2"
-            )
+        raw = np.frombuffer(data[pos : pos + width * height], dtype=np.uint8)
         img = raw.astype(np.int32)
 
     if img.size != width * height:
@@ -97,21 +106,20 @@ def read_pnm(path) -> np.ndarray:
 
 
 def write_pgm(path, image: np.ndarray, *, binary: bool = True) -> None:
-    """Write an integer image as PGM (P5 binary or P2 ASCII)."""
+    """Write an 8-bit integer image as PGM (P5 binary or P2 ASCII)."""
     image = check_image(np.asarray(image), square=False)
     maxval = int(image.max(initial=0))
-    if maxval > 65535:
-        raise ValidationError(f"PGM maxval limit exceeded: {maxval}")
+    if maxval > 255:
+        raise ValidationError(
+            f"PGM maxval limit exceeded: {maxval} (only 8-bit greymaps, "
+            f"maxval <= 255, are supported)"
+        )
     maxval = max(maxval, 1)
     height, width = image.shape
     path = pathlib.Path(path)
     if binary:
         header = f"P5\n{width} {height}\n{maxval}\n".encode("ascii")
-        if maxval < 256:
-            body = image.astype(np.uint8).tobytes()
-        else:
-            body = image.astype(">u2").tobytes()
-        path.write_bytes(header + body)
+        path.write_bytes(header + image.astype(np.uint8).tobytes())
     else:
         lines = [f"P2\n{width} {height}\n{maxval}"]
         for row in image:

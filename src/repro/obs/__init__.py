@@ -45,6 +45,15 @@ from repro.obs.events import (
     FAULT_SHADOW_CRASH,
     FAULT_TIMEOUT,
     FAULT_WORKER_DEATH,
+    SVC_BATCH,
+    SVC_BATCH_SIZE,
+    SVC_CACHE_EVICT,
+    SVC_CACHE_HIT,
+    SVC_CACHE_MISS,
+    SVC_DEGRADED,
+    SVC_EXPIRED,
+    SVC_QUEUE_WAIT,
+    SVC_SHED,
     Count,
     EventLog,
     Instant,
@@ -75,6 +84,15 @@ __all__ = [
     "FAULT_MANAGER_CRASH",
     "FAULT_SHADOW_CRASH",
     "FAULT_FAILOVER",
+    "SVC_BATCH",
+    "SVC_BATCH_SIZE",
+    "SVC_QUEUE_WAIT",
+    "SVC_SHED",
+    "SVC_EXPIRED",
+    "SVC_CACHE_HIT",
+    "SVC_CACHE_MISS",
+    "SVC_CACHE_EVICT",
+    "SVC_DEGRADED",
     "MachineRecorder",
     "comm_heatmap",
     "WallRecorder",

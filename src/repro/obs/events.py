@@ -46,6 +46,21 @@ FAULT_MANAGER_CRASH = "fault:manager-crash"  # sim: a manager was lost
 FAULT_SHADOW_CRASH = "fault:shadow-crash"    # sim: a shadow was lost
 FAULT_FAILOVER = "fault:failover"        # sim: the shadow took over
 
+#: Instant/counter/span names emitted by the batch-serving layer
+#: (:mod:`repro.service`).  Spans: one ``service:batch`` per coalesced
+#: dispatch.  Counts: per-batch sizes, queue-wait seconds, and the
+#: cache hit/miss/eviction tallies.  Instants: load-shedding and
+#: queued-deadline expiry decisions, with provenance in ``args``.
+SVC_BATCH = "service:batch"              # span: one coalesced pool dispatch
+SVC_BATCH_SIZE = "service:batch-size"    # count: requests in that dispatch
+SVC_QUEUE_WAIT = "service:queue-wait"    # count: seconds a request queued
+SVC_SHED = "service:shed"                # instant: request shed at admission
+SVC_EXPIRED = "service:expired"          # instant: deadline expired in queue
+SVC_CACHE_HIT = "service:cache-hit"      # count: content-addressed cache hits
+SVC_CACHE_MISS = "service:cache-miss"    # count: cache misses
+SVC_CACHE_EVICT = "service:cache-evict"  # count: LRU evictions
+SVC_DEGRADED = "service:degraded-batch"  # instant: batch fell back to serial
+
 
 @dataclass(frozen=True)
 class Span:

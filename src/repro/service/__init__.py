@@ -1,0 +1,70 @@
+"""repro.service: async batch serving with caching and backpressure.
+
+The serving layer turns the batch engines into an always-on facility:
+requests stream in (over a local socket or the in-process client),
+compatible ones coalesce into micro-batches on a shared supervised
+worker pool, results are content-address cached, and overload is shed
+at the door instead of queued into oblivion.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.admission import (
+    DEFAULT_QUEUE_DEPTH,
+    AdmissionQueue,
+    AdmissionStats,
+    PendingRequest,
+)
+from repro.service.batcher import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY_S,
+    BatcherStats,
+    BatchKey,
+    MicroBatcher,
+)
+from repro.service.cache import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    CacheStats,
+    ResultCache,
+    image_digest,
+    result_key,
+)
+from repro.service.ops import OPS, canonical_params, compute
+from repro.service.server import (
+    BatchExecutor,
+    BatchService,
+    Client,
+    ServiceConfig,
+    ServiceServer,
+    decode_array,
+    encode_array,
+    request_over_socket,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionStats",
+    "BatchExecutor",
+    "BatchKey",
+    "BatchService",
+    "BatcherStats",
+    "CacheStats",
+    "Client",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_MAX_DELAY_S",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_QUEUE_DEPTH",
+    "MicroBatcher",
+    "OPS",
+    "PendingRequest",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceServer",
+    "canonical_params",
+    "compute",
+    "decode_array",
+    "encode_array",
+    "image_digest",
+    "request_over_socket",
+    "result_key",
+]

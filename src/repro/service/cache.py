@@ -1,0 +1,156 @@
+"""Content-addressed result cache with LRU eviction and byte bounds.
+
+A serving layer for pure functions gets to treat results as values: the
+histogram of an image is fully determined by (image bytes, op, params),
+so the cache key is a digest of exactly that and nothing else -- no
+timestamps, no request ids.  Two different clients sending the same
+image therefore share one computation, and a repeated-image workload
+(the common case for dashboards and test rigs) is served from memory.
+
+Bounds are enforced on **both** axes: entry count (protects the key
+space) and total result bytes (protects the heap -- a components label
+map is 8 bytes/pixel, so a handful of large images could otherwise
+evict everything useful).  Eviction is least-recently-used; every hit
+refreshes recency.  A single result larger than the byte budget is
+simply not cached.
+
+The cache is loop-confined by design: :class:`~repro.service.server.
+BatchService` only touches it from its event-loop thread, so no lock
+is taken on the hot path.  Stats counters are plain ints and safe to
+*read* from any thread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+#: Default bound on cached entries.
+DEFAULT_MAX_ENTRIES = 256
+
+#: Default bound on total cached result bytes (64 MiB).
+DEFAULT_MAX_BYTES = 64 << 20
+
+
+def image_digest(image: np.ndarray) -> str:
+    """Content address of an image: sha256 over dtype, shape, and bytes.
+
+    The dtype and shape are folded in so a (64, 64) int32 image and its
+    flattened or reinterpreted twin cannot collide.
+    """
+    image = np.ascontiguousarray(image)
+    h = hashlib.sha256()
+    h.update(str(image.dtype).encode())
+    h.update(str(image.shape).encode())
+    h.update(image.tobytes())
+    return h.hexdigest()
+
+
+def result_key(digest: str, op: str, params) -> str:
+    """The cache key of (image digest, op, canonical params)."""
+    return f"{op}|{params!r}|{digest}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters plus current occupancy."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    uncacheable: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "uncacheable": self.uncacheable,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    value: np.ndarray
+    nbytes: int = field(default=0)
+
+
+class ResultCache:
+    """LRU cache of ndarray results keyed by content address.
+
+    ``get`` returns the stored array itself (callers copy if they hand
+    it out mutably); ``put`` stores without copying.  Both are O(1).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ):
+        if max_entries <= 0:
+            raise ValidationError("cache max_entries must be positive")
+        if max_bytes <= 0:
+            raise ValidationError("cache max_bytes must be positive")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> np.ndarray | None:
+        """The cached result for ``key`` (refreshing recency), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.value
+
+    def put(self, key: str, value: np.ndarray) -> bool:
+        """Cache ``value`` under ``key``; returns whether it was stored."""
+        value = np.asarray(value)
+        nbytes = int(value.nbytes)
+        if nbytes > self.max_bytes:
+            self.stats.uncacheable += 1
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.stats.bytes -= old.nbytes
+        self._entries[key] = _Entry(value, nbytes)
+        self.stats.bytes += nbytes
+        self._evict()
+        self.stats.entries = len(self._entries)
+        return key in self._entries
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.max_entries or self.stats.bytes > self.max_bytes:
+            _key, entry = self._entries.popitem(last=False)
+            self.stats.bytes -= entry.nbytes
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.bytes = 0
+        self.stats.entries = 0

@@ -1,0 +1,670 @@
+"""The asyncio serving core: service, executor, client, and socket front-end.
+
+Layering (request path, top to bottom)::
+
+    socket front-end / in-process Client
+        -> BatchService.submit      (validate, cache, coalesce, admit)
+        -> AdmissionQueue           (bounded; sheds with ServiceOverloadError)
+        -> MicroBatcher             (same-op/params window -> one batch)
+        -> BatchExecutor            (one run_tasks dispatch on a shared
+                                     PoolSupervisor; degrades to serial)
+
+The event loop only ever *schedules*; the blocking pool dispatch runs
+in a worker thread (``loop.run_in_executor``) so socket accepts, cache
+hits, and shedding decisions stay responsive while a batch computes.
+Results flow back through per-request asyncio futures.
+
+Identical concurrent requests are **coalesced**: when caching is on
+and a request's content key matches one already being computed, the
+newcomer awaits the in-flight future instead of re-entering the queue
+-- a repeated-image burst costs one computation however many clients
+send it.
+
+The wire protocol of the socket front-end is newline-delimited JSON;
+see :func:`encode_array` / :func:`decode_array` for the ndarray
+encoding and ``docs/SERVICE.md`` for the full request/response shapes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import contextlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.kernels import resolve_backend
+from repro.obs.events import (
+    CAT_ROUND,
+    SVC_BATCH,
+    SVC_CACHE_EVICT,
+    SVC_CACHE_HIT,
+    SVC_CACHE_MISS,
+    SVC_DEGRADED,
+)
+from repro.obs.runtime import WallRecorder, instant_or_null
+from repro.runtime.dispatch import (
+    PoolSupervisor,
+    resolve_retries,
+    resolve_timeout,
+    run_tasks,
+)
+from repro.runtime.parallel import _pool_context
+from repro.service.admission import (
+    DEFAULT_QUEUE_DEPTH,
+    AdmissionQueue,
+    PendingRequest,
+)
+from repro.service.batcher import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY_S,
+    BatchKey,
+    MicroBatcher,
+)
+from repro.service.cache import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    ResultCache,
+    image_digest,
+    result_key,
+)
+from repro.service.ops import (
+    canonical_params,
+    check_request_image,
+    compute,
+    svc_init,
+    svc_task,
+)
+from repro.utils.errors import (
+    FaultError,
+    ReproError,
+    ServiceClosedError,
+    ValidationError,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Everything tunable about a :class:`BatchService`.
+
+    ``timeout_s`` / ``retries`` default through
+    :func:`~repro.runtime.dispatch.resolve_timeout` /
+    :func:`~repro.runtime.dispatch.resolve_retries`, so
+    ``REPRO_TASK_TIMEOUT`` and ``REPRO_TASK_RETRIES`` govern the
+    service exactly as they govern the batch runtime underneath it.
+    """
+
+    workers: int = 2
+    kernel: str | None = None
+    max_batch: int = DEFAULT_MAX_BATCH
+    max_delay_s: float = DEFAULT_MAX_DELAY_S
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    cache: bool = True
+    cache_entries: int = DEFAULT_MAX_ENTRIES
+    cache_bytes: int = DEFAULT_MAX_BYTES
+    timeout_s: float | None = None
+    retries: int | None = None
+    fault_plan: FaultPlan | None = None
+    degrade: bool = True
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValidationError("service needs at least one worker")
+        self.kernel = resolve_backend(self.kernel)
+        self.timeout_s = resolve_timeout(self.timeout_s)
+        self.retries = resolve_retries(self.retries)
+
+
+@dataclass
+class ExecutorStats:
+    batches: int = 0
+    tasks: int = 0
+    degraded: int = 0
+
+    def snapshot(self) -> dict:
+        return {"batches": self.batches, "tasks": self.tasks, "degraded": self.degraded}
+
+
+class BatchExecutor:
+    """Runs coalesced batches on one shared, supervised process pool.
+
+    One batch of *n* compatible requests becomes one
+    :func:`~repro.runtime.dispatch.run_tasks` dispatch of *n* tasks --
+    the fixed fan-out cost (pickling, pool wakeup, the collection
+    barrier) is paid once per batch instead of once per request.  The
+    pool persists across batches; a deadline-missing batch respawns it
+    through the supervisor exactly as the batch runtime does.
+
+    When recovery is exhausted (:class:`~repro.utils.errors.FaultError`
+    from the dispatcher) and ``degrade`` is on, the batch is re-run
+    serially in-process: slower, but every request still gets its
+    bit-identical answer -- degraded *serving*, not an outage.
+    """
+
+    def __init__(self, config: ServiceConfig, recorder: WallRecorder | None = None):
+        self._config = config
+        self._recorder = recorder
+        self._lock = threading.Lock()
+        self._supervisor: PoolSupervisor | None = None
+        self.stats = ExecutorStats()
+
+    def start(self) -> None:
+        """Create the worker pool eagerly (pre-fork before threads spawn)."""
+        if self._supervisor is not None:
+            return
+        ctx = _pool_context()
+        obs = None
+        if self._recorder is not None:
+            self._recorder.make_queue(ctx)
+            obs = self._recorder.worker_init_args()
+        self._supervisor = PoolSupervisor(
+            ctx,
+            self._config.workers,
+            initializer=svc_init,
+            initargs=(self._config.kernel, obs, self._config.fault_plan),
+            recorder=self._recorder,
+        )
+        self._supervisor.pool  # noqa: B018 - touch to build the pool now
+
+    def close(self) -> None:
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
+
+    @property
+    def respawns(self) -> int:
+        return self._supervisor.respawns if self._supervisor is not None else 0
+
+    def execute_batch(self, key: BatchKey, payloads: list) -> list:
+        """Dispatch one batch (blocking; called from a worker thread)."""
+        if self._supervisor is None:
+            raise ServiceClosedError("executor is not started")
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.tasks += len(payloads)
+            try:
+                return run_tasks(
+                    self._supervisor,
+                    svc_task,
+                    payloads,
+                    site="svc:exec",
+                    timeout=self._config.timeout_s,
+                    max_retries=self._config.retries,
+                    recorder=self._recorder,
+                )
+            except FaultError as exc:
+                if not self._config.degrade:
+                    raise
+                self.stats.degraded += 1
+                instant_or_null(
+                    self._recorder,
+                    SVC_DEGRADED,
+                    op=key.op,
+                    batch=len(payloads),
+                    error=type(exc).__name__,
+                )
+                return [self._serial(payload) for payload in payloads]
+
+    def _serial(self, payload) -> tuple:
+        index, op, image, params = payload
+        try:
+            return ("ok", compute(op, image, params, self._config.kernel))
+        except ReproError as exc:
+            return ("err", type(exc).__name__, str(exc))
+
+
+class ServiceStats:
+    """Top-level request counters of a :class:`BatchService`."""
+
+    def __init__(self):
+        self.requests = 0
+        self.completed = 0
+        self.errors = 0
+        self.coalesced = 0
+
+
+class BatchService:
+    """The in-process serving core; see the module docstring for layering.
+
+    Lifecycle::
+
+        service = BatchService(ServiceConfig(workers=4))
+        await service.start()
+        hist = await service.submit("histogram", image, k=256)
+        ...
+        await service.stop()
+
+    All coroutine methods must be called on one event loop (the one
+    :meth:`start` ran on).  For synchronous callers there is
+    :class:`Client`, which owns a loop thread.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 recorder: WallRecorder | None = None):
+        self.config = config or ServiceConfig()
+        self.recorder = recorder
+        self.stats = ServiceStats()
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            max_bytes=self.config.cache_bytes,
+        ) if self.config.cache else None
+        self.executor = BatchExecutor(self.config, recorder)
+        self._admission: AdmissionQueue | None = None
+        self._batcher: MicroBatcher | None = None
+        self._batcher_task: asyncio.Task | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closed = False
+
+    @property
+    def running(self) -> bool:
+        return self._batcher_task is not None and not self._closed
+
+    async def start(self) -> None:
+        if self.running:
+            return
+        self._closed = False
+        self._loop = asyncio.get_running_loop()
+        self.executor.start()
+        self._admission = AdmissionQueue(
+            depth=self.config.queue_depth,
+            timeout_s=self.config.timeout_s,
+            recorder=self.recorder,
+        )
+        self._batcher = MicroBatcher(
+            self._admission,
+            self._execute,
+            max_batch=self.config.max_batch,
+            max_delay_s=self.config.max_delay_s,
+            recorder=self.recorder,
+        )
+        self._batcher_task = asyncio.ensure_future(self._batcher.run())
+
+    async def stop(self) -> None:
+        """Graceful shutdown: flush queued work, then tear the pool down."""
+        if self._batcher_task is None:
+            return
+        self._closed = True
+        # Hand still-queued requests to the batcher before cancelling so
+        # its cancellation path flushes them as final batches.
+        task, self._batcher_task = self._batcher_task, None
+        await asyncio.sleep(0)
+        for req in self._admission.drain_nowait():
+            self._batcher._absorb(req)
+        task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await task
+        self.executor.close()
+        if self.recorder is not None:
+            self.recorder.drain()
+
+    async def submit(self, op: str, image, **params) -> np.ndarray:
+        """Serve one request; returns the result array (caller-owned).
+
+        Raises :class:`~repro.utils.errors.ValidationError` for a bad
+        request, :class:`~repro.utils.errors.ServiceOverloadError` when
+        shed, :class:`~repro.utils.errors.TaskTimeoutError` when the
+        request's deadline expires, and
+        :class:`~repro.utils.errors.ServiceClosedError` after
+        :meth:`stop`.
+        """
+        if not self.running:
+            raise ServiceClosedError("service is not running (call start())")
+        self.stats.requests += 1
+        image = check_request_image(image)
+        canonical = canonical_params(op, image, params)
+        key = None
+        if self.cache is not None:
+            key = result_key(image_digest(image), op, canonical)
+            hit = self.cache.get(key)
+            if hit is not None:
+                if self.recorder is not None:
+                    self.recorder.count(SVC_CACHE_HIT, 1)
+                self.stats.completed += 1
+                return np.array(hit, copy=True)
+            if self.recorder is not None:
+                self.recorder.count(SVC_CACHE_MISS, 1)
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.stats.coalesced += 1
+                result = await asyncio.shield(inflight)
+                self.stats.completed += 1
+                return np.array(result, copy=True)
+        future = self._loop.create_future()
+        req = PendingRequest(op=op, image=image, params=canonical,
+                             future=future, key=key)
+        try:
+            self._admission.admit(req)  # raises ServiceOverloadError when full
+        except Exception:
+            self.stats.errors += 1
+            raise
+        if key is not None:
+            self._inflight[key] = future
+            future.add_done_callback(self._make_finalizer(key))
+        try:
+            result = await asyncio.shield(future)
+        except Exception:
+            self.stats.errors += 1
+            raise
+        self.stats.completed += 1
+        return np.array(result, copy=True)
+
+    def _make_finalizer(self, key: str):
+        def _done(fut: asyncio.Future) -> None:
+            self._inflight.pop(key, None)
+            if self.cache is None or fut.cancelled() or fut.exception() is not None:
+                return
+            before = self.cache.stats.evictions
+            self.cache.put(key, fut.result())
+            evicted = self.cache.stats.evictions - before
+            if evicted and self.recorder is not None:
+                self.recorder.count(SVC_CACHE_EVICT, evicted)
+        return _done
+
+    async def _execute(self, batch_key: BatchKey, requests: list[PendingRequest]) -> None:
+        """Batcher callback: run one batch and resolve its futures."""
+        payloads = [
+            (i, req.op, req.image, req.params) for i, req in enumerate(requests)
+        ]
+        t0 = time.perf_counter()
+        try:
+            markers = await asyncio.get_running_loop().run_in_executor(
+                None, self.executor.execute_batch, batch_key, payloads
+            )
+        except Exception as exc:  # FaultError with degrade off, or a real bug
+            for req in requests:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        finally:
+            if self.recorder is not None:
+                t1 = time.perf_counter()
+                self.recorder.log.add_span(
+                    SVC_BATCH, "driver", t0 - self.recorder.epoch, t1 - t0,
+                    cat=CAT_ROUND, op=batch_key.op, batch=len(requests),
+                )
+        for req, marker in zip(requests, markers):
+            if req.future.done():
+                continue
+            if marker[0] == "ok":
+                req.future.set_result(marker[1])
+            else:
+                _tag, name, message = marker
+                req.future.set_exception(
+                    ValidationError(f"request failed in worker ({name}): {message}")
+                )
+
+    def snapshot(self) -> dict:
+        """All layer stats as one JSON-ready dict."""
+        out = {
+            "service": {
+                "requests": self.stats.requests,
+                "completed": self.stats.completed,
+                "errors": self.stats.errors,
+                "coalesced": self.stats.coalesced,
+                "running": self.running,
+            },
+            "executor": {**self.executor.stats.snapshot(),
+                         "respawns": self.executor.respawns},
+            "config": {
+                "workers": self.config.workers,
+                "kernel": self.config.kernel,
+                "max_batch": self.config.max_batch,
+                "max_delay_s": self.config.max_delay_s,
+                "queue_depth": self.config.queue_depth,
+                "cache": self.config.cache,
+                "timeout_s": self.config.timeout_s,
+                "retries": self.config.retries,
+            },
+        }
+        if self._admission is not None:
+            out["admission"] = self._admission.stats.snapshot()
+        if self._batcher is not None:
+            out["batcher"] = self._batcher.stats.snapshot()
+        if self.cache is not None:
+            out["cache"] = self.cache.stats.snapshot()
+        return out
+
+
+class Client:
+    """Synchronous in-process facade over a :class:`BatchService`.
+
+    Owns a private event loop on a daemon thread, so plain scripts (and
+    thread-based load generators) can use the batching service without
+    writing any asyncio::
+
+        with Client(ServiceConfig(workers=4)) as client:
+            hist = client.submit("histogram", image, k=256)
+
+    ``submit`` is thread-safe: many threads sharing one client become
+    concurrent requests on the service's loop -- which is exactly what
+    the micro-batcher wants to see.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 recorder: WallRecorder | None = None):
+        self.service = BatchService(config, recorder=recorder)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-service", daemon=True
+        )
+        self._started = False
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def start(self) -> "Client":
+        if not self._started:
+            self._thread.start()
+            self._call(self.service.start())
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        if self._started:
+            self._call(self.service.stop())
+            self._started = False
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+        self._loop.close()
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def submit(self, op: str, image, **params) -> np.ndarray:
+        """Blocking submit; raises the same typed errors as the service."""
+        if not self._started:
+            raise ServiceClosedError("client is not started (use 'with Client(...)')")
+        return self._call(self.service.submit(op, image, **params))
+
+    def stats(self) -> dict:
+        return self.service.snapshot()
+
+    def __enter__(self) -> "Client":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- socket front-end --------------------------------------------------------
+
+#: Hard cap on one wire request line (64 MiB of base64 covers a
+#: 4096x4096 int16 image; anything bigger is a client bug or an attack).
+MAX_REQUEST_BYTES = 64 << 20
+
+#: ndarray dtypes accepted from the wire.
+WIRE_DTYPES = ("uint8", "int8", "uint16", "int16", "int32", "int64")
+
+
+def encode_array(arr: np.ndarray) -> dict:
+    """JSON-encodable form of an ndarray (shape, dtype, base64 bytes)."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "shape": list(arr.shape),
+        "dtype": str(arr.dtype),
+        "data_b64": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(obj: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array`, with strict validation."""
+    if not isinstance(obj, dict):
+        raise ValidationError("array encoding must be an object")
+    dtype = obj.get("dtype")
+    if dtype not in WIRE_DTYPES:
+        raise ValidationError(f"unsupported wire dtype {dtype!r}; known: {list(WIRE_DTYPES)}")
+    shape = obj.get("shape")
+    if (not isinstance(shape, list) or not shape
+            or any(not isinstance(d, int) or d <= 0 for d in shape)):
+        raise ValidationError("array 'shape' must be a list of positive ints")
+    try:
+        raw = base64.b64decode(obj.get("data_b64", ""), validate=True)
+    except Exception:
+        raise ValidationError("array 'data_b64' is not valid base64") from None
+    expected = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    if len(raw) != expected:
+        raise ValidationError(
+            f"array payload is {len(raw)} byte(s), expected {expected}"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def _materialize_image(obj) -> np.ndarray:
+    """An image from the wire: explicit array or a named test pattern."""
+    if isinstance(obj, dict) and "pattern" in obj:
+        from repro.images import binary_test_image, darpa_like
+
+        pattern = obj["pattern"]
+        size = obj.get("size", 64)
+        if not isinstance(pattern, int) or not 0 <= pattern <= 9:
+            raise ValidationError("'pattern' must be an integer in 0..9")
+        if not isinstance(size, int) or size <= 0:
+            raise ValidationError("'size' must be a positive integer")
+        if pattern == 0:
+            return darpa_like(size, obj.get("levels", 256))
+        return binary_test_image(pattern, size)
+    return decode_array(obj)
+
+
+class ServiceServer:
+    """Newline-delimited-JSON front-end on a local (unix-domain) socket.
+
+    One request object per line in, one response object per line out;
+    responses carry the request's ``id`` (if any) so clients may
+    pipeline.  Ops: the three compute ops plus ``ping``, ``stats``,
+    and ``shutdown`` (which stops the server after responding).
+    """
+
+    def __init__(self, service: BatchService, socket_path: str):
+        self.service = service
+        self.socket_path = str(socket_path)
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=self.socket_path
+        )
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`trigger_shutdown`)."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    def trigger_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if len(line) > MAX_REQUEST_BYTES:
+                    writer.write(_error_line(None, ValidationError("request too large")))
+                    await writer.drain()
+                    break
+                response = await self._respond(line)
+                writer.write(response)
+                await writer.drain()
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _respond(self, line: bytes) -> bytes:
+        req_id = None
+        try:
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(f"request is not valid JSON: {exc}") from None
+            if not isinstance(obj, dict):
+                raise ValidationError("request must be a JSON object")
+            req_id = obj.get("id")
+            op = obj.get("op")
+            if op == "ping":
+                return _ok_line(req_id, "pong")
+            if op == "stats":
+                return _ok_line(req_id, self.service.snapshot())
+            if op == "shutdown":
+                self._shutdown.set()
+                return _ok_line(req_id, "shutting down")
+            image = _materialize_image(obj.get("image"))
+            params = obj.get("params", {})
+            if not isinstance(params, dict):
+                raise ValidationError("'params' must be an object")
+            result = await self.service.submit(op, image, **params)
+            return _ok_line(req_id, encode_array(result))
+        except ReproError as exc:
+            return _error_line(req_id, exc)
+
+
+def _ok_line(req_id, result) -> bytes:
+    return (json.dumps({"id": req_id, "ok": True, "result": result}) + "\n").encode()
+
+
+def _error_line(req_id, exc: Exception) -> bytes:
+    payload = {
+        "id": req_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+    return (json.dumps(payload) + "\n").encode()
+
+
+async def request_over_socket(socket_path: str, obj: dict) -> dict:
+    """One-shot client helper: send one request object, await its reply."""
+    reader, writer = await asyncio.open_unix_connection(socket_path)
+    try:
+        writer.write((json.dumps(obj) + "\n").encode())
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ReproError("service closed the connection without replying")
+        return json.loads(line)
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()

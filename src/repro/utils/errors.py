@@ -102,6 +102,25 @@ class RecoveryExhaustedError(FaultError):
     """A retryable task fault persisted past the retry budget."""
 
 
+class ServiceOverloadError(ReproError, RuntimeError):
+    """The serving layer shed a request because its queue was full.
+
+    Raised by the admission controller of :mod:`repro.service` when the
+    bounded request queue is at its configured depth.  Load shedding is
+    deliberate: refusing work immediately (so callers can back off or
+    retry elsewhere) beats queueing unboundedly until every request
+    times out.  ``depth`` carries the queue depth at rejection time.
+    """
+
+    def __init__(self, message: str, *, depth: int | None = None):
+        super().__init__(message)
+        self.depth = depth
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """A request was submitted to a service that is not running."""
+
+
 class DegradedRunWarning(UserWarning):
     """The process-parallel runtime fell back to the serial engine.
 

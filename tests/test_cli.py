@@ -74,15 +74,31 @@ class TestComponents:
         assert "1 components" in out
 
     def test_grey_with_output(self, capsys, tmp_path):
+        # Small enough that the compacted map fits an 8-bit PGM.
         src = tmp_path / "g.pgm"
-        write_pgm(src, darpa_like(64, 16, seed=4))
+        write_pgm(src, darpa_like(32, 16, seed=4))
         dst = tmp_path / "labels.pgm"
         out = run_cli(
             capsys, "components", str(src), "--grey", "-p", "4", "-o", str(dst)
         )
         assert "label map written" in out
         labels = read_pnm(dst)
-        assert labels.shape == (64, 64)
+        assert labels.shape == (32, 32)
+
+    def test_output_rejects_overdeep_label_map(self, capsys, tmp_path):
+        # A 64x64 16-level scene has ~400 grey components: too many for
+        # 8-bit PGM, so the CLI must refuse with a clear error rather
+        # than write a file its own reader rejects.
+        src = tmp_path / "g.pgm"
+        write_pgm(src, darpa_like(64, 16, seed=4))
+        code = main(
+            ["components", str(src), "--grey", "-p", "4",
+             "-o", str(tmp_path / "labels.pgm")]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "does not fit an 8-bit PGM" in captured.err
+        assert not (tmp_path / "labels.pgm").exists()
 
     def test_ascii_rendering(self, capsys):
         out = run_cli(
@@ -315,3 +331,48 @@ class TestChaosCommand:
             "--workload", "histogram", "--timeout", "1.5",
         )
         assert "all plans recovered" in out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {repro.__version__}"
+
+
+class TestServe:
+    def test_selftest_round_trip(self, capsys):
+        out = run_cli(capsys, "serve", "--selftest", "--workers", "2")
+        assert "selftest OK" in out
+        assert "cache hit" in out
+
+    def test_selftest_without_cache(self, capsys):
+        out = run_cli(capsys, "serve", "--selftest", "--no-cache")
+        assert "selftest OK" in out
+        assert "0 cache hit(s)" in out
+
+    def test_socket_required_without_selftest(self, capsys):
+        code = main(["serve"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--socket" in captured.err
+
+    def test_selftest_with_fault_plan(self, capsys, tmp_path):
+        import json as _json
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(_json.dumps({
+            "schema": "repro-faults/v1",
+            "seed": 1,
+            "faults": [{"site": "svc:exec", "kind": "exception", "times": 1}],
+        }))
+        out = run_cli(
+            capsys, "serve", "--selftest", "--fault-plan", str(plan_path),
+            "--timeout", "30",
+        )
+        assert "fault plan:" in out
+        assert "selftest OK" in out

@@ -105,6 +105,57 @@ class TestResolveKnobs:
         with pytest.raises(ValidationError):
             resolve_retries(-1)
 
+    # -- environment-variable edge cases ----------------------------------
+    # An unset knob and a set-but-empty knob must behave identically
+    # (shells export empty strings more easily than they unset), while
+    # anything non-empty must either parse or fail loudly -- a typo'd
+    # deadline silently becoming the default would mask a config error.
+
+    @pytest.mark.parametrize("raw", ["", "   ", "\t"])
+    def test_timeout_empty_env_is_default(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_TIMEOUT, raw)
+        assert resolve_timeout() == DEFAULT_TIMEOUT_S
+
+    @pytest.mark.parametrize("raw", ["", "   ", "\t"])
+    def test_retries_empty_env_is_default(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_RETRIES, raw)
+        assert resolve_retries() == DEFAULT_RETRIES
+
+    @pytest.mark.parametrize("raw", ["soon", "1.5s", "1,5", "0x10", "nan km"])
+    def test_timeout_non_numeric_env_raises(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_TIMEOUT, raw)
+        with pytest.raises(ValidationError, match=ENV_TIMEOUT):
+            resolve_timeout()
+
+    @pytest.mark.parametrize("raw", ["many", "2.5", "1e2", "two"])
+    def test_retries_non_integer_env_raises(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_RETRIES, raw)
+        with pytest.raises(ValidationError, match=ENV_RETRIES):
+            resolve_retries()
+
+    @pytest.mark.parametrize("raw", ["-1", "-0.5", "0"])
+    def test_timeout_non_positive_env_raises(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_TIMEOUT, raw)
+        with pytest.raises(ValidationError, match="positive"):
+            resolve_timeout()
+
+    def test_retries_negative_env_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_RETRIES, "-3")
+        with pytest.raises(ValidationError, match="non-negative"):
+            resolve_retries()
+
+    def test_retries_zero_env_is_valid(self, monkeypatch):
+        # Zero retries is a legitimate budget (fail fast), not an error.
+        monkeypatch.setenv(ENV_RETRIES, "0")
+        assert resolve_retries() == 0
+
+    def test_argument_bypasses_garbage_env(self, monkeypatch):
+        # An explicit argument must win without even parsing the env.
+        monkeypatch.setenv(ENV_TIMEOUT, "soon")
+        monkeypatch.setenv(ENV_RETRIES, "many")
+        assert resolve_timeout(2.0) == 2.0
+        assert resolve_retries(1) == 1
+
 
 class TestRunTasks:
     def test_results_in_payload_order(self):

@@ -23,10 +23,19 @@ class TestRoundtrips:
         write_pbm(path, img, binary=binary)
         assert np.array_equal(read_pnm(path), img)
 
-    def test_16bit_pgm(self, tmp_path):
-        img = (np.arange(64).reshape(8, 8) * 500).astype(np.int32)
-        path = tmp_path / "wide.pgm"
-        write_pgm(path, img)
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_pgm_full_8bit_range(self, tmp_path, binary):
+        img = np.arange(256, dtype=np.int32).reshape(16, 16)
+        path = tmp_path / "full.pgm"
+        write_pgm(path, img, binary=binary)
+        assert np.array_equal(read_pnm(path), img)
+
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_pgm_all_zero(self, tmp_path, binary):
+        # maxval floors at 1 even for an all-background image.
+        img = np.zeros((4, 4), dtype=np.int32)
+        path = tmp_path / "zero.pgm"
+        write_pgm(path, img, binary=binary)
         assert np.array_equal(read_pnm(path), img)
 
     def test_rectangular(self, tmp_path):
@@ -73,15 +82,38 @@ class TestParsing:
         with pytest.raises(ValidationError):
             read_pnm(path)
 
+    @pytest.mark.parametrize("maxval", [256, 65535, 70000])
+    def test_maxval_too_deep(self, tmp_path, maxval):
+        path = tmp_path / "deep.pgm"
+        path.write_text(f"P2\n2 2\n{maxval}\n1 2\n3 4\n")
+        with pytest.raises(ValidationError, match="maxval"):
+            read_pnm(path)
+
+    @pytest.mark.parametrize("maxval", [0, -1])
+    def test_maxval_non_positive(self, tmp_path, maxval):
+        path = tmp_path / "np.pgm"
+        path.write_text(f"P2\n2 2\n{maxval}\n1 2\n3 4\n")
+        with pytest.raises(ValidationError, match="maxval"):
+            read_pnm(path)
+
+    def test_maxval_not_an_integer(self, tmp_path):
+        path = tmp_path / "nan.pgm"
+        path.write_text("P2\n2 2\nxyz\n1 2\n3 4\n")
+        with pytest.raises(ValidationError, match="maxval"):
+            read_pnm(path)
+
 
 class TestWriterValidation:
     def test_pbm_rejects_grey(self, tmp_path):
         with pytest.raises(ValidationError):
             write_pbm(tmp_path / "x.pbm", np.full((2, 2), 5, dtype=np.int32))
 
-    def test_pgm_rejects_too_deep(self, tmp_path):
+    @pytest.mark.parametrize("value", [256, 70000])
+    def test_pgm_rejects_too_deep(self, tmp_path, value):
+        # The writer and reader agree on the 8-bit boundary: anything the
+        # writer refuses here, the reader would refuse too.
         with pytest.raises(ValidationError):
-            write_pgm(tmp_path / "x.pgm", np.full((2, 2), 70000, dtype=np.int64))
+            write_pgm(tmp_path / "x.pgm", np.full((2, 2), value, dtype=np.int64))
 
     def test_pgm_rejects_negative(self, tmp_path):
         with pytest.raises(ValidationError):

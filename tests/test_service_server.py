@@ -1,0 +1,163 @@
+"""Tests for the unix-socket JSON front-end of repro.service."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.images import darpa_like
+from repro.service import (
+    BatchService,
+    ServiceConfig,
+    ServiceServer,
+    decode_array,
+    encode_array,
+    request_over_socket,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestWireEncoding:
+    def test_round_trip(self):
+        img = darpa_like(16, 256, seed=1)
+        assert np.array_equal(decode_array(encode_array(img)), img)
+
+    def test_round_trip_preserves_dtype(self):
+        img = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        back = decode_array(encode_array(img))
+        assert back.dtype == np.uint8
+        assert back.shape == (2, 3)
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValidationError, match="dtype"):
+            decode_array({"shape": [2], "dtype": "float64", "data_b64": ""})
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValidationError, match="shape"):
+            decode_array({"shape": [2, -1], "dtype": "uint8", "data_b64": ""})
+
+    def test_rejects_bad_base64(self):
+        with pytest.raises(ValidationError, match="base64"):
+            decode_array({"shape": [1], "dtype": "uint8", "data_b64": "!!!"})
+
+    def test_rejects_size_mismatch(self):
+        enc = encode_array(np.arange(4, dtype=np.uint8))
+        enc["shape"] = [8]
+        with pytest.raises(ValidationError, match="byte"):
+            decode_array(enc)
+
+
+def _serve_scenario(handler):
+    """Run ``handler(server)`` against a live server on a temp socket."""
+
+    async def scenario(tmp_path):
+        service = BatchService(ServiceConfig(workers=2))
+        server = ServiceServer(service, str(tmp_path / "svc.sock"))
+        await server.start()
+        try:
+            await handler(server)
+        finally:
+            await server.stop()
+
+    return scenario
+
+
+class TestSocketServer:
+    def test_compute_round_trip(self, tmp_path):
+        async def handler(server):
+            img = darpa_like(24, 256, seed=2)
+            reply = await request_over_socket(
+                server.socket_path,
+                {"id": 7, "op": "histogram", "image": encode_array(img),
+                 "params": {"k": 256}},
+            )
+            assert reply["ok"] and reply["id"] == 7
+            hist = decode_array(reply["result"])
+            assert np.array_equal(hist, np.bincount(img.ravel(), minlength=256))
+
+        asyncio.run(_serve_scenario(handler)(tmp_path))
+
+    def test_pattern_image_spec(self, tmp_path):
+        async def handler(server):
+            reply = await request_over_socket(
+                server.socket_path,
+                {"op": "components", "image": {"pattern": 5, "size": 32}},
+            )
+            assert reply["ok"]
+            labels = decode_array(reply["result"])
+            assert labels.shape == (32, 32)
+
+        asyncio.run(_serve_scenario(handler)(tmp_path))
+
+    def test_ping_stats_and_cache_hit(self, tmp_path):
+        async def handler(server):
+            assert (await request_over_socket(
+                server.socket_path, {"op": "ping"}
+            ))["result"] == "pong"
+            img = encode_array(darpa_like(24, 256, seed=3))
+            req = {"op": "histogram", "image": img, "params": {"k": 256}}
+            await request_over_socket(server.socket_path, req)
+            await request_over_socket(server.socket_path, req)
+            stats = (await request_over_socket(
+                server.socket_path, {"op": "stats"}
+            ))["result"]
+            assert stats["cache"]["hits"] == 1
+            assert stats["service"]["completed"] == 2
+
+        asyncio.run(_serve_scenario(handler)(tmp_path))
+
+    def test_errors_are_typed_not_fatal(self, tmp_path):
+        async def handler(server):
+            bad = await request_over_socket(server.socket_path, {"op": "edges"})
+            assert not bad["ok"]
+            assert bad["error"]["type"] == "ValidationError"
+            garbage = await self._raw_line(server.socket_path, b"not json\n")
+            assert not garbage["ok"]
+            # The connection-level failure did not wedge the server.
+            assert (await request_over_socket(
+                server.socket_path, {"op": "ping"}
+            ))["result"] == "pong"
+
+        asyncio.run(_serve_scenario(handler)(tmp_path))
+
+    async def _raw_line(self, path, line: bytes) -> dict:
+        reader, writer = await asyncio.open_unix_connection(path)
+        try:
+            writer.write(line)
+            await writer.drain()
+            return json.loads(await reader.readline())
+        finally:
+            writer.close()
+
+    def test_pipelined_requests_share_one_connection(self, tmp_path):
+        async def handler(server):
+            reader, writer = await asyncio.open_unix_connection(server.socket_path)
+            try:
+                for i in range(3):
+                    obj = {"id": i, "op": "components",
+                           "image": {"pattern": i + 1, "size": 24}}
+                    writer.write((json.dumps(obj) + "\n").encode())
+                await writer.drain()
+                ids = []
+                for _ in range(3):
+                    reply = json.loads(await reader.readline())
+                    assert reply["ok"]
+                    ids.append(reply["id"])
+                assert sorted(ids) == [0, 1, 2]
+            finally:
+                writer.close()
+
+        asyncio.run(_serve_scenario(handler)(tmp_path))
+
+    def test_shutdown_request_stops_server(self, tmp_path):
+        async def scenario():
+            service = BatchService(ServiceConfig(workers=2))
+            server = ServiceServer(service, str(tmp_path / "svc.sock"))
+            await server.start()
+            reply = await request_over_socket(server.socket_path, {"op": "shutdown"})
+            assert reply["ok"]
+            await asyncio.wait_for(server.serve_until_shutdown(), timeout=10)
+            assert not service.running
+
+        asyncio.run(scenario())
