@@ -11,6 +11,15 @@ real files.  Supported formats:
 Deeper-than-8-bit greymaps are rejected on both read and write: the
 engines' grey-level pipeline is defined over <= 256 levels, and a file
 the writer can produce must always be one the reader accepts.
+
+.. note:: **Compatibility break in 1.1.0.** Version 1.0.0 read and
+   wrote 16-bit PGMs (``maxval`` up to 65535, big-endian samples).
+   Those files never worked with the histogram/components pipeline
+   (which requires < 256 grey levels), so 1.1.0 rejects them at the
+   format layer with a clear :class:`ValidationError` instead of
+   letting them fail deeper in the stack.  A 16-bit PGM written by
+   1.0.0's ``write_pgm`` must be requantized to 8 bits (e.g. with
+   ``pamdepth``/``convert``) before 1.1.0 can read it.
 """
 
 from __future__ import annotations
@@ -74,7 +83,8 @@ def read_pnm(path) -> np.ndarray:
         if maxval > 255:
             raise ValidationError(
                 f"bad PGM maxval {maxval}: only 8-bit greymaps (maxval <= 255) "
-                f"are supported"
+                f"are supported (16-bit PGM support was removed in 1.1.0; "
+                f"requantize the file to 8 bits first)"
             )
     else:
         maxval = 1

@@ -31,6 +31,7 @@ import asyncio
 import base64
 import contextlib
 import json
+import math
 import threading
 import time
 from dataclasses import dataclass
@@ -80,6 +81,7 @@ from repro.service.ops import (
     svc_init,
     svc_task,
 )
+from repro.utils import errors as _errors
 from repro.utils.errors import (
     FaultError,
     ReproError,
@@ -216,6 +218,22 @@ class BatchExecutor:
             return ("ok", compute(op, image, params, self._config.kernel))
         except ReproError as exc:
             return ("err", type(exc).__name__, str(exc))
+
+
+def _worker_error(name: str, message: str) -> ReproError:
+    """Rehydrate a worker error marker into its original typed error.
+
+    Workers report op failures as ``("err", type_name, message)``
+    markers (see :func:`~repro.service.ops.svc_task`); re-raising them
+    all as :class:`ValidationError` would mislabel genuine runtime
+    faults as client input errors, so the original type is looked up in
+    the error hierarchy and only unknown names fall back to the base
+    :class:`ReproError`.
+    """
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(f"request failed in worker: {message}")
+    return ReproError(f"request failed in worker ({name}): {message}")
 
 
 class ServiceStats:
@@ -395,9 +413,7 @@ class BatchService:
                 req.future.set_result(marker[1])
             else:
                 _tag, name, message = marker
-                req.future.set_exception(
-                    ValidationError(f"request failed in worker ({name}): {message}")
-                )
+                req.future.set_exception(_worker_error(name, message))
 
     def snapshot(self) -> dict:
         """All layer stats as one JSON-ready dict."""
@@ -529,7 +545,14 @@ def decode_array(obj: dict) -> np.ndarray:
         raw = base64.b64decode(obj.get("data_b64", ""), validate=True)
     except Exception:
         raise ValidationError("array 'data_b64' is not valid base64") from None
-    expected = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    # math.prod keeps arbitrary precision: np.prod would wrap at int64
+    # on adversarial shapes and let the length check pass spuriously.
+    expected = math.prod(shape) * np.dtype(dtype).itemsize
+    if expected > MAX_REQUEST_BYTES:
+        raise ValidationError(
+            f"array of shape {shape} ({expected} bytes) exceeds the "
+            f"{MAX_REQUEST_BYTES} byte request cap"
+        )
     if len(raw) != expected:
         raise ValidationError(
             f"array payload is {len(raw)} byte(s), expected {expected}"
@@ -549,7 +572,10 @@ def _materialize_image(obj) -> np.ndarray:
         if not isinstance(size, int) or size <= 0:
             raise ValidationError("'size' must be a positive integer")
         if pattern == 0:
-            return darpa_like(size, obj.get("levels", 256))
+            levels = obj.get("levels", 256)
+            if not isinstance(levels, int) or isinstance(levels, bool) or levels < 8:
+                raise ValidationError("'levels' must be an integer >= 8")
+            return darpa_like(size, levels)
         return binary_test_image(pattern, size)
     return decode_array(obj)
 
@@ -571,8 +597,11 @@ class ServiceServer:
 
     async def start(self) -> None:
         await self.service.start()
+        # Without an explicit limit the StreamReader caps lines at 64 KiB
+        # and readline() raises ValueError on anything longer -- even a
+        # modest base64 image would drop the connection unanswered.
         self._server = await asyncio.start_unix_server(
-            self._handle_client, path=self.socket_path
+            self._handle_client, path=self.socket_path, limit=MAX_REQUEST_BYTES
         )
 
     async def serve_until_shutdown(self) -> None:
@@ -597,13 +626,18 @@ class ServiceServer:
             while not self._shutdown.is_set():
                 try:
                     line = await reader.readline()
-                except (ConnectionResetError, asyncio.LimitOverrunError):
+                except ConnectionResetError:
+                    break
+                except (ValueError, asyncio.IncompleteReadError):
+                    # A line past the stream limit surfaces as ValueError
+                    # (readline wraps LimitOverrunError); the stream can't
+                    # be resynced mid-line, so reply once and hang up.
+                    writer.write(_error_line(None, ValidationError(
+                        f"request too large (limit {MAX_REQUEST_BYTES} bytes)"
+                    )))
+                    await writer.drain()
                     break
                 if not line:
-                    break
-                if len(line) > MAX_REQUEST_BYTES:
-                    writer.write(_error_line(None, ValidationError("request too large")))
-                    await writer.drain()
                     break
                 response = await self._respond(line)
                 writer.write(response)
@@ -639,6 +673,12 @@ class ServiceServer:
             return _ok_line(req_id, encode_array(result))
         except ReproError as exc:
             return _error_line(req_id, exc)
+        except Exception as exc:
+            # Anything non-typed is a server-side bug; the client still
+            # deserves a reply rather than a silently dropped connection.
+            return _error_line(
+                req_id, ReproError(f"internal error ({type(exc).__name__}): {exc}")
+            )
 
 
 def _ok_line(req_id, result) -> bytes:
@@ -656,7 +696,9 @@ def _error_line(req_id, exc: Exception) -> bytes:
 
 async def request_over_socket(socket_path: str, obj: dict) -> dict:
     """One-shot client helper: send one request object, await its reply."""
-    reader, writer = await asyncio.open_unix_connection(socket_path)
+    reader, writer = await asyncio.open_unix_connection(
+        socket_path, limit=MAX_REQUEST_BYTES
+    )
     try:
         writer.write((json.dumps(obj) + "\n").encode())
         await writer.drain()

@@ -441,6 +441,19 @@ class TestWorkerTask:
         assert tag == "ok"
         assert np.array_equal(hist, _serial_reference("histogram", img, k=2))
 
+    def test_error_marker_keeps_its_type_across_the_pool(self):
+        from repro.service.server import _worker_error
+        from repro.utils.errors import FaultError, ReproError, ValidationError
+
+        exc = _worker_error("ValidationError", "bad k")
+        assert type(exc) is ValidationError
+        exc = _worker_error("FaultError", "injected")
+        assert type(exc) is FaultError
+        # Unknown names (or names that aren't ReproError subclasses)
+        # fall back to the base class rather than a mislabeled subtype.
+        assert type(_worker_error("KeyboardInterrupt", "x")) is ReproError
+        assert type(_worker_error("NoSuchError", "x")) is ReproError
+
 
 class TestFaultyService:
     def test_transient_fault_is_retried_transparently(self):

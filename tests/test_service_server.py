@@ -47,6 +47,17 @@ class TestWireEncoding:
         with pytest.raises(ValidationError, match="byte"):
             decode_array(enc)
 
+    def test_rejects_overflowing_shape(self):
+        # np.prod would wrap to 0 at int64 here and let empty data pass.
+        with pytest.raises(ValidationError, match="exceeds"):
+            decode_array({"shape": [2**32, 2**32], "dtype": "uint8",
+                          "data_b64": ""})
+
+    def test_rejects_over_cap_shape(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            decode_array({"shape": [1 << 20, 1 << 10], "dtype": "int64",
+                          "data_b64": ""})
+
 
 def _serve_scenario(handler):
     """Run ``handler(server)`` against a live server on a temp socket."""
@@ -147,6 +158,76 @@ class TestSocketServer:
                 assert sorted(ids) == [0, 1, 2]
             finally:
                 writer.close()
+
+        asyncio.run(_serve_scenario(handler)(tmp_path))
+
+    def test_large_request_line_is_served(self, tmp_path):
+        # A 256x256 int32 image is ~350 KB of base64 -- far past the
+        # 64 KiB default StreamReader limit that used to drop the
+        # connection before the request was ever parsed.
+        async def handler(server):
+            img = darpa_like(256, 256, seed=4)
+            reply = await request_over_socket(
+                server.socket_path,
+                {"op": "histogram", "image": encode_array(img),
+                 "params": {"k": 256}},
+            )
+            assert reply["ok"]
+            hist = decode_array(reply["result"])
+            assert np.array_equal(hist, np.bincount(img.ravel(), minlength=256))
+
+        asyncio.run(_serve_scenario(handler)(tmp_path))
+
+    def test_oversized_line_gets_typed_error(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.service.server.MAX_REQUEST_BYTES", 4096)
+
+        async def handler(server):
+            reader, writer = await asyncio.open_unix_connection(server.socket_path)
+            try:
+                writer.write(b"x" * 8192 + b"\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert not reply["ok"]
+                assert reply["error"]["type"] == "ValidationError"
+                assert "too large" in reply["error"]["message"]
+                # The unparseable stream is then closed, not resynced.
+                assert await reader.readline() == b""
+            finally:
+                writer.close()
+            # Other connections are unaffected.
+            assert (await request_over_socket(
+                server.socket_path, {"op": "ping"}
+            ))["result"] == "pong"
+
+        asyncio.run(_serve_scenario(handler)(tmp_path))
+
+    def test_internal_errors_reply_typed(self, tmp_path):
+        async def handler(server):
+            # int("nope") raises a plain ValueError (not a ReproError);
+            # the client must still get a reply, not a hung connection.
+            reply = await request_over_socket(
+                server.socket_path,
+                {"op": "histogram", "image": {"pattern": 1, "size": 8},
+                 "params": {"k": "nope"}},
+            )
+            assert not reply["ok"]
+            assert "internal error" in reply["error"]["message"]
+            assert (await request_over_socket(
+                server.socket_path, {"op": "ping"}
+            ))["result"] == "pong"
+
+        asyncio.run(_serve_scenario(handler)(tmp_path))
+
+    def test_bad_levels_is_a_validation_error(self, tmp_path):
+        async def handler(server):
+            reply = await request_over_socket(
+                server.socket_path,
+                {"op": "histogram",
+                 "image": {"pattern": 0, "size": 16, "levels": "many"}},
+            )
+            assert not reply["ok"]
+            assert reply["error"]["type"] == "ValidationError"
+            assert "levels" in reply["error"]["message"]
 
         asyncio.run(_serve_scenario(handler)(tmp_path))
 
