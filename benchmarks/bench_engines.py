@@ -9,7 +9,6 @@ Shiloach-Vishkin solver ("sv"), which does O(E log V) work.
 
 import time
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import emit

@@ -88,7 +88,7 @@ def test_transpose_broadcast_figures(benchmark, name, params, p):
 def test_machine_bandwidth_ranking(benchmark):
     def ranking():
         out = {}
-        for name, params, p in FIGS:
+        for _name, params, p in FIGS:
             rows = _sweep(params, p)
             out[params.name] = rows[-1]["bw_tr"]
         return out

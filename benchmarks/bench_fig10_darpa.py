@@ -11,8 +11,6 @@ diminishing returns as border/merge costs grow relative to the
 shrinking tiles.
 """
 
-import pytest
-
 from benchmarks.conftest import emit, fmt_seconds
 from repro.core.connected_components import parallel_components
 from repro.images import darpa_like

@@ -39,7 +39,7 @@ def test_fig11_comp_vs_comm(benchmark):
             lines.append(f"{n:>6} {fmt_seconds(comp):>12} {fmt_seconds(comm):>14}")
     emit("fig11_hist_comp_comm", "\n".join(lines))
 
-    for k, rows in data.items():
+    for rows in data.values():
         comms = [comm for _, _, comm in rows]
         # Communication independent of n (constant across the sweep).
         assert max(comms) - min(comms) < 1e-12

@@ -7,8 +7,6 @@ the simulator's measured communication/computation times against
 equations (1), (2), (3) and (11).
 """
 
-import numpy as np
-
 from benchmarks.conftest import emit
 from repro.analysis import (
     predict_broadcast,

@@ -11,8 +11,6 @@ artifact so readers can interpret the numbers.
 import os
 import time
 
-import numpy as np
-
 from benchmarks.conftest import emit
 from benchmarks.emit import emit_json
 from repro.baselines import run_label

@@ -15,8 +15,6 @@ Usage:
 
 import sys
 
-import numpy as np
-
 from repro.images import site_percolation
 from repro.physics import percolation_stats, spanning_probability
 from repro.physics.percolation import P_CRITICAL

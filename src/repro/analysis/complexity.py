@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.costs import CostParams, DEFAULT_COSTS
 from repro.machines.params import MachineParams
+from repro.utils.errors import ValidationError
 from repro.utils.validation import check_power_of_two, ilog2
 
 
@@ -103,6 +104,6 @@ def scalability_exponent(ns: np.ndarray, times_s: np.ndarray) -> float:
     ns = np.asarray(ns, dtype=np.float64)
     times_s = np.asarray(times_s, dtype=np.float64)
     if ns.size != times_s.size or ns.size < 2:
-        raise ValueError("need at least two (n, time) samples")
+        raise ValidationError("need at least two (n, time) samples")
     slope, _ = np.polyfit(np.log(ns), np.log(times_s), 1)
     return float(slope)

@@ -79,7 +79,7 @@ def stripe_components(
     colors = GlobalArray(machine, rows_per * n, dtype=np.int64, name="scolors")
     labels = GlobalArray(machine, rows_per * n, dtype=np.int64, name="slabels")
     for pid in range(p):
-        colors._blocks[pid][:] = stripes[pid].ravel()  # initial placement
+        colors.place(pid, stripes[pid])  # initial placement
 
     stripe_pixels = rows_per * n
     with machine.phase("sdc:label"):

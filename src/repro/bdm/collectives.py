@@ -142,7 +142,7 @@ def scatter_from(
     size = q // p
     src = GlobalArray(machine, [q if pid == root else 0 for pid in range(p)],
                       dtype=dtype, name="scatter:src")
-    src._blocks[root][:] = values  # initial placement on the root
+    src.place(root, values)  # initial placement on the root
     out = GlobalArray(machine, size, dtype=dtype, name="scatter:out")
     with machine.phase(phase_name):
         for proc in machine.procs:
@@ -167,7 +167,7 @@ def prefix_sum(machine: Machine, values, *, phase_name: str = "scan") -> np.ndar
         raise ValidationError(f"need exactly one value per processor ({p})")
     inclusive = GlobalArray(machine, 1, dtype=np.int64, name="scan")
     for pid in range(p):
-        inclusive._blocks[pid][0] = values[pid]  # initial placement
+        inclusive.place(pid, values[pid])  # initial placement
     rounds = ilog2(p) if p > 1 else 0
     for d in range(rounds):
         stride = 1 << d

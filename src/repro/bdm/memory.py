@@ -206,6 +206,27 @@ class GlobalArray:
         view.flags.writeable = False
         return view
 
+    def place(self, pid: int, values) -> None:
+        """Load ``values`` into ``pid``'s whole block, free of charge.
+
+        *Initial data placement*: the BDM model (like every BSP-style
+        experimental study) charges only traffic between processors,
+        not loading the input before timed phases begin.  This is the
+        one sanctioned way to seed a block directly -- the cost linter
+        (COST401) flags any other ``._blocks`` access outside this
+        module as unaccounted traffic.
+        """
+        if not (0 <= pid < self.p):
+            raise ValidationError(f"pid {pid} out of range [0, {self.p})")
+        block = self._blocks[pid]
+        flat = np.asarray(values, dtype=self.dtype).ravel()
+        if flat.shape != block.shape:
+            raise ValidationError(
+                f"placement of {flat.shape[0]} element(s) into block of "
+                f"{block.shape[0]} on processor {pid}"
+            )
+        block[:] = flat
+
     def scatter_rows(self, matrix: np.ndarray) -> None:
         """Initialize from a ``p x q`` matrix: row ``i`` -> processor ``i``.
 

@@ -1,0 +1,316 @@
+"""The static-analysis engine: rule families, selection, baselines.
+
+One parse per file; every registered family checker runs over the same
+tree.  Families:
+
+=======  ==================================================  =========
+family   what it checks                                      module
+=======  ==================================================  =========
+SPMD     split-phase discipline of SPMD generator programs   lint
+ASYNC    asyncio hygiene in the serving layer                rules_async
+RES      resource lifetime (shm segments, pools, sockets)    rules_res
+ERR      error-boundary hygiene (ReproError contract)        rules_err
+COST     BDM cost-model consistency (charging sites)         rules_cost
+=======  ==================================================  =========
+
+Selection (``--select``/``--ignore``) accepts family names and full
+rule IDs; unknown tokens raise :class:`ReproError`.  SPMD000 (a file
+that does not parse) is reported regardless of selection: an
+unparsable file was not checked by *any* family.
+
+Baselines grandfather existing findings: a JSON file mapping
+``file -> rule -> count``.  A finding is suppressed while the file
+still has no more findings of that rule than the baseline allows;
+entries that no longer match anything are reported as stale so the
+file shrinks monotonically (see docs/CHECKER.md for the workflow).
+
+For the rare pattern a rule cannot prove safe (e.g. ownership transfer
+of a shared-memory segment into an object whose ``__exit__`` tears it
+down), a line can carry an inline suppression comment::
+
+    shm = SharedMemory(create=True, size=n)  # check: ignore[RES201]
+
+naming the rule IDs (or families) it waives on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import json
+import re
+import textwrap
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.checker import rules_async, rules_cost, rules_err, rules_res
+from repro.checker.lint import (
+    _find_programs,
+    _ProgramLinter,
+    iter_python_files,
+)
+from repro.checker.rules import RULES, LintDiagnostic, rule_family
+from repro.utils.errors import ReproError
+
+Checker = Callable[[ast.AST, str], list[LintDiagnostic]]
+
+
+def _check_spmd(tree: ast.AST, filename: str) -> list[LintDiagnostic]:
+    diags: list[LintDiagnostic] = []
+    for fn, ctx_name in _find_programs(tree):
+        diags.extend(_ProgramLinter(fn, ctx_name, filename).run())
+    return diags
+
+
+#: Family name -> checker run against each parsed file.
+CHECKERS: dict[str, Checker] = {
+    "SPMD": _check_spmd,
+    "ASYNC": rules_async.check,
+    "RES": rules_res.check,
+    "ERR": rules_err.check,
+    "COST": rules_cost.check,
+}
+
+FAMILIES: tuple[str, ...] = tuple(CHECKERS)
+
+
+def expand_selection(tokens: Iterable[str] | None, *, flag: str = "--select") -> "_Selection | None":
+    """Parse a list of family names / rule IDs into a selection filter."""
+    if tokens is None:
+        return None
+    families: set[str] = set()
+    ids: set[str] = set()
+    unknown: list[str] = []
+    for raw in tokens:
+        token = raw.strip().upper()
+        if not token:
+            continue
+        if token in CHECKERS:
+            families.add(token)
+        elif token in RULES:
+            ids.add(token)
+        else:
+            unknown.append(token)
+    if unknown:
+        raise ReproError(
+            f"unknown rule or family for {flag}: {', '.join(sorted(unknown))}"
+        )
+    return _Selection(families=families, ids=ids)
+
+
+@dataclass(frozen=True)
+class _Selection:
+    families: set[str] = field(default_factory=set)
+    ids: set[str] = field(default_factory=set)
+
+    def matches(self, rule_id: str) -> bool:
+        return rule_id in self.ids or rule_family(rule_id) in self.families
+
+
+_INLINE_IGNORE = re.compile(r"#\s*check:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+def _inline_ignores(source: str) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the upper-cased tokens they waive."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _INLINE_IGNORE.search(line)
+        if m:
+            out[lineno] = {t.strip().upper() for t in m.group(1).split(",") if t.strip()}
+    return out
+
+
+def _inline_suppressed(diag: LintDiagnostic, ignores: dict[int, set[str]]) -> bool:
+    tokens = ignores.get(diag.line)
+    if not tokens:
+        return False
+    return diag.rule in tokens or rule_family(diag.rule) in tokens
+
+
+def _filter(
+    diags: list[LintDiagnostic],
+    select: "_Selection | None",
+    ignore: "_Selection | None",
+) -> list[LintDiagnostic]:
+    out = []
+    for d in diags:
+        if d.rule == "SPMD000":  # parse failure: no family checked the file
+            out.append(d)
+            continue
+        if select is not None and not select.matches(d.rule):
+            continue
+        if ignore is not None and ignore.matches(d.rule):
+            continue
+        out.append(d)
+    return out
+
+
+def analyze_source(
+    source: str,
+    filename: str = "<string>",
+    *,
+    select: "_Selection | None" = None,
+    ignore: "_Selection | None" = None,
+) -> list[LintDiagnostic]:
+    """Run every (selected) family over one file's source."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            LintDiagnostic(
+                rule="SPMD000",
+                message=f"could not parse: {exc.msg}",
+                file=filename,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                function="<module>",
+            )
+        ]
+    diags: list[LintDiagnostic] = []
+    for family, checker in CHECKERS.items():
+        if select is not None and family not in select.families:
+            # Still needed if an individual rule of this family is selected.
+            if not any(rule_family(i) == family for i in select.ids):
+                continue
+        diags.extend(checker(tree, filename))
+    inline = _inline_ignores(source)
+    if inline:
+        diags = [d for d in diags if not _inline_suppressed(d, inline)]
+    diags = _filter(diags, select, ignore)
+    return sorted(diags, key=lambda d: (d.line, d.col, d.rule))
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    *,
+    select: "_Selection | None" = None,
+    ignore: "_Selection | None" = None,
+) -> list[LintDiagnostic]:
+    """Analyze all ``.py`` files under ``paths`` (files or directories)."""
+    diags: list[LintDiagnostic] = []
+    for path in iter_python_files(paths):
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        diags.extend(analyze_source(text, str(path), select=select, ignore=ignore))
+    return diags
+
+
+def analyze_callable(fn) -> list[LintDiagnostic]:
+    """Analyze a live function object (used by the pytest plugin).
+
+    Runs every family over the function's (dedented) source with line
+    numbers remapped to the real file.  Returns ``[]`` when source is
+    unavailable.
+    """
+    try:
+        source = inspect.getsource(fn)
+        filename = inspect.getsourcefile(fn) or "<unknown>"
+        _, first_line = inspect.getsourcelines(fn)
+    except (OSError, TypeError):
+        return []
+    dedented = textwrap.dedent(source)
+    try:
+        ast.parse(dedented)
+    except SyntaxError:
+        # Decorated/partial sources that do not stand alone.
+        return []
+    offset = first_line - 1
+    return [
+        replace(d, line=d.line + offset)
+        for d in analyze_source(dedented, filename)
+    ]
+
+
+# -- baseline ---------------------------------------------------------------
+
+BASELINE_SCHEMA = "repro-checker-baseline/v1"
+
+#: Default location, applied by ``repro check`` when the file exists.
+DEFAULT_BASELINE = ".repro-checker-baseline.json"
+
+BaselineEntries = dict[str, dict[str, int]]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to a list of findings."""
+
+    diags: list[LintDiagnostic]  #: findings NOT covered by the baseline
+    suppressed: int  #: findings swallowed as grandfathered
+    stale: BaselineEntries  #: allowances that matched nothing (expired)
+
+
+def load_baseline(path: str | Path) -> BaselineEntries:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ReproError(
+            f"baseline {path} has schema {payload.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA!r}"
+        )
+    entries = payload.get("entries", {})
+    out: BaselineEntries = {}
+    for file, rules in entries.items():
+        out[str(file)] = {str(r): int(n) for r, n in rules.items()}
+    return out
+
+
+def baseline_from(diags: Sequence[LintDiagnostic]) -> BaselineEntries:
+    counts: Counter[tuple[str, str]] = Counter(
+        (_baseline_key(d.file), d.rule) for d in diags
+    )
+    entries: BaselineEntries = {}
+    for (file, rule), n in sorted(counts.items()):
+        entries.setdefault(file, {})[rule] = n
+    return entries
+
+
+def save_baseline(path: str | Path, entries: BaselineEntries) -> None:
+    payload = {"schema": BASELINE_SCHEMA, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _baseline_key(file: str) -> str:
+    return Path(file).as_posix()
+
+
+def apply_baseline(
+    diags: Sequence[LintDiagnostic],
+    entries: BaselineEntries,
+    *,
+    scanned: set[str] | None = None,
+) -> BaselineResult:
+    """Suppress up to ``entries[file][rule]`` findings per (file, rule).
+
+    Findings are suppressed in source order, so when a file has more
+    findings than its allowance the *new* (later) ones surface.
+    Allowances that matched nothing are reported as stale -- but only
+    for files in ``scanned`` (when given), so checking a subset of the
+    repo does not misreport the rest of the baseline as expired.
+    """
+    remaining = {f: dict(rules) for f, rules in entries.items()}
+    kept: list[LintDiagnostic] = []
+    suppressed = 0
+    for d in sorted(diags, key=lambda d: (d.file, d.line, d.col, d.rule)):
+        allowance = remaining.get(_baseline_key(d.file), {})
+        if allowance.get(d.rule, 0) > 0:
+            allowance[d.rule] -= 1
+            suppressed += 1
+        else:
+            kept.append(d)
+    stale: BaselineEntries = {}
+    for file, rules in remaining.items():
+        if scanned is not None and file not in scanned:
+            continue
+        left = {r: n for r, n in rules.items() if n > 0}
+        if left:
+            stale[file] = left
+    return BaselineResult(diags=kept, suppressed=suppressed, stale=stale)

@@ -1,17 +1,18 @@
-"""Pytest integration for the SPMD checker.
+"""Pytest integration for the checker.
 
 Registered from ``tests/conftest.py`` via ``pytest_plugins``.  Two
 layers of strictness:
 
 * An **autouse** fixture wraps :meth:`_SpmdRunner.run` so every SPMD
-  program executed by any test is statically linted first; findings
-  surface as :class:`SpmdLintWarning` warnings (visible with ``-W`` or
-  in the warnings summary) without changing test outcomes.  Together
-  with the shadow-memory detector -- which is on by default on every
-  ``Machine(check_hazards=True)`` -- this puts the whole suite under
-  dynamic *and* static checking.
-* The opt-in ``spmd_strict`` fixture escalates error-severity lint
-  findings to :class:`~repro.utils.errors.LintError` before the
+  program executed by any test is statically analyzed first -- by the
+  full engine (all rule families: SPMD, ASYNC, RES, ERR, COST), not
+  just the SPMD lint; findings surface as :class:`SpmdLintWarning`
+  warnings (visible with ``-W`` or in the warnings summary) without
+  changing test outcomes.  Together with the shadow-memory detector --
+  which is on by default on every ``Machine(check_hazards=True)`` --
+  this puts the whole suite under dynamic *and* static checking.
+* The opt-in ``spmd_strict`` fixture escalates error-severity findings
+  of *any* family to :class:`~repro.utils.errors.LintError` before the
   program runs, for tests that want a hard gate.
 """
 
@@ -21,15 +22,15 @@ import warnings
 
 import pytest
 
-from repro.checker.lint import lint_callable
+from repro.checker.engine import analyze_callable
 from repro.utils.errors import LintError
 
 
 class SpmdLintWarning(UserWarning):
-    """A static lint finding surfaced while running an SPMD program."""
+    """A static checker finding surfaced while running an SPMD program."""
 
 
-#: Lint results keyed by code location, so repeatedly-run programs
+#: Analysis results keyed by code location, so repeatedly-run programs
 #: (parametrized tests, stress loops) are parsed once.
 _lint_cache: dict[tuple[str, int], list] = {}
 
@@ -37,10 +38,10 @@ _lint_cache: dict[tuple[str, int], list] = {}
 def _cached_lint(program):
     code = getattr(program, "__code__", None)
     if code is None:
-        return lint_callable(program)
+        return analyze_callable(program)
     key = (code.co_filename, code.co_firstlineno)
     if key not in _lint_cache:
-        _lint_cache[key] = lint_callable(program)
+        _lint_cache[key] = analyze_callable(program)
     return _lint_cache[key]
 
 

@@ -1,9 +1,15 @@
-"""Rule catalog and diagnostic records for the SPMD lint pass.
+"""Rule catalog and diagnostic records for the checker.
 
-Every rule has a stable ID (``SPMD###``) so findings can be referenced
-in docs, suppressed selectively on the command line, and asserted in
-tests.  Severity ``error`` findings fail ``repro check`` (exit 1);
-``warning`` findings are reported but do not affect the exit status.
+Every rule has a stable ID (``<FAMILY><###>``) so findings can be
+referenced in docs, suppressed selectively on the command line, and
+asserted in tests.  Severity ``error`` findings fail ``repro check``
+(exit 1); ``warning`` findings are reported but do not affect the exit
+status.
+
+This module defines the catalog container and the SPMD family; the
+other families (ASYNC, RES, ERR, COST) register themselves from their
+``rules_*`` modules via :func:`register_rules` when
+:mod:`repro.checker.engine` is imported.
 """
 
 from __future__ import annotations
@@ -17,6 +23,11 @@ class LintRule:
     name: str
     severity: str  #: ``error`` or ``warning``
     description: str
+
+
+def rule_family(rule_id: str) -> str:
+    """The alphabetic family prefix of a rule ID (``ASYNC102`` -> ``ASYNC``)."""
+    return rule_id.rstrip("0123456789")
 
 
 RULES: dict[str, LintRule] = {
@@ -74,6 +85,12 @@ RULES: dict[str, LintRule] = {
 }
 
 
+def register_rules(*rules: LintRule) -> None:
+    """Add rules to the catalog (idempotent; used by the family modules)."""
+    for rule in rules:
+        RULES[rule.id] = rule
+
+
 @dataclass(frozen=True)
 class LintDiagnostic:
     """One finding: a rule violation at a source location."""
@@ -99,7 +116,14 @@ class LintDiagnostic:
 def format_catalog() -> str:
     """Human-readable rule listing for ``repro check --list-rules``."""
     lines = []
-    for rule in RULES.values():
+    last_family = None
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        family = rule_family(rule_id)
+        if family != last_family:
+            if lines:
+                lines.append("")
+            last_family = family
         lines.append(f"{rule.id} [{rule.severity}] {rule.name}")
         lines.append(f"    {rule.description}")
     return "\n".join(lines)

@@ -1,0 +1,200 @@
+"""ASYNC1xx: asyncio hygiene rules.
+
+The serving layer (:mod:`repro.service`) runs an event loop next to a
+multiprocessing pool; the two failure modes these rules target both
+shipped in real PRs here: a blocking call on the loop stalls every
+in-flight request, and an asyncio stream created without an explicit
+``limit=`` silently caps requests at 64 KiB (the PR 5 bug, encoded as
+ASYNC102).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checker.astutil import (
+    call_name,
+    dotted_name,
+    enclosing_function_names,
+    has_keyword,
+    own_scope_walk,
+)
+from repro.checker.rules import LintDiagnostic, LintRule, register_rules
+
+register_rules(
+    LintRule(
+        "ASYNC101",
+        "blocking call in async function",
+        "error",
+        "A known-blocking call (time.sleep, subprocess, synchronous "
+        "file/socket IO, pool.map/run_tasks) inside `async def` stalls "
+        "the whole event loop; use asyncio.sleep / run_in_executor / "
+        "async IO instead.",
+    ),
+    LintRule(
+        "ASYNC102",
+        "asyncio stream without explicit limit=",
+        "error",
+        "asyncio.open_unix_connection/start_unix_server (and their TCP "
+        "twins) default to a 64 KiB StreamReader limit; any payload "
+        "larger than that kills the connection. Pass limit= explicitly, "
+        "sized to the protocol's maximum message.",
+    ),
+    LintRule(
+        "ASYNC103",
+        "task result dropped",
+        "warning",
+        "asyncio.create_task/ensure_future as a bare statement drops the "
+        "only strong reference to the task: it can be garbage-collected "
+        "mid-flight and its exceptions are never observed. Retain the "
+        "handle (and discard it in a done callback).",
+    ),
+    LintRule(
+        "ASYNC104",
+        "await under held lock without a deadline",
+        "warning",
+        "An `await` inside an `async with <lock>` region with no "
+        "asyncio.wait_for/timeout means one slow peer holds the lock "
+        "indefinitely and the service cannot shed load. Bound the wait.",
+    ),
+)
+
+#: Calls that block the event loop no matter how they are reached.
+_BLOCKING = {
+    "time.sleep",
+    "os.system",
+    "os.waitpid",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+}
+
+#: Blocking pool-dispatch method names (flagged when called on a
+#: pool-ish receiver) and bare helpers.
+_POOL_METHODS = {"map", "starmap", "apply"}
+_BLOCKING_BARE = {"run_tasks"}
+
+#: Stream constructors whose default limit is 64 KiB.  The unix-socket
+#: pair is flagged on any receiver; the generic TCP pair only when
+#: called off ``asyncio``, so unrelated ``start_server`` methods on
+#: project classes are not caught.
+_STREAM_ALWAYS = {"open_unix_connection", "start_unix_server"}
+_STREAM_ASYNCIO = {"asyncio.open_connection", "asyncio.start_server"}
+
+_TASK_SPAWNERS = {"create_task", "ensure_future"}
+
+
+def _is_blocking_call(node: ast.Call) -> str | None:
+    """A human-readable name when ``node`` is a known-blocking call."""
+    name = call_name(node)
+    if name is None:
+        return None
+    if name in _BLOCKING:
+        return name
+    last = name.rsplit(".", 1)[-1]
+    if last in _BLOCKING_BARE:
+        return last
+    if name == "open":
+        return "open"
+    if last in _POOL_METHODS and "." in name:
+        receiver = name.rsplit(".", 1)[0].rsplit(".", 1)[-1].lower()
+        if "pool" in receiver or "supervisor" in receiver:
+            return name
+    return None
+
+
+def _lockish(expr: ast.AST) -> bool:
+    """Does a with-item context expression look like a lock/semaphore?"""
+    node = expr.func if isinstance(expr, ast.Call) else expr
+    name = dotted_name(node)
+    if name is None:
+        return False
+    last = name.rsplit(".", 1)[-1].lower()
+    return "lock" in last or "semaphore" in last
+
+
+def _await_has_deadline(node: ast.Await) -> bool:
+    inner = node.value
+    if not isinstance(inner, ast.Call):
+        return False
+    name = call_name(inner) or ""
+    last = name.rsplit(".", 1)[-1]
+    if last in {"wait_for", "wait"}:
+        return True
+    return has_keyword(inner, "timeout")
+
+
+def check(tree: ast.AST, filename: str) -> list[LintDiagnostic]:
+    diags: list[LintDiagnostic] = []
+    owners = enclosing_function_names(tree)
+
+    def add(rule: str, node: ast.AST, message: str) -> None:
+        diags.append(
+            LintDiagnostic(
+                rule=rule,
+                message=message,
+                file=filename,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                function=owners.get(node, "<module>"),
+            )
+        )
+
+    # ASYNC102/ASYNC103 apply anywhere a stream or task is created --
+    # spawning helpers are often plain functions driven by loop callbacks.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            spawn = call_name(node.value) or ""
+            if spawn.rsplit(".", 1)[-1] in _TASK_SPAWNERS:
+                add(
+                    "ASYNC103",
+                    node,
+                    f"result of {spawn}() dropped; the task can be "
+                    "collected mid-flight and its exception lost",
+                )
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name is None:
+            continue
+        last = name.rsplit(".", 1)[-1]
+        if (last in _STREAM_ALWAYS or name in _STREAM_ASYNCIO) and not has_keyword(
+            node, "limit"
+        ):
+            add(
+                "ASYNC102",
+                node,
+                f"{last}() without an explicit limit=; the 64 KiB default "
+                "truncates large messages",
+            )
+
+    for fn in ast.walk(tree):
+        if not isinstance(fn, ast.AsyncFunctionDef):
+            continue
+        for node in own_scope_walk(fn):
+            if isinstance(node, ast.Call):
+                blocking = _is_blocking_call(node)
+                if blocking is not None:
+                    add(
+                        "ASYNC101",
+                        node,
+                        f"blocking call {blocking}() inside async def "
+                        f"{fn.name!r}; it stalls the event loop",
+                    )
+            if isinstance(node, ast.AsyncWith) and any(
+                _lockish(item.context_expr) for item in node.items
+            ):
+                for inner in node.body:
+                    for sub in own_scope_walk(inner):
+                        if isinstance(sub, ast.Await) and not _await_has_deadline(sub):
+                            add(
+                                "ASYNC104",
+                                sub,
+                                "await while holding a lock, with no "
+                                "wait_for/timeout bounding it",
+                            )
+    return diags

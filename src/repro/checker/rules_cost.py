@@ -1,0 +1,178 @@
+"""COST4xx: cost-model consistency rules.
+
+The paper's experimental claims rest on the BDM cost model: every
+remote word moved must be charged to the moving processor (and to the
+serving owner's port).  Nothing *physically* stops a new primitive
+from reaching into another processor's block without charging -- the
+simulation still produces correct values, just flattering costs.
+These rules make that drift a lint error instead of a silent skew in
+EXPERIMENTS.md numbers.
+
+The sanctioned escape hatch is *initial placement*: loading input data
+into local blocks before timed phases begin is free by BSP/BDM
+convention, and lives behind :meth:`GlobalArray.place` (in
+``bdm/memory.py``, the one module exempt from COST401).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+
+from repro.checker.astutil import (
+    enclosing_function_names,
+    iter_functions,
+    own_scope_walk,
+)
+from repro.checker.rules import LintDiagnostic, LintRule, register_rules
+
+register_rules(
+    LintRule(
+        "COST400",
+        "comm primitive never charges the cost model",
+        "error",
+        "A function takes a processor (`proc`) and touches `._blocks` "
+        "but never calls a charge_*/transfer primitive: remote traffic "
+        "is moving without being charged, which skews every reported "
+        "cost.",
+    ),
+    LintRule(
+        "COST401",
+        "direct ._blocks access outside the memory module",
+        "warning",
+        "Reaching into `GlobalArray._blocks` from outside bdm/memory.py "
+        "bypasses the charging and hazard-checking in read/write. Use "
+        "GlobalArray.place() for free initial placement, read/write for "
+        "everything else.",
+    ),
+    LintRule(
+        "COST402",
+        "cost counters mutated outside the machine",
+        "error",
+        "Fields of a CostCounter are assigned directly (`*.cost.comm_s "
+        "+= ...`) outside bdm/machine.py / bdm/cost.py; all charging "
+        "must go through the Processor.charge_* primitives so the "
+        "one-port serve accounting stays consistent.",
+    ),
+)
+
+#: Modules allowed to touch the raw storage / counters.
+_BLOCKS_EXEMPT_FILES = {"memory.py"}
+_COST_EXEMPT_FILES = {"machine.py", "cost.py"}
+
+_CHARGE_NAMES = {
+    "charge_comp",
+    "charge_copy",
+    "charge_comm",
+    "_charge_comm",
+    "_charge_words_only",
+    "_charge_server",
+    "transfer",
+}
+
+_COST_FIELDS = {
+    "comp_s",
+    "comm_s",
+    "serve_s",
+    "words_moved",
+    "words_served",
+    "messages",
+    "ops",
+}
+
+
+def _blocks_accesses(scope: ast.AST, *, include_self: bool) -> list[ast.Attribute]:
+    out = []
+    for node in own_scope_walk(scope):
+        if isinstance(node, ast.Attribute) and node.attr == "_blocks":
+            receiver = node.value
+            if (
+                not include_self
+                and isinstance(receiver, ast.Name)
+                and receiver.id == "self"
+            ):
+                continue
+            out.append(node)
+    return out
+
+
+def _has_charge_call(scope: ast.AST) -> bool:
+    for node in own_scope_walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            name = func.id if isinstance(func, ast.Name) else None
+            if (attr or name) in _CHARGE_NAMES:
+                return True
+    return False
+
+
+def _takes_proc(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+    return any(a.arg == "proc" for a in args)
+
+
+def check(tree: ast.AST, filename: str) -> list[LintDiagnostic]:
+    diags: list[LintDiagnostic] = []
+    owners = enclosing_function_names(tree)
+    basename = PurePath(filename).name
+
+    def add(rule: str, node: ast.AST, message: str) -> None:
+        diags.append(
+            LintDiagnostic(
+                rule=rule,
+                message=message,
+                file=filename,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                function=owners.get(node, "<module>"),
+            )
+        )
+
+    for fn in iter_functions(tree):
+        if not _takes_proc(fn):
+            continue
+        accesses = _blocks_accesses(fn, include_self=True)
+        if accesses and not _has_charge_call(fn):
+            add(
+                "COST400",
+                accesses[0],
+                f"{fn.name!r} takes `proc` and touches ._blocks but never "
+                "charges the cost model (no charge_*/transfer call)",
+            )
+
+    if basename not in _BLOCKS_EXEMPT_FILES:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "_blocks"
+                and not (isinstance(node.value, ast.Name) and node.value.id == "self")
+            ):
+                add(
+                    "COST401",
+                    node,
+                    "._blocks accessed directly; use GlobalArray.place() "
+                    "(free initial placement) or read/write (charged)",
+                )
+
+    if basename not in _COST_EXEMPT_FILES:
+        for node in ast.walk(tree):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in _COST_FIELDS
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "cost"
+                ):
+                    add(
+                        "COST402",
+                        target,
+                        f"cost counter .{target.attr} mutated directly; "
+                        "charge through Processor.charge_* instead",
+                    )
+    return diags

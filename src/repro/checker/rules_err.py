@@ -1,0 +1,124 @@
+"""ERR3xx: error-boundary hygiene rules.
+
+The library's contract (``repro.utils.errors``) is that every
+deliberate failure is a :class:`ReproError` subclass, so service and
+worker boundaries can forward one typed family over the wire.  Two
+things erode that contract silently: broad ``except`` blocks that
+swallow the evidence, and ``raise ValueError`` deep in library code
+that surfaces to a caller as an untyped builtin.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checker.astutil import (
+    dotted_name,
+    enclosing_function_names,
+    own_scope_walk,
+)
+from repro.checker.rules import LintDiagnostic, LintRule, register_rules
+
+register_rules(
+    LintRule(
+        "ERR301",
+        "broad except swallows the exception",
+        "warning",
+        "An `except Exception`/`except BaseException`/bare `except` "
+        "whose body neither re-raises nor uses the caught exception "
+        "hides real failures (including the typed replies a service "
+        "boundary owes its caller). Narrow the type, re-raise, or "
+        "consume the exception explicitly.",
+    ),
+    LintRule(
+        "ERR302",
+        "builtin exception raised instead of a ReproError",
+        "error",
+        "Raising a bare builtin (ValueError, RuntimeError, ...) breaks "
+        "the library contract that callers -- including the wire "
+        "protocol's error replies -- can catch ReproError alone. Raise "
+        "a typed subclass from repro.utils.errors.",
+    ),
+)
+
+_BROAD = {"Exception", "BaseException"}
+
+#: Builtins that should be ReproError subclasses when raised by library
+#: code.  Control-flow and programming-contract exceptions
+#: (StopIteration, NotImplementedError, AssertionError, ...) stay legal.
+_BUILTIN_RAISES = {
+    "Exception",
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "RuntimeError",
+    "OSError",
+    "IOError",
+}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for t in types:
+        name = dotted_name(t)
+        if name is not None and name.rsplit(".", 1)[-1] in _BROAD:
+            return True
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    for node in own_scope_walk(handler):
+        if isinstance(node, ast.Raise):
+            return False
+        if (
+            handler.name is not None
+            and isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id == handler.name
+        ):
+            return False
+    return True
+
+
+def check(tree: ast.AST, filename: str) -> list[LintDiagnostic]:
+    diags: list[LintDiagnostic] = []
+    owners = enclosing_function_names(tree)
+
+    def add(rule: str, node: ast.AST, message: str) -> None:
+        diags.append(
+            LintDiagnostic(
+                rule=rule,
+                message=message,
+                file=filename,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                function=owners.get(node, "<module>"),
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and _is_broad(node) and _swallows(node):
+            caught = "bare except" if node.type is None else ast.unparse(node.type)
+            add(
+                "ERR301",
+                node,
+                f"broad handler ({caught}) neither re-raises nor uses the "
+                "exception; failures vanish here",
+            )
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            name = dotted_name(target)
+            if name in _BUILTIN_RAISES:
+                add(
+                    "ERR302",
+                    node,
+                    f"raise {name}: library errors must be ReproError "
+                    "subclasses so boundaries can forward one typed family",
+                )
+    return diags

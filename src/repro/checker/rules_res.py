@@ -1,0 +1,224 @@
+"""RES2xx: resource-lifetime rules.
+
+The process-parallel runtime owns resources the garbage collector
+cannot reclaim for us: POSIX shared-memory segments persist in
+``/dev/shm`` until someone calls ``unlink``, and worker pools hold OS
+processes until terminated.  RES201 encodes the PR 4 bug shape: two
+segments created back to back outside any guard, so a failure creating
+the second leaked the first on every error path.
+
+A creation is *guarded* when the factory call is a ``with`` item, is
+wrapped by ``ExitStack.enter_context``/``callback``/``push``, or sits
+inside a ``try`` whose ``finally`` releases the bound name (for shared
+memory the ``finally`` must also ``unlink``, not just ``close`` --
+closing keeps the segment alive in ``/dev/shm``).  Assignments to
+attributes (``self._pool = ...``) are object-lifetime and out of scope
+for this file-local analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.checker.astutil import (
+    call_name,
+    iter_functions,
+    own_scope_walk,
+)
+from repro.checker.rules import LintDiagnostic, LintRule, register_rules
+
+register_rules(
+    LintRule(
+        "RES200",
+        "unguarded resource with no visible release",
+        "warning",
+        "A pool/socket-like resource is created outside with/ExitStack/"
+        "try-finally and this scope never releases it; processes or file "
+        "descriptors outlive the function on every path.",
+    ),
+    LintRule(
+        "RES201",
+        "shared-memory segment leaks on error paths",
+        "error",
+        "A SharedMemory/SharedNDArray segment is created outside with/"
+        "ExitStack/try-finally (or its finally never unlinks): any "
+        "exception between creation and teardown strands the segment in "
+        "/dev/shm until reboot.",
+    ),
+    LintRule(
+        "RES202",
+        "release does not post-dominate the acquire",
+        "warning",
+        "The resource's close/terminate sits in straight-line code, not "
+        "a finally/with: an exception between acquire and release skips "
+        "the teardown. Move the release to a finally or use a context "
+        "manager.",
+    ),
+)
+
+#: Factory shapes: last attribute path component(s) -> resource kind.
+_POOLISH = {"Pool", "ThreadPool", "PoolSupervisor"}
+_SOCKETISH = {"socket.socket", "socket.create_connection"}
+_SHM_METHODS = {"create", "from_array"}  # on a SharedNDArray-ish receiver
+
+_RELEASE_METHODS = {"close", "unlink", "terminate", "shutdown", "release", "join"}
+_GUARD_WRAPPERS = {"enter_context", "callback", "push"}
+
+
+@dataclass
+class _Candidate:
+    name: str
+    node: ast.AST  # the factory call, for the diagnostic location
+    kind: str  # "shm" | "pool" | "socket"
+    statement: ast.stmt
+
+
+def _factory_kind(call: ast.Call) -> str | None:
+    name = call_name(call)
+    if name is None:
+        return None
+    parts = name.split(".")
+    last = parts[-1]
+    if last == "SharedMemory":
+        create = next((kw.value for kw in call.keywords if kw.arg == "create"), None)
+        if isinstance(create, ast.Constant) and create.value is True:
+            return "shm"
+        return None
+    if last in _SHM_METHODS and len(parts) >= 2 and parts[-2] == "SharedNDArray":
+        return "shm"
+    if last in _POOLISH:
+        return "pool"
+    if name in _SOCKETISH:
+        return "socket"
+    return None
+
+
+def _release_calls(scope: ast.AST, name: str) -> list[ast.Call]:
+    """Calls of the form ``<name>.close()`` / ``.unlink()`` / ... in scope."""
+    out = []
+    for node in own_scope_walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASE_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            out.append(node)
+    return out
+
+
+def _nodes_under(roots: list[ast.stmt]) -> set[ast.AST]:
+    seen: set[ast.AST] = set()
+    for root in roots:
+        seen.update(own_scope_walk(root))
+    return seen
+
+
+def check(tree: ast.AST, filename: str) -> list[LintDiagnostic]:
+    diags: list[LintDiagnostic] = []
+
+    scopes: list[tuple[ast.AST, str]] = [(tree, "<module>")]
+    scopes += [(fn, fn.name) for fn in iter_functions(tree)]
+
+    for scope, scope_name in scopes:
+        body = getattr(scope, "body", [])
+        if not isinstance(body, list):
+            continue
+
+        # Statements lexically inside any try body / handler, keyed to
+        # that Try node, so the finally-guard test knows its finalbody.
+        guarding_try: dict[ast.AST, ast.Try] = {}
+        protected_nodes: set[ast.AST] = set()
+        for node in own_scope_walk(scope):
+            if isinstance(node, ast.Try) and node.finalbody:
+                for sub in _nodes_under(node.body):
+                    guarding_try.setdefault(sub, node)
+            if isinstance(node, ast.Try):
+                protected_nodes.update(_nodes_under(node.finalbody))
+                for handler in node.handlers:
+                    protected_nodes.update(_nodes_under(handler.body))
+
+        candidates: list[_Candidate] = []
+        for node in own_scope_walk(scope):
+            if not isinstance(node, ast.Assign):
+                continue
+            if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+                continue  # attribute/tuple targets: object lifetime or opaque
+            kind = None
+            if isinstance(node.value, ast.Call):
+                kind = _factory_kind(node.value)
+            if kind is None:
+                continue
+            candidates.append(_Candidate(node.targets[0].id, node.value, kind, node))
+
+        for cand in candidates:
+            # Guard 1: factory wrapped by enter_context()/callback()/push().
+            # (Those shapes never look like a direct assignment, so reaching
+            # here means the factory call itself was the assigned value.)
+            # Guard 2: inside a try whose finally releases the name.
+            guard = guarding_try.get(cand.node)
+            if guard is not None:
+                releases = [
+                    c
+                    for stmt in guard.finalbody
+                    for c in _release_calls_in(stmt, cand.name)
+                ]
+                if releases and (
+                    cand.kind != "shm"
+                    or any(c.func.attr == "unlink" for c in releases)
+                ):
+                    continue
+            releases = _release_calls(scope, cand.name)
+            straightline = [c for c in releases if c not in protected_nodes]
+            guarded_release = [c for c in releases if c in protected_nodes]
+            if guarded_release and guard is None and cand.kind != "shm":
+                # Released in someone's finally even though the acquire
+                # itself is outside that try: the shm case still leaks
+                # (creation can race the try), but for pools we accept it.
+                continue
+            if cand.kind == "shm":
+                rule, message = "RES201", (
+                    f"shared-memory segment {cand.name!r} is not guarded by "
+                    "with/ExitStack or a try whose finally unlinks it; an "
+                    "exception before teardown leaks it in /dev/shm"
+                )
+            elif straightline:
+                rule, message = "RES202", (
+                    f"{cand.name!r} is released only in straight-line code; "
+                    "an exception between acquire and release skips teardown"
+                )
+            elif not releases:
+                rule, message = "RES200", (
+                    f"{cand.kind} resource {cand.name!r} is created without "
+                    "with/ExitStack/try-finally and never released in this "
+                    "scope"
+                )
+            else:
+                continue
+            diags.append(
+                LintDiagnostic(
+                    rule=rule,
+                    message=message,
+                    file=filename,
+                    line=cand.node.lineno,
+                    col=cand.node.col_offset,
+                    function=scope_name,
+                )
+            )
+    return diags
+
+
+def _release_calls_in(stmt: ast.stmt, name: str) -> list[ast.Call]:
+    out = []
+    for node in own_scope_walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASE_METHODS
+        ):
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and receiver.id == name:
+                out.append(node)
+    return out

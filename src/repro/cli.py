@@ -9,9 +9,11 @@ Commands
 ``components``  label connected components; print statistics, optionally
                 write the label map / an ASCII rendering.
 ``machines``    list the available machine models.
-``check``       statically lint SPMD programs (rule IDs SPMD001...) and
-                optionally smoke-run the built-in programs under the
-                shadow-memory race detector.
+``check``       run the static-analysis engine over the repo: SPMD
+                split-phase lint plus the ASYNC/RES/ERR/COST rule
+                families, with ``--select``/``--ignore``, JSON/SARIF
+                output, a findings baseline, and an optional dynamic
+                smoke-run under the shadow-memory race detector.
 ``trace``       run a workload under the observability layer and export
                 a Chrome trace-event JSON (open in Perfetto /
                 ``chrome://tracing``) plus a metrics snapshot, on either
@@ -394,8 +396,10 @@ def _check_dynamic() -> list[str]:
 
 
 def cmd_check(args) -> int:
-    from repro.checker.lint import iter_python_files, lint_paths
-    from repro.checker.rules import RULES, format_catalog
+    from repro.checker import engine
+    from repro.checker.emitters import dump_json, to_json_payload, to_sarif
+    from repro.checker.lint import iter_python_files
+    from repro.checker.rules import format_catalog
 
     if args.list_rules:
         print(format_catalog())
@@ -404,22 +408,71 @@ def cmd_check(args) -> int:
     missing = [p for p in paths if not os.path.exists(p)]
     if missing:
         raise ReproError(f"no such path(s): {', '.join(missing)}")
-    n_files = sum(1 for _ in iter_python_files(paths))
-    diags = lint_paths(paths)
-    if args.select:
-        wanted = {r.strip().upper() for r in args.select.split(",")}
-        unknown = wanted - set(RULES)
-        if unknown:
-            raise ReproError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-        diags = [d for d in diags if d.rule in wanted]
-    for diag in diags:
-        print(diag.format())
+    select = engine.expand_selection(
+        args.select.split(",") if args.select else None, flag="--select"
+    )
+    ignore = engine.expand_selection(
+        args.ignore.split(",") if args.ignore else None, flag="--ignore"
+    )
+    scanned = {p.as_posix() for p in iter_python_files(paths)}
+    n_files = len(scanned)
+    diags = engine.analyze_paths(paths, select=select, ignore=ignore)
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        if os.path.exists(engine.DEFAULT_BASELINE):
+            baseline_path = engine.DEFAULT_BASELINE
+    if args.update_baseline:
+        target = baseline_path or engine.DEFAULT_BASELINE
+        engine.save_baseline(target, engine.baseline_from(diags))
+        print(f"baseline: wrote {len(diags)} finding(s) to {target}")
+        return 0
+    suppressed = 0
+    if baseline_path is not None:
+        result = engine.apply_baseline(
+            diags, engine.load_baseline(baseline_path), scanned=scanned
+        )
+        diags, suppressed = result.diags, result.suppressed
+        for file, rules in sorted(result.stale.items()):
+            # Judge staleness only for rules the current selection ran.
+            rules = {
+                r: n
+                for r, n in rules.items()
+                if (select is None or select.matches(r))
+                and not (ignore is not None and ignore.matches(r))
+            }
+            if not rules:
+                continue
+            listed = ", ".join(f"{r}x{n}" for r, n in sorted(rules.items()))
+            print(
+                f"baseline: stale allowance for {file} ({listed}); "
+                f"run --update-baseline to expire it"
+            )
+
     n_errors = sum(1 for d in diags if d.severity == "error")
     n_warnings = len(diags) - n_errors
-    print(
-        f"checked {n_files} file(s): {n_errors} error(s), "
-        f"{n_warnings} warning(s)"
-    )
+    if args.format == "text":
+        for diag in diags:
+            print(diag.format())
+        summary = f"checked {n_files} file(s): {n_errors} error(s), " f"{n_warnings} warning(s)"
+        if suppressed:
+            summary += f", {suppressed} baselined"
+        print(summary)
+    else:
+        if args.format == "json":
+            payload = to_json_payload(diags, files_checked=n_files, suppressed=suppressed)
+        else:
+            payload = to_sarif(diags, tool_version=_package_version())
+        text = dump_json(payload)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+            print(
+                f"wrote {args.format} report ({len(diags)} finding(s), "
+                f"{suppressed} baselined) to {args.output}"
+            )
+        else:
+            print(text, end="")
     if args.dynamic:
         ran = _check_dynamic()
         print(
@@ -788,7 +841,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     chk = subs.add_parser(
         "check",
-        help="lint SPMD programs (static) and smoke-run the race detector",
+        help="run the static-analysis engine (SPMD/ASYNC/RES/ERR/COST) "
+        "and optionally smoke-run the race detector",
     )
     chk.add_argument(
         "paths",
@@ -798,7 +852,40 @@ def build_parser() -> argparse.ArgumentParser:
     chk.add_argument(
         "--select",
         metavar="IDS",
-        help="comma-separated rule IDs to report (e.g. SPMD001,SPMD003)",
+        help="comma-separated families or rule IDs to report "
+        "(e.g. ASYNC,RES or SPMD001,SPMD003)",
+    )
+    chk.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated families or rule IDs to suppress",
+    )
+    chk.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default text)",
+    )
+    chk.add_argument(
+        "-o",
+        "--output",
+        help="write json/sarif output to a file instead of stdout",
+    )
+    chk.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of grandfathered findings "
+        "(default: .repro-checker-baseline.json when it exists)",
+    )
+    chk.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    chk.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit",
     )
     chk.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"

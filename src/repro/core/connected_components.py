@@ -200,7 +200,7 @@ def parallel_components(
     colors = GlobalArray(machine, q * r, dtype=np.int64, name="colors")
     labels = GlobalArray(machine, q * r, dtype=np.int64, name="labels")
     for pid in range(p):
-        colors._blocks[pid][:] = tiles[pid].ravel()  # initial placement, free
+        colors.place(pid, tiles[pid])  # initial placement, free
 
     # ---- 1. initial per-tile labeling -----------------------------------
     tile_pixels = q * r

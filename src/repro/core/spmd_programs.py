@@ -180,7 +180,7 @@ def spmd_histogram(
                 handles.append((r, ctx.prefetch(R, r)))
             yield ctx.sync()
             parts = [None] * len(handles)
-            for idx, (r, handle) in enumerate(handles):
+            for idx, (_r, handle) in enumerate(handles):
                 parts[idx] = handle.value
             return np.concatenate(parts)
         yield ctx.barrier()

@@ -57,7 +57,7 @@ def darpa_like(n: int = 512, k: int = 256, seed: int = 1995) -> np.ndarray:
     # Mobile parts: rectangles and ellipses at distinct mid/high levels,
     # sized from large plates down to small fittings.
     n_parts = max(24, n // 4)
-    for part in range(n_parts):
+    for _part in range(n_parts):
         level = int(rng.integers(k // 4, k - 1))
         cy = int(rng.integers(0, n))
         cx = int(rng.integers(0, n))
@@ -76,7 +76,7 @@ def darpa_like(n: int = 512, k: int = 256, seed: int = 1995) -> np.ndarray:
 
     # Thin connecting rods (the mobile's strings): 1-2 pixel wide lines.
     n_rods = max(8, n // 32)
-    for rod in range(n_rods):
+    for _rod in range(n_rods):
         level = int(rng.integers(k // 2, k))
         c0 = int(rng.integers(0, n))
         length = int(rng.integers(n // 8, n // 2))

@@ -43,8 +43,16 @@ class SharedNDArray:
         nbytes = int(np.prod(shape)) * dtype.itemsize
         if nbytes <= 0:
             raise ValidationError(f"cannot share empty array of shape {shape}")
-        shm = shared_memory.SharedMemory(create=True, size=nbytes)
-        return cls(shm, shape, dtype, owner=True)
+        # Ownership of the raw segment transfers to the instance (whose
+        # __exit__ tears it down); if constructing the view fails we are
+        # still on the hook for the segment, hence the explicit unwind.
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)  # check: ignore[RES201]
+        try:
+            return cls(shm, shape, dtype, owner=True)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
 
     @classmethod
     def from_array(cls, arr: np.ndarray) -> "SharedNDArray":

@@ -1,6 +1,5 @@
 """Tests for Machine/Processor: phases, cost aggregation, transfers."""
 
-import numpy as np
 import pytest
 
 from repro.bdm import GlobalArray, Machine

@@ -145,7 +145,7 @@ class TestWolffCluster:
 
         spins = np.ones((12, 12), dtype=np.int32)
         spins[6:, :] = 2
-        for trial in range(5):
+        for _trial in range(5):
             mask = wolff_cluster(spins, (2, 2), beta=0.7, rng=rng)
             assert not mask[6:, :].any()
 

@@ -138,10 +138,6 @@ class TestReportFlag:
 
 class TestVerifyCommand:
     def test_roundtrip_ok(self, capsys, tmp_path):
-        from repro.analysis.regions import compact_labels
-        from repro.baselines import sequential_components
-        from repro.images import binary_test_image
-
         img_path = tmp_path / "img.pbm"
         run_cli(capsys, "generate", "--pattern", "8", "--size", "64", str(img_path))
         lab_path = tmp_path / "labels.pgm"

@@ -9,7 +9,6 @@ from repro.images import (
     binary_test_image,
     checkerboard,
     darpa_like,
-    random_greyscale,
 )
 from repro.machines import CM5, IDEAL
 from repro.utils.errors import ValidationError

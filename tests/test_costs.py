@@ -1,6 +1,5 @@
 """Direct tests for the cost-accounting data structures."""
 
-import numpy as np
 import pytest
 
 from repro.bdm.cost import CostCounter, MachineReport, PhaseRecord

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.fitting import ComplexityFit, fit_complexity_model, fit_power_law
+from repro.analysis.fitting import fit_complexity_model, fit_power_law
 from repro.core.connected_components import parallel_components
 from repro.core.histogram import parallel_histogram
 from repro.images import binary_test_image, random_greyscale

@@ -123,7 +123,7 @@ class TestBfsReferenceEquivalence:
     @pytest.mark.parametrize("connectivity", [4, 8])
     def test_mapping_equals_bfs(self, connectivity, rng):
         """The vectorized mapping update equals the paper's BFS relabel."""
-        for trial in range(10):
+        for _trial in range(10):
             img = (rng.random((8, 8)) < 0.5).astype(np.int32)
             lab = run_label(img, connectivity=connectivity, label_stride=1000)
             hooks = create_tile_hooks(lab)

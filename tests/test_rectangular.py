@@ -18,7 +18,6 @@ from repro.core.connected_components import parallel_components
 from repro.core.equalization import parallel_equalize
 from repro.core.histogram import parallel_histogram
 from repro.core.spmd_components import spmd_components
-from repro.images import random_greyscale
 from repro.machines import CM5, IDEAL
 from repro.runtime import components as rt_components
 from repro.runtime import histogram as rt_histogram

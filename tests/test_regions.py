@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.analysis.regions import (
-    RegionTable,
     compact_labels,
     filter_small_regions,
     region_table,

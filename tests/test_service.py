@@ -6,7 +6,6 @@ so pool lifetimes stay scoped to the test.
 """
 
 import asyncio
-import time
 
 import numpy as np
 import pytest

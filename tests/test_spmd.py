@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bdm import GlobalArray, Machine, transpose
-from repro.bdm.spmd import Handle, SpmdContext, run_spmd
+from repro.bdm.spmd import SpmdContext, run_spmd
 from repro.machines import CM5, IDEAL
 from repro.utils.errors import ConfigurationError, HazardError, ValidationError
 

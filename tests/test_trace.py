@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.bdm import GlobalArray, Machine, Tracer
+from repro.bdm import Machine, Tracer
 from repro.core.connected_components import parallel_components
 from repro.core.histogram import parallel_histogram
 from repro.images import binary_test_image, random_greyscale
