@@ -11,6 +11,7 @@ ASYNC    asyncio hygiene in the serving layer                rules_async
 RES      resource lifetime (shm segments, pools, sockets)    rules_res
 ERR      error-boundary hygiene (ReproError contract)        rules_err
 COST     BDM cost-model consistency (charging sites)         rules_cost
+OBS      observability hygiene (span lifetime, emit guards)  rules_obs
 =======  ==================================================  =========
 
 Selection (``--select``/``--ignore``) accepts family names and full
@@ -45,7 +46,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from repro.checker import rules_async, rules_cost, rules_err, rules_res
+from repro.checker import rules_async, rules_cost, rules_err, rules_obs, rules_res
 from repro.checker.lint import (
     _find_programs,
     _ProgramLinter,
@@ -71,6 +72,7 @@ CHECKERS: dict[str, Checker] = {
     "RES": rules_res.check,
     "ERR": rules_err.check,
     "COST": rules_cost.check,
+    "OBS": rules_obs.check,
 }
 
 FAMILIES: tuple[str, ...] = tuple(CHECKERS)

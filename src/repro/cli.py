@@ -18,7 +18,9 @@ Commands
                 a Chrome trace-event JSON (open in Perfetto /
                 ``chrome://tracing``) plus a metrics snapshot, on either
                 the simulated machine or the real multiprocessing
-                runtime.
+                runtime; ``--follow TRACE_ID`` instead prints one
+                request's cross-process span tree from a live server's
+                ``trace`` control op or an exported trace file.
 ``chaos``       run the seeded single-fault chaos matrix against a
                 workload and report each plan's recovery outcome
                 (``histogram``/``components`` also accept a
@@ -26,8 +28,14 @@ Commands
 ``serve``       run the async batch-serving layer on a unix socket:
                 micro-batched dispatch onto a shared worker pool,
                 content-addressed result caching, bounded queues with
-                load shedding (``--selftest`` runs an in-process
-                round-trip and exits).
+                load shedding, per-request tracing (``--trace-out``),
+                and a Prometheus-style metrics plane
+                (``--metrics-interval`` writes a JSON time series;
+                ``--selftest`` runs an in-process round-trip and exits).
+``top``         live terminal dashboard over a running server: request
+                rates, queue depth, cache hit-rate, and per-op
+                p50/p95/p99 latency, refreshed from the ``stats`` and
+                ``metrics`` control ops.
 """
 
 from __future__ import annotations
@@ -482,7 +490,92 @@ def cmd_check(args) -> int:
     return 1 if n_errors else 0
 
 
+def _follow_trace(args) -> int:
+    """Print one trace's span tree from a trace file or a live server."""
+    import json as _json
+
+    if args.socket:
+        import asyncio
+
+        from repro.service import request_over_socket
+
+        resp = asyncio.run(request_over_socket(args.socket, {"op": "trace"}))
+        if not resp.get("ok"):
+            err = resp.get("error", {})
+            raise ReproError(f"trace op failed: {err.get('message', err)}")
+        obj = resp["result"]
+        source = args.socket
+    else:
+        path = args.trace_file or args.trace_out
+        try:
+            with open(path) as fh:
+                obj = _json.load(fh)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot read trace file {path!r} ({exc}); "
+                f"use --socket for a live server or --trace-file for an export"
+            ) from None
+        source = path
+    events = obj.get("traceEvents", [])
+    lanes = {
+        (e.get("pid"), e.get("tid")): e.get("args", {}).get("name")
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    spans = [
+        e for e in events
+        if e.get("ph") == "X"
+        and str(e.get("args", {}).get("trace", "")).startswith(args.follow)
+    ]
+    if not spans:
+        known = sorted({
+            str(e["args"]["trace"])[:8]
+            for e in events
+            if e.get("ph") == "X" and e.get("args", {}).get("trace")
+        })
+        raise ReproError(
+            f"no spans for trace {args.follow!r} in {source}; "
+            f"known trace(s): {', '.join(known) or 'none'}"
+        )
+    by_id = {e["args"]["span"]: e for e in spans if e["args"].get("span")}
+    children: dict = {}
+    roots = []
+    for e in sorted(spans, key=lambda e: e.get("ts", 0.0)):
+        parent = e["args"].get("parent")
+        if parent in by_id:
+            children.setdefault(parent, []).append(e)
+        else:
+            roots.append(e)
+    t_base = min(e.get("ts", 0.0) for e in spans)
+    trace_id = spans[0]["args"]["trace"]
+    total_ms = max(
+        e.get("ts", 0.0) + e.get("dur", 0.0) for e in spans
+    ) / 1e3 - t_base / 1e3
+    print(f"trace {trace_id}: {len(spans)} span(s), {total_ms:.2f} ms ({source})")
+
+    def _print(e, prefix: str, last: bool) -> None:
+        lane = lanes.get((e.get("pid"), e.get("tid")), "")
+        extra = f"  links={len(e['args']['links'])}" if e["args"].get("links") else ""
+        if e["args"].get("coalesced_onto"):
+            extra += f"  coalesced_onto={e['args']['coalesced_onto']}"
+        branch = "`- " if last else "|- "
+        print(
+            f"{prefix}{branch}{e['name']}  [{lane}]  "
+            f"{e.get('dur', 0.0) / 1e3:.2f} ms @ "
+            f"{(e.get('ts', 0.0) - t_base) / 1e3:+.2f} ms{extra}"
+        )
+        kids = children.get(e["args"].get("span"), [])
+        for i, kid in enumerate(kids):
+            _print(kid, prefix + ("   " if last else "|  "), i == len(kids) - 1)
+
+    for i, root in enumerate(roots):
+        _print(root, "", i == len(roots) - 1)
+    return 0
+
+
 def cmd_trace(args) -> int:
+    if args.follow:
+        return _follow_trace(args)
     image = _load_image(args)
     if args.engine == "sim":
         from repro.bdm.machine import Machine
@@ -676,12 +769,12 @@ def cmd_chaos(args) -> int:
     return 0
 
 
-def _serve_selftest(config) -> int:
+def _serve_selftest(config, recorder=None, trace_out=None) -> int:
     """In-process round-trip: batched requests, then a cache hit on repeat."""
     from repro.images import darpa_like
     from repro.service import Client
 
-    with Client(config) as client:
+    with Client(config, recorder=recorder) as client:
         image = darpa_like(64, 256)
         first = client.submit("histogram", image, k=256)
         again = client.submit("histogram", image, k=256)
@@ -694,6 +787,12 @@ def _serve_selftest(config) -> int:
     cache = snap.get("cache", {})
     if config.cache and not cache.get("hits"):
         raise ReproError("selftest: repeated request did not hit the cache")
+    if recorder is not None and trace_out:
+        from repro.obs import write_chrome_trace
+
+        recorder.drain()
+        write_chrome_trace(trace_out, recorder.log)
+        print(f"trace written to {trace_out} ({len(recorder.log.spans)} spans)")
     print(
         f"selftest OK: {snap['service']['completed']} request(s) served, "
         f"{snap['batcher']['batches']} batch(es), "
@@ -704,12 +803,17 @@ def _serve_selftest(config) -> int:
 
 def cmd_serve(args) -> int:
     import asyncio
+    import contextlib
 
     from repro.obs import WallRecorder, wall_metrics, write_metrics
     from repro.service import ServiceConfig, ServiceServer
 
     plan = _load_fault_plan(args)
-    recorder = WallRecorder() if (args.metrics_out or plan is not None) else None
+    recorder = (
+        WallRecorder(source="repro-serve")
+        if (args.metrics_out or args.trace_out or plan is not None)
+        else None
+    )
     config = ServiceConfig(
         workers=args.workers,
         kernel=args.kernel,
@@ -722,9 +826,10 @@ def cmd_serve(args) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         fault_plan=plan,
+        metrics=not args.no_metrics,
     )
     if args.selftest:
-        return _serve_selftest(config)
+        return _serve_selftest(config, recorder, args.trace_out)
     if not args.socket:
         raise ReproError("provide --socket PATH (or use --selftest)")
 
@@ -739,12 +844,29 @@ def cmd_serve(args) -> int:
             f"({config.workers} worker(s), kernel={config.kernel}, "
             f"batch<={config.max_batch}, window={config.max_delay_s * 1e3:.1f}ms, "
             f"queue depth {config.queue_depth}, "
-            f"cache={'on' if config.cache else 'off'})",
+            f"cache={'on' if config.cache else 'off'}, "
+            f"metrics={'on' if config.metrics else 'off'})",
             flush=True,
         )
+        samples: list[dict] = []
+        writer_task = None
+        if args.metrics_interval and service.metrics is not None:
+            from repro.obs import write_timeseries
+
+            async def _write_series() -> None:
+                while True:
+                    await asyncio.sleep(args.metrics_interval)
+                    samples.append(service.metrics.snapshot())
+                    write_timeseries(args.metrics_series, samples)
+
+            writer_task = asyncio.ensure_future(_write_series())
         try:
             await server.serve_until_shutdown()
         finally:
+            if writer_task is not None:
+                writer_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await writer_task
             snap = service.snapshot()
             print(
                 f"served {snap['service']['completed']} request(s) in "
@@ -752,12 +874,34 @@ def cmd_serve(args) -> int:
                 f"shed {snap.get('admission', {}).get('shed', 0)}",
                 flush=True,
             )
+            if args.metrics_interval and service.metrics is not None:
+                from repro.obs import write_timeseries
+
+                samples.append(service.metrics.snapshot())
+                write_timeseries(args.metrics_series, samples)
+                print(
+                    f"metrics time series ({len(samples)} sample(s)) "
+                    f"written to {args.metrics_series}",
+                    flush=True,
+                )
             if recorder is not None and args.metrics_out:
                 write_metrics(
                     args.metrics_out,
                     wall_metrics(recorder.log, workers=len(recorder.worker_lanes)),
                 )
                 print(f"metrics written to {args.metrics_out}", flush=True)
+            if recorder is not None and args.trace_out:
+                from repro.obs import write_chrome_trace
+
+                recorder.drain()
+                write_chrome_trace(args.trace_out, recorder.log)
+                print(
+                    f"trace written to {args.trace_out} "
+                    f"({len(recorder.log.spans)} spans; open in Perfetto, or "
+                    f"follow one request with "
+                    f"'repro trace --follow <trace_id> --trace-file {args.trace_out}')",
+                    flush=True,
+                )
 
     try:
         asyncio.run(_serve())
@@ -767,6 +911,87 @@ def cmd_serve(args) -> int:
         if os.path.exists(args.socket):
             os.unlink(args.socket)
     return 0
+
+
+def _gauge_value(families: dict, name: str) -> float:
+    fam = families.get(name)
+    if not fam:
+        return 0.0
+    return sum(s["value"] for s in fam["samples"])
+
+
+def _render_top(snap: dict, families: dict, *, clear: bool) -> None:
+    """One frame of the live dashboard from a stats + metrics sample."""
+    svc = snap.get("service", {})
+    adm = snap.get("admission", {})
+    bat = snap.get("batcher", {})
+    cache = snap.get("cache", {})
+    execu = snap.get("executor", {})
+    if clear:
+        print("\x1b[2J\x1b[H", end="")
+    print(
+        f"requests {svc.get('requests', 0)}  "
+        f"(ok {svc.get('completed', 0)}, err {svc.get('errors', 0)})   "
+        f"in-flight {_gauge_value(families, 'repro_inflight_requests'):.0f}   "
+        f"queue depth {_gauge_value(families, 'repro_queue_depth'):.0f} "
+        f"(hwm {adm.get('depth_highwater', 0)})"
+    )
+    print(
+        f"cache: hits {cache.get('hits', 0)} misses {cache.get('misses', 0)} "
+        f"hit-rate {cache.get('hit_rate', 0.0) * 100:.1f}%   "
+        f"coalesced {svc.get('coalesced', 0)}   "
+        f"shed {adm.get('shed', 0)}   expired {adm.get('expired', 0)}"
+    )
+    print(
+        f"batches {bat.get('batches', 0)} "
+        f"(mean {bat.get('mean_batch', 0.0):.1f}, max {bat.get('max_batch', 0)})   "
+        f"degraded {execu.get('degraded', 0)}   "
+        f"respawns {execu.get('respawns', 0)}"
+    )
+    latency = snap.get("latency", {})
+    if latency:
+        print(f"{'latency (ms)':<16} {'count':>8} {'p50':>8} {'p95':>8} {'p99':>8}")
+        for op, row in sorted(latency.items()):
+            print(
+                f"  {op:<14} {row['count']:>8} {row['p50_ms']:>8.2f} "
+                f"{row['p95_ms']:>8.2f} {row['p99_ms']:>8.2f}"
+            )
+
+
+def cmd_top(args) -> int:
+    import asyncio
+    import time as _time
+
+    from repro.obs import parse_prometheus_text
+    from repro.service import request_over_socket
+
+    async def _sample() -> tuple[dict, dict]:
+        stats = await request_over_socket(args.socket, {"op": "stats"})
+        metrics = await request_over_socket(args.socket, {"op": "metrics"})
+        for resp, what in ((stats, "stats"), (metrics, "metrics")):
+            if not resp.get("ok"):
+                err = resp.get("error", {})
+                raise ReproError(f"{what} op failed: {err.get('message', err)}")
+        return stats["result"], parse_prometheus_text(metrics["result"])
+
+    frames = args.count if args.count > 0 else None
+    i = 0
+    try:
+        while True:
+            snap, families = asyncio.run(_sample())
+            clear = frames != 1 and not args.no_clear
+            _render_top(snap, families, clear=clear)
+            print(
+                f"-- {args.socket}  interval {args.interval:g}s  "
+                f"frame {i + 1}{f'/{frames}' if frames else ''}",
+                flush=True,
+            )
+            i += 1
+            if frames is not None and i >= frames:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
 
 
 def cmd_machines(args) -> int:
@@ -925,6 +1150,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the (server, mover) communication matrix (sim engine)",
     )
+    trc.add_argument(
+        "--follow",
+        metavar="TRACE_ID",
+        help="print one request's span tree (id or unique prefix) instead of "
+        "running a workload; reads spans from --socket or --trace-file",
+    )
+    trc.add_argument(
+        "--socket", metavar="PATH",
+        help="with --follow: fetch the span log from a live server's "
+        "'trace' control op",
+    )
+    trc.add_argument(
+        "--trace-file", metavar="TRACE.json",
+        help="with --follow: read spans from a Chrome-trace export "
+        "(default: the --trace-out path)",
+    )
     trc.set_defaults(func=cmd_trace, trace_out="trace.json")
 
     cha = subs.add_parser(
@@ -1035,7 +1276,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.json",
         help="write a metrics snapshot (service:* counters) on shutdown",
     )
+    srv.add_argument(
+        "--trace-out",
+        metavar="TRACE.json",
+        help="export the request span tree as Chrome trace-event JSON on "
+        "shutdown (also enables tracing for --selftest)",
+    )
+    srv.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable the metrics registry (the 'metrics' control op will "
+        "return an error)",
+    )
+    srv.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="append a metrics snapshot to --metrics-series every SECONDS "
+        "(default 0 = off)",
+    )
+    srv.add_argument(
+        "--metrics-series",
+        metavar="OUT.json",
+        default="metrics_series.json",
+        help="JSON time-series file for --metrics-interval "
+        "(default metrics_series.json)",
+    )
     srv.set_defaults(func=cmd_serve)
+
+    top = subs.add_parser(
+        "top",
+        help="live terminal dashboard over a running server's stats + metrics",
+    )
+    top.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix-domain socket of the server to watch",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh period in seconds (default 1.0)",
+    )
+    top.add_argument(
+        "--count", type=int, default=0,
+        help="number of frames to render, 0 = until interrupted (default 0)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (pipe-friendly)",
+    )
+    top.set_defaults(func=cmd_top)
 
     mach = subs.add_parser("machines", help="list machine models")
     mach.set_defaults(func=cmd_machines)

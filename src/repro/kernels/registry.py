@@ -22,9 +22,11 @@ Selection precedence: an explicit ``backend=`` argument, else the
 
 from __future__ import annotations
 
+import functools
 import os
 from typing import Callable
 
+from repro.obs import trace as _trace
 from repro.utils.errors import ValidationError
 
 #: Environment variable consulted when no explicit backend is given.
@@ -66,16 +68,42 @@ def resolve_backend(backend: str | None = None) -> str:
     return backend
 
 
+@functools.lru_cache(maxsize=None)
+def _traced(name: str, backend: str) -> Callable:
+    """A trace-aware wrapper over the registered kernel function.
+
+    When a request trace context is active (service requests propagate
+    one into the worker, see :mod:`repro.obs.trace`), every kernel call
+    records a ``kernel:<name>`` span parented under the task span.
+    Untraced callers pay a single ``is None`` check.
+    """
+    fn = _REGISTRY[(name, backend)]
+    span_name = f"kernel:{name}"
+
+    @functools.wraps(fn)
+    def _dispatch(*args, **kwargs):
+        if _trace.current() is None:
+            return fn(*args, **kwargs)
+        with _trace.traced_span(span_name, backend=backend):
+            return fn(*args, **kwargs)
+
+    return _dispatch
+
+
 def get(name: str, backend: str | None = None) -> Callable:
-    """Look up kernel ``name`` for ``backend`` (resolved per precedence)."""
+    """Look up kernel ``name`` for ``backend`` (resolved per precedence).
+
+    The returned callable is the registered function behind a
+    trace-dispatch shim; its behavior (and bit-identity across
+    backends) is unchanged.
+    """
     backend = resolve_backend(backend)
-    try:
-        return _REGISTRY[(name, backend)]
-    except KeyError:
+    if (name, backend) not in _REGISTRY:
         known = sorted({n for n, _ in _REGISTRY})
         raise ValidationError(
             f"unknown kernel {name!r} for backend {backend!r}; known kernels: {known}"
-        ) from None
+        )
+    return _traced(name, backend)
 
 
 def kernel_names() -> list[str]:

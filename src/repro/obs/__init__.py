@@ -33,9 +33,11 @@ from repro.obs.events import (
     CAT_BARRIER,
     CAT_FAULT,
     CAT_PHASE,
+    CAT_REQUEST,
     CAT_ROUND,
     CAT_SETUP,
     CAT_TASK,
+    CLIENT_REQUEST,
     FAULT_DEGRADE,
     FAULT_FAILOVER,
     FAULT_GIVEUP,
@@ -52,7 +54,9 @@ from repro.obs.events import (
     SVC_CACHE_MISS,
     SVC_DEGRADED,
     SVC_EXPIRED,
+    SVC_QUEUE_SPAN,
     SVC_QUEUE_WAIT,
+    SVC_REQUEST,
     SVC_SHED,
     Count,
     EventLog,
@@ -61,8 +65,18 @@ from repro.obs.events import (
 )
 from repro.obs.export import chrome_trace, validate_chrome_trace, write_chrome_trace
 from repro.obs.metrics import sim_metrics, wall_metrics, write_metrics
-from repro.obs.runtime import WallRecorder
+from repro.obs.registry import (
+    TIMESERIES_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+    write_timeseries,
+)
+from repro.obs.runtime import SpanHandle, WallRecorder
 from repro.obs.sim import MachineRecorder, comm_heatmap
+from repro.obs.trace import TraceContext, set_span_sink, trace_args, traced_span
 
 __all__ = [
     "Span",
@@ -75,6 +89,10 @@ __all__ = [
     "CAT_ROUND",
     "CAT_SETUP",
     "CAT_FAULT",
+    "CAT_REQUEST",
+    "CLIENT_REQUEST",
+    "SVC_REQUEST",
+    "SVC_QUEUE_SPAN",
     "FAULT_TIMEOUT",
     "FAULT_RETRY",
     "FAULT_RESPAWN",
@@ -96,6 +114,18 @@ __all__ = [
     "MachineRecorder",
     "comm_heatmap",
     "WallRecorder",
+    "SpanHandle",
+    "TraceContext",
+    "set_span_sink",
+    "trace_args",
+    "traced_span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TIMESERIES_SCHEMA",
+    "parse_prometheus_text",
+    "write_timeseries",
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",

@@ -31,6 +31,7 @@ CAT_TASK = "task"        # a worker task in the real runtime
 CAT_ROUND = "round"      # a driver-side merge round / pool dispatch
 CAT_SETUP = "setup"      # shared-memory / pool setup
 CAT_FAULT = "fault"      # fault-injection / recovery events
+CAT_REQUEST = "request"  # one traced service request's span tree
 
 #: Instant/counter names emitted by the fault-recovery machinery
 #: (:mod:`repro.runtime.dispatch` on the wall clock, the simulator's
@@ -52,6 +53,9 @@ FAULT_FAILOVER = "fault:failover"        # sim: the shadow took over
 #: cache hit/miss/eviction tallies.  Instants: load-shedding and
 #: queued-deadline expiry decisions, with provenance in ``args``.
 SVC_BATCH = "service:batch"              # span: one coalesced pool dispatch
+CLIENT_REQUEST = "client:request"        # span: one wire request, socket edge
+SVC_REQUEST = "service:request"          # span: one submit() inside the service
+SVC_QUEUE_SPAN = "service:queue"         # span: admission-to-batch queue wait
 SVC_BATCH_SIZE = "service:batch-size"    # count: requests in that dispatch
 SVC_QUEUE_WAIT = "service:queue-wait"    # count: seconds a request queued
 SVC_SHED = "service:shed"                # instant: request shed at admission

@@ -118,9 +118,11 @@ def validate_chrome_trace(obj) -> None:
     * ``traceEvents`` is a list of dicts, each with ``ph`` and ``pid``,
     * non-metadata events carry a numeric ``ts`` and complete (``X``)
       events a numeric ``dur``, a ``tid`` and a ``name``,
-    * on every ``(pid, tid)`` track the complete spans are
-      non-overlapping (barrier waits, phases, and worker tasks are
-      intervals on a single timeline per processor).
+    * on every ``(pid, tid)`` track the complete spans either follow
+      each other or **nest** (a request span may contain its queue and
+      batch child spans); *partially* overlapping spans -- one starts
+      inside another but ends outside it -- have no tree structure and
+      are rejected.
     """
     try:
         obj = json.loads(json.dumps(obj, allow_nan=False))
@@ -152,10 +154,18 @@ def validate_chrome_trace(obj) -> None:
                 (float(ev["ts"]), float(ev["dur"]))
             )
     for (pid, tid), spans in tracks.items():
-        spans.sort()
-        for (t0, d0), (t1, _d1) in zip(spans, spans[1:]):
-            if t1 < t0 + d0 - _EPS_US:
+        # Sort by start, longest first at equal starts, and sweep with a
+        # stack of open intervals: each span must start after the top of
+        # the stack ends (sibling) or end within it (nested child).
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[tuple[float, float]] = []
+        for t0, d0 in spans:
+            while stack and t0 >= stack[-1][0] + stack[-1][1] - _EPS_US:
+                stack.pop()
+            if stack and t0 + d0 > stack[-1][0] + stack[-1][1] + _EPS_US:
+                p0, pd = stack[-1]
                 raise ValidationError(
                     f"overlapping spans on track pid={pid} tid={tid}: "
-                    f"[{t0}, {t0 + d0}) and [{t1}, ...)"
+                    f"[{t0}, {t0 + d0}) partially overlaps [{p0}, {p0 + pd})"
                 )
+            stack.append((t0, d0))

@@ -1,0 +1,208 @@
+"""Distributed request tracing: contexts, propagation, and span sinks.
+
+A *trace* is one request's journey through the service tier: the client
+mints a :class:`TraceContext` (``trace_id``/``span_id``/``parent_id``),
+ships it in the ndjson wire envelope, and every layer that does work on
+the request's behalf records a span carrying the context's ids -- so a
+single request yields one connected span tree even though its spans are
+produced by the socket handler, the batcher coroutine, a pool worker in
+another process, and the kernel underneath it.
+
+Propagation has two legs:
+
+* **In-process** (driver side) the current context lives in a
+  :mod:`contextvars` variable: :func:`activate` installs a context for
+  a scope, :func:`current` reads it, and :func:`traced_span` records a
+  child span through the installed *span sink* (see
+  :func:`set_span_sink`).  asyncio tasks inherit contextvars, so the
+  context follows a request through ``await`` boundaries for free.
+* **Cross-process** the context rides the task payload (the wire form
+  of :meth:`TraceContext.to_wire`); the worker re-activates it, and
+  worker spans flow back through the :class:`~repro.obs.runtime.
+  WallRecorder` queue with the trace ids in their ``args`` -- the ids,
+  not the contextvar, are what cross the process boundary.
+
+Everything here is a no-op when no context is active *and* when no sink
+is installed, so untraced hot paths pay one ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.obs.events import CAT_TASK
+from repro.utils.errors import ValidationError
+
+#: Hex-digit lengths of the wire ids (128-bit trace, 64-bit span).
+TRACE_ID_HEX = 32
+SPAN_ID_HEX = 16
+
+_HEX = set("0123456789abcdef")
+
+#: Id source: a dedicated urandom-seeded PRNG.  Trace ids need to be
+#: collision-resistant, not unpredictable, and ``getrandbits`` is a
+#: single C call -- an order of magnitude cheaper than ``secrets`` on
+#: the per-request mint path (and what OpenTelemetry SDKs do too).
+#: Forked pool workers would inherit the parent's PRNG state and mint
+#: colliding span ids, so the child reseeds from the OS.
+_IDS = random.Random()
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_IDS.seed)
+
+
+def _check_id(field: str, value: str, length: int) -> str:
+    if (
+        not isinstance(value, str)
+        or len(value) != length
+        or not set(value) <= _HEX
+    ):
+        raise ValidationError(
+            f"trace context {field!r} must be {length} lowercase hex digits"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node of a request's span tree, in OpenTelemetry-style ids.
+
+    ``trace_id`` names the whole tree, ``span_id`` this node, and
+    ``parent_id`` the node that caused it (``None`` at the root).
+    Contexts are immutable; descending a level goes through
+    :meth:`child`, which keeps the trace id and re-parents.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A fresh root context with random ids."""
+        return cls(
+            trace_id=f"{_IDS.getrandbits(128):032x}",
+            span_id=f"{_IDS.getrandbits(64):016x}",
+        )
+
+    def child(self) -> "TraceContext":
+        """A child context: same trace, new span, parented here."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=f"{_IDS.getrandbits(64):016x}",
+            parent_id=self.span_id,
+        )
+
+    def to_wire(self) -> dict:
+        """The JSON-encodable wire form carried in the request envelope."""
+        out = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        return out
+
+    @classmethod
+    def from_wire(cls, obj) -> "TraceContext":
+        """Parse and validate a wire-form context; raises on junk."""
+        if not isinstance(obj, dict):
+            raise ValidationError("'trace' must be an object")
+        unknown = set(obj) - {"trace_id", "span_id", "parent_id"}
+        if unknown:
+            raise ValidationError(
+                f"unknown trace context field(s): {sorted(unknown)}"
+            )
+        trace_id = _check_id("trace_id", obj.get("trace_id"), TRACE_ID_HEX)
+        span_id = _check_id("span_id", obj.get("span_id"), SPAN_ID_HEX)
+        parent = obj.get("parent_id")
+        if parent is not None:
+            parent = _check_id("parent_id", parent, SPAN_ID_HEX)
+        return cls(trace_id=trace_id, span_id=span_id, parent_id=parent)
+
+    def span_args(self) -> dict:
+        """The ids as span ``args`` (what exporters and viewers see)."""
+        out = {"trace": self.trace_id, "span": self.span_id}
+        if self.parent_id is not None:
+            out["parent"] = self.parent_id
+        return out
+
+    @property
+    def lane(self) -> str:
+        """The per-request timeline lane this trace's spans render on."""
+        return f"req:{self.trace_id[:8]}"
+
+
+# -- in-process propagation ---------------------------------------------------
+
+_CURRENT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current() -> TraceContext | None:
+    """The active trace context of this task/thread, if any."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def activate(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Install ``ctx`` as the current context for the scope."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def trace_args() -> dict:
+    """The current context's span args, or ``{}`` when untraced."""
+    ctx = _CURRENT.get()
+    return ctx.span_args() if ctx is not None else {}
+
+
+# -- span sink ----------------------------------------------------------------
+
+#: ``sink(name, t0_s, t1_s, cat, args)`` -- perf_counter endpoints.
+SpanSink = Callable[[str, float, float, str, dict], None]
+
+_SPAN_SINK: SpanSink | None = None
+
+
+def set_span_sink(sink: SpanSink | None) -> SpanSink | None:
+    """Install the process-wide span sink; returns the previous one.
+
+    The driver installs a recorder-backed sink (spans land in the
+    :class:`~repro.obs.runtime.WallRecorder` log); pool workers install
+    a queue-backed sink in their initializer.  ``None`` uninstalls.
+    """
+    global _SPAN_SINK
+    previous, _SPAN_SINK = _SPAN_SINK, sink
+    return previous
+
+
+@contextlib.contextmanager
+def traced_span(name: str, *, cat: str = CAT_TASK, **args) -> Iterator[TraceContext | None]:
+    """Record one child span of the current context through the sink.
+
+    No active context or no installed sink means no recording at all --
+    the wrapped code runs bare.  Inside the scope the child context is
+    current, so nested :func:`traced_span` calls chain parentage.
+    """
+    ctx = _CURRENT.get()
+    if ctx is None or _SPAN_SINK is None:
+        yield None
+        return
+    child = ctx.child()
+    token = _CURRENT.set(child)
+    t0 = time.perf_counter()
+    try:
+        yield child
+    finally:
+        t1 = time.perf_counter()
+        _CURRENT.reset(token)
+        sink = _SPAN_SINK
+        if sink is not None:
+            sink(name, t0, t1, cat, {**child.span_args(), **args})

@@ -36,6 +36,7 @@ import os
 import time
 
 from repro.obs.events import (
+    CAT_ROUND,
     FAULT_GIVEUP,
     FAULT_RESPAWN,
     FAULT_RETRY,
@@ -43,6 +44,7 @@ from repro.obs.events import (
     FAULT_WORKER_DEATH,
 )
 from repro.obs.runtime import WallRecorder, instant_or_null
+from repro.obs.trace import TraceContext
 from repro.utils.errors import (
     CorruptPayloadError,
     RecoveryExhaustedError,
@@ -188,6 +190,7 @@ def run_tasks(
     max_retries: int | None = None,
     backoff_s: float = 0.05,
     recorder: WallRecorder | None = None,
+    trace: TraceContext | None = None,
 ):
     """Run ``fn((payload, attempt))`` for each payload; return results in order.
 
@@ -197,12 +200,23 @@ def run_tasks(
     respawned, and the attempt retried with exponential backoff
     (``backoff_s * 2**attempt``) up to ``max_retries`` extra attempts.
 
+    With both a ``recorder`` and a ``trace`` context, the whole dispatch
+    (including retries and respawns) is recorded as one
+    ``dispatch:<site>`` child span on the request's lane.
+
     Raises :class:`~repro.utils.errors.TaskTimeoutError` when a task
     misses its deadline with no budget left, and
     :class:`~repro.utils.errors.RecoveryExhaustedError` when a
     retryable exception persists; any non-retryable task exception
     propagates unwrapped at once.
     """
+    if trace is not None and recorder is not None:
+        with recorder.span(f"dispatch:{site}", lane=trace.lane, cat=CAT_ROUND,
+                           **trace.child().span_args()):
+            return run_tasks(
+                supervisor, fn, payloads, site=site, timeout=timeout,
+                max_retries=max_retries, backoff_s=backoff_s, recorder=recorder,
+            )
     timeout = resolve_timeout(timeout)
     retries = resolve_retries(max_retries)
     payloads = list(payloads)

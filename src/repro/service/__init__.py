@@ -28,6 +28,7 @@ from repro.service.cache import (
     image_digest,
     result_key,
 )
+from repro.service.instruments import ServiceInstruments
 from repro.service.ops import OPS, canonical_params, compute
 from repro.service.server import (
     BatchExecutor,
@@ -59,6 +60,7 @@ __all__ = [
     "PendingRequest",
     "ResultCache",
     "ServiceConfig",
+    "ServiceInstruments",
     "ServiceServer",
     "canonical_params",
     "compute",

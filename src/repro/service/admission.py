@@ -27,7 +27,9 @@ from typing import Any
 
 from repro.obs.events import SVC_SHED
 from repro.obs.runtime import WallRecorder, instant_or_null
+from repro.obs.trace import TraceContext
 from repro.runtime.dispatch import resolve_timeout
+from repro.service.instruments import ServiceInstruments
 from repro.utils.errors import ServiceOverloadError
 
 #: Default bound on queued (admitted but not yet dispatched) requests.
@@ -51,6 +53,9 @@ class PendingRequest:
     key: str | None = None
     deadline_s: float = field(default=0.0)
     enqueued_s: float = field(default_factory=time.monotonic)
+    #: The request's span context (a child of the submit-level request
+    #: span); ``None`` when the service runs untraced.
+    trace: TraceContext | None = None
 
     def expired(self, now: float | None = None) -> bool:
         return (now if now is not None else time.monotonic()) >= self.deadline_s
@@ -94,6 +99,7 @@ class AdmissionQueue:
         depth: int = DEFAULT_QUEUE_DEPTH,
         timeout_s: float | None = None,
         recorder: WallRecorder | None = None,
+        instruments: ServiceInstruments | None = None,
     ):
         self.depth = int(depth)
         if self.depth <= 0:
@@ -101,6 +107,7 @@ class AdmissionQueue:
         self.timeout_s = resolve_timeout(timeout_s)
         self.stats = AdmissionStats()
         self._recorder = recorder
+        self._instruments = instruments
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.depth)
 
     def __len__(self) -> int:
@@ -116,6 +123,8 @@ class AdmissionQueue:
             instant_or_null(
                 self._recorder, SVC_SHED, op=req.op, depth=self._queue.qsize()
             )
+            if self._instruments is not None:
+                self._instruments.shed()
             raise ServiceOverloadError(
                 f"service queue full ({self.depth} request(s) already queued); "
                 f"request shed -- back off and retry",
@@ -123,6 +132,8 @@ class AdmissionQueue:
             ) from None
         self.stats.admitted += 1
         self.stats.depth_highwater = max(self.stats.depth_highwater, self._queue.qsize())
+        if self._instruments is not None:
+            self._instruments.queue_depth(self._queue.qsize())
 
     async def get(self) -> PendingRequest:
         """Next admitted request (FIFO); records its queue wait."""
@@ -130,6 +141,9 @@ class AdmissionQueue:
         waited = req.waited_s()
         self.stats.total_wait_s += waited
         self.stats.max_wait_s = max(self.stats.max_wait_s, waited)
+        if self._instruments is not None:
+            self._instruments.queue_depth(self._queue.qsize())
+            self._instruments.queue_wait(waited)
         return req
 
     def drain_nowait(self) -> list[PendingRequest]:

@@ -27,9 +27,16 @@ import time
 from dataclasses import dataclass
 from typing import Awaitable, Callable
 
-from repro.obs.events import SVC_BATCH_SIZE, SVC_EXPIRED, SVC_QUEUE_WAIT
+from repro.obs.events import (
+    CAT_REQUEST,
+    SVC_BATCH_SIZE,
+    SVC_EXPIRED,
+    SVC_QUEUE_SPAN,
+    SVC_QUEUE_WAIT,
+)
 from repro.obs.runtime import WallRecorder, instant_or_null
 from repro.service.admission import AdmissionQueue, PendingRequest
+from repro.service.instruments import ServiceInstruments
 from repro.utils.errors import TaskTimeoutError, ValidationError
 
 #: Default cap on requests coalesced into one dispatch.
@@ -72,11 +79,12 @@ class BatcherStats:
 class _Bucket:
     """Requests accumulating toward one flush, plus their window."""
 
-    __slots__ = ("requests", "flush_at")
+    __slots__ = ("requests", "flush_at", "opened_at")
 
-    def __init__(self, flush_at: float):
+    def __init__(self, flush_at: float, opened_at: float):
         self.requests: list[PendingRequest] = []
         self.flush_at = flush_at
+        self.opened_at = opened_at
 
 
 class MicroBatcher:
@@ -97,6 +105,7 @@ class MicroBatcher:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_delay_s: float = DEFAULT_MAX_DELAY_S,
         recorder: WallRecorder | None = None,
+        instruments: ServiceInstruments | None = None,
     ):
         if max_batch <= 0:
             raise ValidationError("max_batch must be positive")
@@ -108,6 +117,7 @@ class MicroBatcher:
         self._queue = queue
         self._execute = execute
         self._recorder = recorder
+        self._instruments = instruments
         self._buckets: dict[BatchKey, _Bucket] = {}
         self._inflight: set[asyncio.Task] = set()
 
@@ -138,6 +148,8 @@ class MicroBatcher:
             instant_or_null(
                 self._recorder, SVC_EXPIRED, op=req.op, waited_s=req.waited_s(now)
             )
+            if self._instruments is not None:
+                self._instruments.expired()
             if not req.future.done():
                 req.future.set_exception(
                     TaskTimeoutError(
@@ -147,12 +159,23 @@ class MicroBatcher:
                     )
                 )
             return
+        waited = req.waited_s(now)
         if self._recorder is not None:
-            self._recorder.count(SVC_QUEUE_WAIT, req.waited_s(now))
+            self._recorder.count(SVC_QUEUE_WAIT, waited)
+            if req.trace is not None:
+                # The wait is over *now*; anchor the span by its end so
+                # the monotonic-clock wait composes with the recorder's
+                # perf_counter epoch.
+                end = time.perf_counter() - self._recorder.epoch
+                ctx = req.trace.child()
+                self._recorder.log.add_span(
+                    SVC_QUEUE_SPAN, req.trace.lane, end - waited, waited,
+                    cat=CAT_REQUEST, op=req.op, **ctx.span_args(),
+                )
         key = BatchKey(req.op, req.params)
         bucket = self._buckets.get(key)
         if bucket is None:
-            bucket = self._buckets[key] = _Bucket(now + self.max_delay_s)
+            bucket = self._buckets[key] = _Bucket(now + self.max_delay_s, now)
         bucket.requests.append(req)
         if len(bucket.requests) >= self.max_batch:
             self._flush(key)
@@ -177,6 +200,10 @@ class MicroBatcher:
         self.stats.max_batch = max(self.stats.max_batch, len(bucket.requests))
         if self._recorder is not None:
             self._recorder.count(SVC_BATCH_SIZE, len(bucket.requests))
+        if self._instruments is not None:
+            self._instruments.batch_flushed(
+                len(bucket.requests), time.monotonic() - bucket.opened_at
+            )
         task = asyncio.ensure_future(self._execute(key, bucket.requests))
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)

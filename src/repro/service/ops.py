@@ -31,7 +31,9 @@ from repro.core.equalization import equalization_lut
 from repro.faults.inject import fire, install_plan
 from repro.faults.plan import FaultPlan
 from repro.kernels import get as get_kernel
+from repro.obs import trace as _trace
 from repro.obs.runtime import init_worker_sink, task_span
+from repro.obs.trace import TraceContext
 from repro.utils.errors import ReproError, ValidationError
 from repro.utils.validation import check_image, check_power_of_two
 
@@ -106,17 +108,27 @@ def svc_init(kernel: str, obs=None, plan: FaultPlan | None = None) -> None:
 def svc_task(arg):
     """Worker: execute one request of a batch; never raises op errors.
 
-    Payload is ``(index, op, image, params)``; the returned marker is
-    ``("ok", result)`` or ``("err", exc_type_name, message)`` so a
-    single bad request surfaces on its own future instead of aborting
-    the batch.  Injected faults (crash/hang/exception) fire *before*
-    the marker wrapper, so the dispatcher's recovery machinery sees
-    them exactly as it does at every other site.
+    Payload is ``(index, op, image, params, trace_wire)``; the returned
+    marker is ``("ok", result)`` or ``("err", exc_type_name, message)``
+    so a single bad request surfaces on its own future instead of
+    aborting the batch.  ``trace_wire`` (``None`` when untraced) is the
+    request's batch-level trace context: activating it here makes the
+    task span -- and the kernel spans beneath it -- children of the
+    driver's batch span, across the process boundary.  Injected faults
+    (crash/hang/exception) fire *before* the marker wrapper, so the
+    dispatcher's recovery machinery sees them exactly as it does at
+    every other site.
     """
-    (index, op, image, params), attempt = arg
+    payload, attempt = arg
+    if len(payload) == 5:
+        index, op, image, params, trace_wire = payload
+    else:  # pre-tracing 4-tuple payloads remain dispatchable
+        (index, op, image, params), trace_wire = payload, None
     fire("svc:exec", task=index, attempt=attempt)
-    with task_span(f"svc:{op}[{index}]"):
-        try:
-            return ("ok", compute(op, image, params, _SVC.get("kernel", "numpy")))
-        except ReproError as exc:
-            return ("err", type(exc).__name__, str(exc))
+    ctx = TraceContext.from_wire(trace_wire) if trace_wire is not None else None
+    with _trace.activate(ctx):
+        with task_span(f"svc:{op}[{index}]", op=op, index=index):
+            try:
+                return ("ok", compute(op, image, params, _SVC.get("kernel", "numpy")))
+            except ReproError as exc:
+                return ("err", type(exc).__name__, str(exc))

@@ -40,15 +40,22 @@ import numpy as np
 
 from repro.faults.plan import FaultPlan
 from repro.kernels import resolve_backend
+from repro.obs import trace as _trace
 from repro.obs.events import (
+    CAT_REQUEST,
     CAT_ROUND,
+    CLIENT_REQUEST,
     SVC_BATCH,
     SVC_CACHE_EVICT,
     SVC_CACHE_HIT,
     SVC_CACHE_MISS,
     SVC_DEGRADED,
+    SVC_REQUEST,
 )
+from repro.obs.export import chrome_trace
+from repro.obs.registry import MetricsRegistry
 from repro.obs.runtime import WallRecorder, instant_or_null
+from repro.obs.trace import TraceContext
 from repro.runtime.dispatch import (
     PoolSupervisor,
     resolve_retries,
@@ -74,7 +81,9 @@ from repro.service.cache import (
     image_digest,
     result_key,
 )
+from repro.service.instruments import ServiceInstruments
 from repro.service.ops import (
+    OPS,
     canonical_params,
     check_request_image,
     compute,
@@ -113,6 +122,9 @@ class ServiceConfig:
     retries: int | None = None
     fault_plan: FaultPlan | None = None
     degrade: bool = True
+    #: Maintain the live metrics plane (counters / gauges / latency
+    #: histograms; the ``metrics`` control op).  Off = zero overhead.
+    metrics: bool = True
 
     def __post_init__(self):
         if self.workers < 1:
@@ -148,9 +160,11 @@ class BatchExecutor:
     bit-identical answer -- degraded *serving*, not an outage.
     """
 
-    def __init__(self, config: ServiceConfig, recorder: WallRecorder | None = None):
+    def __init__(self, config: ServiceConfig, recorder: WallRecorder | None = None,
+                 instruments: ServiceInstruments | None = None):
         self._config = config
         self._recorder = recorder
+        self._instruments = instruments
         self._lock = threading.Lock()
         self._supervisor: PoolSupervisor | None = None
         self.stats = ExecutorStats()
@@ -182,13 +196,15 @@ class BatchExecutor:
     def respawns(self) -> int:
         return self._supervisor.respawns if self._supervisor is not None else 0
 
-    def execute_batch(self, key: BatchKey, payloads: list) -> list:
+    def execute_batch(self, key: BatchKey, payloads: list,
+                      trace: TraceContext | None = None) -> list:
         """Dispatch one batch (blocking; called from a worker thread)."""
         if self._supervisor is None:
             raise ServiceClosedError("executor is not started")
         with self._lock:
             self.stats.batches += 1
             self.stats.tasks += len(payloads)
+            t0 = time.perf_counter()
             try:
                 return run_tasks(
                     self._supervisor,
@@ -198,6 +214,7 @@ class BatchExecutor:
                     timeout=self._config.timeout_s,
                     max_retries=self._config.retries,
                     recorder=self._recorder,
+                    trace=trace,
                 )
             except FaultError as exc:
                 if not self._config.degrade:
@@ -210,10 +227,19 @@ class BatchExecutor:
                     batch=len(payloads),
                     error=type(exc).__name__,
                 )
-                return [self._serial(payload) for payload in payloads]
+                if self._instruments is not None:
+                    self._instruments.degraded()
+                # The serial fallback runs on this thread; activating
+                # the batch context here lets kernel spans still parent
+                # into the request tree (via the driver span sink).
+                with _trace.activate(trace):
+                    return [self._serial(payload) for payload in payloads]
+            finally:
+                if self._instruments is not None:
+                    self._instruments.exec_done(key.op, time.perf_counter() - t0)
 
     def _serial(self, payload) -> tuple:
-        index, op, image, params = payload
+        index, op, image, params, _ctx = payload
         try:
             return ("ok", compute(op, image, params, self._config.kernel))
         except ReproError as exc:
@@ -267,17 +293,23 @@ class BatchService:
         self.config = config or ServiceConfig()
         self.recorder = recorder
         self.stats = ServiceStats()
+        self.metrics = MetricsRegistry() if self.config.metrics else None
+        self.instruments = (
+            ServiceInstruments(self.metrics) if self.metrics is not None else None
+        )
         self.cache = ResultCache(
             max_entries=self.config.cache_entries,
             max_bytes=self.config.cache_bytes,
         ) if self.config.cache else None
-        self.executor = BatchExecutor(self.config, recorder)
+        self.executor = BatchExecutor(self.config, recorder, self.instruments)
         self._admission: AdmissionQueue | None = None
         self._batcher: MicroBatcher | None = None
         self._batcher_task: asyncio.Task | None = None
-        self._inflight: dict[str, asyncio.Future] = {}
+        #: key -> (future, lead request span id) for in-flight coalescing.
+        self._inflight: dict[str, tuple[asyncio.Future, str | None]] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
         self._closed = False
+        self._prev_sink = None
 
     @property
     def running(self) -> bool:
@@ -289,10 +321,15 @@ class BatchService:
         self._closed = False
         self._loop = asyncio.get_running_loop()
         self.executor.start()
+        if self.recorder is not None:
+            # Driver-side traced_span calls (serial-degrade kernels)
+            # need somewhere to land; restored on stop().
+            self._prev_sink = _trace.set_span_sink(self.recorder.span_sink())
         self._admission = AdmissionQueue(
             depth=self.config.queue_depth,
             timeout_s=self.config.timeout_s,
             recorder=self.recorder,
+            instruments=self.instruments,
         )
         self._batcher = MicroBatcher(
             self._admission,
@@ -300,6 +337,7 @@ class BatchService:
             max_batch=self.config.max_batch,
             max_delay_s=self.config.max_delay_s,
             recorder=self.recorder,
+            instruments=self.instruments,
         )
         self._batcher_task = asyncio.ensure_future(self._batcher.run())
 
@@ -319,10 +357,19 @@ class BatchService:
             await task
         self.executor.close()
         if self.recorder is not None:
+            _trace.set_span_sink(self._prev_sink)
+            self._prev_sink = None
             self.recorder.drain()
 
-    async def submit(self, op: str, image, **params) -> np.ndarray:
+    async def submit(self, op: str, image, *, trace: TraceContext | None = None,
+                     **params) -> np.ndarray:
         """Serve one request; returns the result array (caller-owned).
+
+        ``trace`` is the request's trace context (e.g. parsed off the
+        wire by the socket front-end).  With a recorder attached a
+        context is minted when none is given, so every served request
+        becomes one connected span tree; without a recorder tracing is
+        off and ``trace`` is carried but unrecorded.
 
         Raises :class:`~repro.utils.errors.ValidationError` for a bad
         request, :class:`~repro.utils.errors.ServiceOverloadError` when
@@ -334,35 +381,90 @@ class BatchService:
         if not self.running:
             raise ServiceClosedError("service is not running (call start())")
         self.stats.requests += 1
+        t0 = time.perf_counter()
+        if trace is None:
+            trace = _trace.current()
+        req_ctx = None
+        if self.recorder is not None:
+            # A caller-supplied context gets a child span; a locally
+            # minted one IS the request span (no parentless root id).
+            req_ctx = TraceContext.mint() if trace is None else trace.child()
+        handle = None
+        if req_ctx is not None:
+            handle = self.recorder.begin(
+                SVC_REQUEST, lane=req_ctx.lane, cat=CAT_REQUEST,
+                op=str(op), **req_ctx.span_args(),
+            )
+        if self.instruments is not None:
+            self.instruments.request_started(op)
+        via = "error"
+        try:
+            result, via = await self._serve_request(op, image, params, req_ctx, handle)
+            return result
+        except Exception as exc:
+            if self.instruments is not None:
+                self.instruments.request_error(op, exc)
+            raise
+        finally:
+            if handle is not None:
+                handle.finish(via=via)
+            if self.instruments is not None:
+                self.instruments.request_finished(op, time.perf_counter() - t0)
+
+    async def _serve_request(self, op, image, params,
+                             req_ctx: TraceContext | None, handle=None) -> tuple:
+        """The cache / coalesce / admit path; returns ``(result, via)``."""
         image = check_request_image(image)
         canonical = canonical_params(op, image, params)
         key = None
         if self.cache is not None:
+            t_lookup = time.perf_counter()
             key = result_key(image_digest(image), op, canonical)
             hit = self.cache.get(key)
+            if self.instruments is not None:
+                self.instruments.cache_lookup(
+                    time.perf_counter() - t_lookup, hit=hit is not None
+                )
+            # The cache outcome rides the request span (``via=...``) and
+            # the registry counters; the timeline count events are only
+            # worth their cost when a recorder runs without metrics.
+            count_events = self.recorder is not None and self.instruments is None
             if hit is not None:
-                if self.recorder is not None:
+                if count_events:
                     self.recorder.count(SVC_CACHE_HIT, 1)
                 self.stats.completed += 1
-                return np.array(hit, copy=True)
-            if self.recorder is not None:
+                return np.array(hit, copy=True), "cache"
+            if count_events:
                 self.recorder.count(SVC_CACHE_MISS, 1)
             inflight = self._inflight.get(key)
             if inflight is not None:
+                in_future, lead_span = inflight
                 self.stats.coalesced += 1
-                result = await asyncio.shield(inflight)
+                if self.instruments is not None:
+                    self.instruments.coalesced()
+                if handle is not None and lead_span is not None:
+                    # Tie this request's span tree to the lead request
+                    # (whose tree contains the actual batch span).
+                    handle.args["coalesced_onto"] = lead_span
+                try:
+                    result = await asyncio.shield(in_future)
+                except Exception:
+                    self.stats.errors += 1
+                    raise
                 self.stats.completed += 1
-                return np.array(result, copy=True)
+                return np.array(result, copy=True), "coalesced"
         future = self._loop.create_future()
         req = PendingRequest(op=op, image=image, params=canonical,
-                             future=future, key=key)
+                             future=future, key=key, trace=req_ctx)
         try:
             self._admission.admit(req)  # raises ServiceOverloadError when full
         except Exception:
             self.stats.errors += 1
             raise
         if key is not None:
-            self._inflight[key] = future
+            self._inflight[key] = (
+                future, req_ctx.span_id if req_ctx is not None else None
+            )
             future.add_done_callback(self._make_finalizer(key))
         try:
             result = await asyncio.shield(future)
@@ -370,7 +472,24 @@ class BatchService:
             self.stats.errors += 1
             raise
         self.stats.completed += 1
-        return np.array(result, copy=True)
+        return np.array(result, copy=True), "batched"
+
+    @staticmethod
+    def _task_wire(req: PendingRequest, batch_ctx: TraceContext | None):
+        """The trace context a worker task should activate, wire-encoded.
+
+        The context keeps the member request's ``trace_id`` but the
+        batch span's ``span_id``, so the worker's task span (a child of
+        the activated context) parents under the batch span while
+        staying inside the request's trace.
+        """
+        if req.trace is None or batch_ctx is None:
+            return None
+        return TraceContext(
+            trace_id=req.trace.trace_id,
+            span_id=batch_ctx.span_id,
+            parent_id=batch_ctx.parent_id,
+        ).to_wire()
 
     def _make_finalizer(self, key: str):
         def _done(fut: asyncio.Future) -> None:
@@ -382,17 +501,38 @@ class BatchService:
             evicted = self.cache.stats.evictions - before
             if evicted and self.recorder is not None:
                 self.recorder.count(SVC_CACHE_EVICT, evicted)
+            if self.instruments is not None:
+                self.instruments.cache_evicted(evicted)
+                self.instruments.cache_size(
+                    len(self.cache), self.cache.stats.bytes
+                )
         return _done
 
     async def _execute(self, batch_key: BatchKey, requests: list[PendingRequest]) -> None:
-        """Batcher callback: run one batch and resolve its futures."""
+        """Batcher callback: run one batch and resolve its futures.
+
+        The batch span is a child of the *lead* (first traced) request
+        and carries ``links`` to every member request's span id, so one
+        dispatch serving five coalesced requests is one span with five
+        back-references instead of five disconnected trees.  Each task
+        payload carries a wire context whose span id *is* the batch
+        span (with the member request's own trace id), so worker task
+        spans parent into the batch across the process boundary.
+        """
+        lead = next((r for r in requests if r.trace is not None), None)
+        batch_ctx = (
+            lead.trace.child()
+            if lead is not None and self.recorder is not None
+            else None
+        )
         payloads = [
-            (i, req.op, req.image, req.params) for i, req in enumerate(requests)
+            (i, req.op, req.image, req.params, self._task_wire(req, batch_ctx))
+            for i, req in enumerate(requests)
         ]
         t0 = time.perf_counter()
         try:
             markers = await asyncio.get_running_loop().run_in_executor(
-                None, self.executor.execute_batch, batch_key, payloads
+                None, self.executor.execute_batch, batch_key, payloads, batch_ctx
             )
         except Exception as exc:  # FaultError with degrade off, or a real bug
             for req in requests:
@@ -402,9 +542,17 @@ class BatchService:
         finally:
             if self.recorder is not None:
                 t1 = time.perf_counter()
+                span_args = dict(op=batch_key.op, batch=len(requests))
+                lane = "driver"
+                if batch_ctx is not None:
+                    lane = lead.trace.lane
+                    span_args.update(batch_ctx.span_args())
+                    span_args["links"] = [
+                        r.trace.span_id for r in requests if r.trace is not None
+                    ]
                 self.recorder.log.add_span(
-                    SVC_BATCH, "driver", t0 - self.recorder.epoch, t1 - t0,
-                    cat=CAT_ROUND, op=batch_key.op, batch=len(requests),
+                    SVC_BATCH, lane, t0 - self.recorder.epoch, t1 - t0,
+                    cat=CAT_ROUND, **span_args,
                 )
         for req, marker in zip(requests, markers):
             if req.future.done():
@@ -416,8 +564,15 @@ class BatchService:
                 req.future.set_exception(_worker_error(name, message))
 
     def snapshot(self) -> dict:
-        """All layer stats as one JSON-ready dict."""
+        """All layer stats as one JSON-ready dict.
+
+        ``schema`` versions the shape: v2 added the schema field
+        itself, the cache ``hit_rate``, the admission
+        ``depth_highwater``, and the per-op ``latency`` quantiles
+        (present only when the metrics plane is on).
+        """
         out = {
+            "schema": "repro-service-stats/v2",
             "service": {
                 "requests": self.stats.requests,
                 "completed": self.stats.completed,
@@ -444,6 +599,8 @@ class BatchService:
             out["batcher"] = self._batcher.stats.snapshot()
         if self.cache is not None:
             out["cache"] = self.cache.stats.snapshot()
+        if self.instruments is not None:
+            out["latency"] = self.instruments.latency_summary()
         return out
 
 
@@ -662,15 +819,23 @@ class ServiceServer:
                 return _ok_line(req_id, "pong")
             if op == "stats":
                 return _ok_line(req_id, self.service.snapshot())
+            if op == "metrics":
+                if self.service.metrics is None:
+                    raise ValidationError(
+                        "metrics are disabled (ServiceConfig.metrics=False)"
+                    )
+                return _ok_line(req_id, self.service.metrics.prometheus_text())
+            if op == "trace":
+                if self.service.recorder is None:
+                    raise ValidationError(
+                        "tracing is off (the server was started without a recorder)"
+                    )
+                self.service.recorder.drain()
+                return _ok_line(req_id, chrome_trace(self.service.recorder.log))
             if op == "shutdown":
                 self._shutdown.set()
                 return _ok_line(req_id, "shutting down")
-            image = _materialize_image(obj.get("image"))
-            params = obj.get("params", {})
-            if not isinstance(params, dict):
-                raise ValidationError("'params' must be an object")
-            result = await self.service.submit(op, image, **params)
-            return _ok_line(req_id, encode_array(result))
+            return await self._respond_compute(req_id, op, obj)
         except ReproError as exc:
             return _error_line(req_id, exc)
         except Exception as exc:
@@ -680,9 +845,48 @@ class ServiceServer:
                 req_id, ReproError(f"internal error ({type(exc).__name__}): {exc}")
             )
 
+    async def _respond_compute(self, req_id, op, obj: dict) -> bytes:
+        """One compute request: decode, trace, submit, encode."""
+        ctx = (
+            TraceContext.from_wire(obj["trace"])
+            if obj.get("trace") is not None
+            else TraceContext.mint()
+        )
+        instruments = self.service.instruments
+        handle = None
+        if self.service.recorder is not None:
+            handle = self.service.recorder.begin(
+                CLIENT_REQUEST, lane=ctx.lane, cat=CAT_REQUEST,
+                op=str(op), **ctx.span_args(),
+            )
+        try:
+            t_dec = time.perf_counter()
+            image = _materialize_image(obj.get("image"))
+            if instruments is not None:
+                instruments.decode(time.perf_counter() - t_dec)
+            params = obj.get("params", {})
+            if not isinstance(params, dict):
+                raise ValidationError("'params' must be an object")
+            if "trace" in params:
+                raise ValidationError(
+                    "'trace' is a top-level request field, not an op parameter"
+                )
+            result = await self.service.submit(op, image, trace=ctx, **params)
+            t_enc = time.perf_counter()
+            payload = encode_array(result)
+            if instruments is not None:
+                instruments.encode(time.perf_counter() - t_enc)
+            return _ok_line(req_id, payload, trace_id=ctx.trace_id)
+        finally:
+            if handle is not None:
+                handle.finish()
 
-def _ok_line(req_id, result) -> bytes:
-    return (json.dumps({"id": req_id, "ok": True, "result": result}) + "\n").encode()
+
+def _ok_line(req_id, result, *, trace_id: str | None = None) -> bytes:
+    payload = {"id": req_id, "ok": True, "result": result}
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    return (json.dumps(payload) + "\n").encode()
 
 
 def _error_line(req_id, exc: Exception) -> bytes:
@@ -694,8 +898,18 @@ def _error_line(req_id, exc: Exception) -> bytes:
     return (json.dumps(payload) + "\n").encode()
 
 
-async def request_over_socket(socket_path: str, obj: dict) -> dict:
-    """One-shot client helper: send one request object, await its reply."""
+async def request_over_socket(socket_path: str, obj: dict,
+                              *, trace: TraceContext | None = None) -> dict:
+    """One-shot client helper: send one request object, await its reply.
+
+    Compute requests are stamped with a trace context (the given one,
+    or a freshly minted one) so the server can tie every hop of the
+    request to a single trace id -- echoed back as ``trace_id`` in the
+    response for ``repro trace --follow``.
+    """
+    obj = dict(obj)
+    if "trace" not in obj and obj.get("op") in OPS:
+        obj["trace"] = (trace if trace is not None else TraceContext.mint()).to_wire()
     reader, writer = await asyncio.open_unix_connection(
         socket_path, limit=MAX_REQUEST_BYTES
     )

@@ -514,6 +514,153 @@ class TestCost402DirectCounterMutation:
         assert analyze_source(src, "src/repro/bdm/machine.py") == []
 
 
+class TestObs501SpanLifetime:
+    def test_fires_on_pre_fix_shape(self):
+        """The bug shape the rule exists for: straight-line finish()."""
+        diags = analyze(
+            """
+            async def submit(self, op, image):
+                handle = self.recorder.begin("service:request", op=op)
+                result = await self._serve_request(op, image)
+                handle.finish(via="batched")
+                return result
+            """
+        )
+        assert rules_of(diags) == ["OBS501"]
+
+    def test_silent_on_fixed_shape(self):
+        diags = analyze(
+            """
+            async def submit(self, op, image):
+                handle = self.recorder.begin("service:request", op=op)
+                try:
+                    return await self._serve_request(op, image)
+                finally:
+                    handle.finish(via="batched")
+            """
+        )
+        assert diags == []
+
+    def test_never_finished_flagged(self):
+        diags = analyze(
+            """
+            def measure(recorder):
+                h = recorder.begin("round")
+                return compute()
+            """
+        )
+        assert rules_of(diags) == ["OBS501"]
+
+    def test_finish_in_except_handler_is_a_guard(self):
+        diags = analyze(
+            """
+            def measure(recorder):
+                h = recorder.begin("round")
+                try:
+                    out = compute()
+                except Exception:
+                    h.finish(failed=True)
+                    raise
+                h.finish()
+                return out
+            """
+        )
+        assert diags == []
+
+    def test_escaping_handle_not_flagged(self):
+        diags = analyze(
+            """
+            def open_span(recorder, pending):
+                h = recorder.begin("round")
+                pending.append(h)
+            """
+        )
+        assert diags == []
+
+    def test_conditional_begin_with_guarded_finish_clean(self):
+        diags = analyze(
+            """
+            def serve(recorder, traced):
+                handle = recorder.begin("req") if traced else None
+                try:
+                    return compute()
+                finally:
+                    if handle is not None:
+                        handle.finish()
+            """
+        )
+        assert diags == []
+
+    def test_service_tier_is_clean(self):
+        diags = analyze_paths([str(REPO_ROOT / "src" / "repro" / "service")])
+        assert [d.format() for d in diags if d.rule.startswith("OBS")] == []
+
+
+class TestObs502EmitGuard:
+    def test_fires_on_pre_fix_shape(self):
+        """An emit on recorder=None crashes every untraced call."""
+        diags = analyze(
+            """
+            def absorb(req, recorder=None):
+                recorder.count("svc:queue_wait", req.waited)
+            """
+        )
+        assert rules_of(diags) == ["OBS502"]
+
+    def test_silent_with_none_guard(self):
+        diags = analyze(
+            """
+            def absorb(req, recorder=None):
+                if recorder is not None:
+                    recorder.count("svc:queue_wait", req.waited)
+            """
+        )
+        assert diags == []
+
+    def test_early_return_guard_accepted(self):
+        diags = analyze(
+            """
+            def absorb(req, recorder=None):
+                if recorder is None:
+                    return
+                recorder.count("svc:queue_wait", req.waited)
+            """
+        )
+        assert diags == []
+
+    def test_boolop_short_circuit_accepted(self):
+        diags = analyze(
+            """
+            def absorb(req, recorder=None):
+                recorder and recorder.count("x", req.waited)
+            """
+        )
+        assert diags == []
+
+    def test_reassigned_parameter_not_tracked(self):
+        diags = analyze(
+            """
+            def absorb(req, recorder=None):
+                recorder = recorder or make_recorder()
+                recorder.count("x", req.waited)
+            """
+        )
+        assert diags == []
+
+    def test_required_parameter_not_flagged(self):
+        diags = analyze(
+            """
+            def absorb(req, recorder):
+                recorder.count("x", req.waited)
+            """
+        )
+        assert diags == []
+
+    def test_obs_package_is_clean(self):
+        diags = analyze_paths([str(REPO_ROOT / "src" / "repro" / "obs")])
+        assert [d.format() for d in diags if d.rule.startswith("OBS")] == []
+
+
 class TestSelectionAndSuppression:
     BAD = """
         import time
@@ -579,7 +726,7 @@ class TestSelectionAndSuppression:
         for rule_id in RULES:
             assert rule_id in text
         families = {rule_family(r) for r in RULES}
-        assert families == {"SPMD", "ASYNC", "RES", "ERR", "COST"}
+        assert families == {"SPMD", "ASYNC", "RES", "ERR", "COST", "OBS"}
         for rule in RULES.values():
             assert rule.severity in ("error", "warning")
 

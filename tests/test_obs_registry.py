@@ -1,0 +1,225 @@
+"""Tests for the metrics registry: instruments, exposition, quantiles.
+
+The two Hypothesis properties are the load-bearing ones: the log-bucketed
+histogram promises quantiles within one bucket's relative error of the
+exact order statistic at every magnitude, and count-additive merging must
+be associative/commutative so per-shard histograms can aggregate into a
+fleet view in any order.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    write_timeseries,
+)
+from repro.obs.registry import (
+    BUCKET_BASE,
+    BUCKET_BOUNDS,
+    BUCKET_GROWTH,
+    Histogram,
+)
+from repro.utils.errors import ValidationError
+
+
+def make_hist(values=()):
+    hist = MetricsRegistry().histogram("probe_seconds")
+    for v in values:
+        hist.observe(v)
+    return hist
+
+
+# -- strategies --------------------------------------------------------------
+
+# Observations above the first bound (where the relative-error contract
+# holds; everything at or below 1us collapses into bucket 0 by design)
+# and below the last finite bound (beyond it only a floor is promised).
+latencies = st.floats(
+    min_value=BUCKET_BASE * 1.01,
+    max_value=1000.0,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+def exact_quantile(values, q):
+    """The exact order statistic the histogram ranks against.
+
+    Smallest element whose empirical CDF reaches ``q`` -- numpy's
+    ``inverse_cdf`` method, spelled out so the oracle is explicit.
+    """
+    ordered = np.sort(np.asarray(values, dtype=float))
+    rank = math.ceil(q * len(ordered))
+    return float(ordered[max(rank - 1, 0)])
+
+
+def bucket_index(value):
+    if value <= BUCKET_BASE:
+        return 0
+    return math.ceil(math.log(value / BUCKET_BASE) / math.log(BUCKET_GROWTH))
+
+
+class TestHistogramQuantileProperty:
+    @given(st.lists(latencies, min_size=1, max_size=200),
+           st.sampled_from([0.5, 0.99]))
+    def test_quantile_within_one_bucket_of_exact(self, values, q):
+        hist = make_hist(values)
+        reported = hist.quantile(q)
+        exact = exact_quantile(values, q)
+        # Same bucket as the exact order statistic: the reported value
+        # may interpolate anywhere within it, so the error is bounded
+        # by one bucket's relative width (~9%).
+        idx = bucket_index(exact)
+        lo = BUCKET_BOUNDS[idx - 1] if idx > 0 else 0.0
+        hi = BUCKET_BOUNDS[min(idx, len(BUCKET_BOUNDS) - 1)]
+        assert lo <= reported <= hi * (1 + 1e-12)
+        assert reported <= exact * BUCKET_GROWTH * (1 + 1e-9)
+        assert reported >= exact / BUCKET_GROWTH / (1 + 1e-9)
+
+    @given(st.lists(latencies, min_size=1, max_size=100))
+    def test_median_of_identical_values_is_their_bucket(self, values):
+        v = values[0]
+        hist = make_hist([v] * 10)
+        assert hist.quantile(0.5) == pytest.approx(v, rel=BUCKET_GROWTH - 1)
+
+
+class TestHistogramMergeProperty:
+    @given(st.lists(latencies, max_size=60), st.lists(latencies, max_size=60),
+           st.lists(latencies, max_size=60))
+    def test_merge_is_associative(self, xs, ys, zs):
+        left = make_hist(xs)
+        left_inner = make_hist(ys)
+        left_inner.merge(make_hist(zs))
+        left.merge(left_inner)
+
+        right = make_hist(xs)
+        right.merge(make_hist(ys))
+        right.merge(make_hist(zs))
+
+        assert left.buckets == right.buckets
+        assert left.count == right.count
+        assert left.sum == pytest.approx(right.sum)
+
+    @given(st.lists(latencies, max_size=60), st.lists(latencies, max_size=60))
+    def test_merge_equals_pooled_observations(self, xs, ys):
+        merged = make_hist(xs)
+        merged.merge(make_hist(ys))
+        pooled = make_hist(xs + ys)
+        assert merged.buckets == pooled.buckets
+        assert merged.count == pooled.count
+        assert merged.sum == pytest.approx(pooled.sum)
+
+
+class TestHistogramEdges:
+    def test_empty_quantile_is_zero(self):
+        assert make_hist().quantile(0.5) == 0.0
+
+    def test_negative_observation_clamped_to_first_bucket(self):
+        hist = make_hist([-3.0])
+        assert hist.buckets[0] == 1
+        assert hist.sum == 0.0
+
+    def test_overflow_reports_last_finite_bound(self):
+        hist = make_hist([10_000.0])
+        assert hist.quantile(0.99) == BUCKET_BOUNDS[-1]
+
+    def test_quantile_domain_checked(self):
+        with pytest.raises(ValidationError):
+            make_hist([1.0]).quantile(1.5)
+
+
+class TestRegistry:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("probe_total")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+        with pytest.raises(ValidationError):
+            c.inc(-1)
+
+    def test_same_name_same_labels_is_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("probe_total", labels={"op": "histogram"})
+        b = reg.counter("probe_total", labels={"op": "histogram"})
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("probe_total")
+        with pytest.raises(ValidationError):
+            reg.gauge("probe_total")
+
+    def test_label_name_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("probe_total", labels={"op": "a"})
+        with pytest.raises(ValidationError):
+            reg.counter("probe_total", labels={"kernel": "b"})
+
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry().counter("no spaces")
+
+    def test_family_lookup(self):
+        reg = MetricsRegistry()
+        reg.histogram("probe_seconds", labels={"op": "x"})
+        fam = reg.family("probe_seconds")
+        assert fam is not None and fam.kind == "histogram"
+        assert reg.family("absent") is None
+
+
+class TestPrometheusExposition:
+    def test_roundtrip_through_parser(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_requests_total", "Requests", labels={"op": "histogram"}).inc(4)
+        reg.gauge("repro_queue_depth", "Depth").set(7)
+        reg.histogram("repro_latency_seconds", "Latency", labels={"op": "histogram"}).observe(0.003)
+        families = parse_prometheus_text(reg.prometheus_text())
+        assert families["repro_requests_total"]["type"] == "counter"
+        assert families["repro_requests_total"]["samples"][0]["value"] == 4
+        assert families["repro_queue_depth"]["samples"][0]["value"] == 7
+        hist = families["repro_latency_seconds"]
+        counts = [s for s in hist["samples"] if s["name"].endswith("_count")]
+        assert counts and counts[0]["value"] == 1
+
+    def test_histogram_buckets_are_cumulative_and_sparse(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_latency_seconds")
+        for v in (0.001, 0.001, 0.5):
+            h.observe(v)
+        text = reg.prometheus_text()
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_latency_seconds_bucket")
+        ]
+        # two occupied buckets + the +Inf line, not 265 rows
+        assert len(bucket_lines) == 3
+        assert bucket_lines[-1].endswith(" 3")
+        values = [float(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert values == sorted(values)
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            parse_prometheus_text("repro_requests_total not-a-number")
+
+
+class TestTimeseries:
+    def test_snapshot_and_write(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.histogram("repro_latency_seconds").observe(0.25)
+        snap = reg.snapshot()
+        [entry] = snap["metrics"]
+        assert entry["count"] == 1
+        assert entry["p50"] == pytest.approx(0.25, rel=BUCKET_GROWTH - 1)
+        out = tmp_path / "series.json"
+        payload = write_timeseries(out, [snap, reg.snapshot()])
+        on_disk = json.loads(out.read_text())
+        assert on_disk == json.loads(json.dumps(payload))
+        assert len(on_disk["samples"]) == 2

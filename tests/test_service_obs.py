@@ -1,0 +1,401 @@
+"""End-to-end tests for the service tier's observability plane.
+
+The tentpole contract: one request through the service yields one
+*connected* span tree -- request, queue wait, batch, dispatch, worker
+task, kernel -- even though those spans are produced by three different
+layers and two different processes.  Plus the metrics plane around it:
+instrument counts, the Prometheus ``metrics`` control op, the ``trace``
+control op, the v2 stats schema, and the ``repro top`` / ``repro trace
+--follow`` CLI views over a live socket.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.images import darpa_like
+from repro.obs import (
+    CLIENT_REQUEST,
+    SVC_BATCH,
+    SVC_QUEUE_SPAN,
+    SVC_REQUEST,
+    TraceContext,
+    WallRecorder,
+    chrome_trace,
+    parse_prometheus_text,
+    validate_chrome_trace,
+)
+from repro.service import (
+    BatchService,
+    ServiceConfig,
+    ServiceInstruments,
+    ServiceServer,
+    encode_array,
+    request_over_socket,
+)
+
+def spans_of_trace(log, trace_id):
+    return [s for s in log.spans if s.args.get("trace") == trace_id]
+
+
+def assert_connected(spans):
+    """Every span except the root parents onto another span in the set."""
+    by_id = {s.args["span"]: s for s in spans}
+    roots = []
+    for s in spans:
+        parent = s.args.get("parent")
+        if parent is None or parent not in by_id:
+            roots.append(s)
+    assert len(roots) == 1, (
+        f"expected one root, got {[(s.name, s.args.get('parent')) for s in roots]}"
+    )
+    return roots[0]
+
+
+class TestServiceSpanTree:
+    def test_one_request_yields_one_connected_tree(self):
+        recorder = WallRecorder(source="test-svc")
+        service = BatchService(ServiceConfig(workers=2), recorder=recorder)
+
+        async def scenario():
+            await service.start()
+            try:
+                image = darpa_like(32, 256, seed=5)
+                await service.submit("components", image, connectivity=8)
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+        recorder.drain()
+        traces = {s.args["trace"] for s in recorder.log.spans
+                  if s.args.get("trace")}
+        assert len(traces) == 1
+        spans = spans_of_trace(recorder.log, traces.pop())
+        names = {s.name for s in spans}
+        assert SVC_REQUEST in names
+        assert SVC_QUEUE_SPAN in names
+        assert SVC_BATCH in names
+        assert "dispatch:svc:exec" in names
+        assert "svc:components[0]" in names
+        assert "kernel:tile_label" in names
+        root = assert_connected(spans)
+        assert root.name == SVC_REQUEST
+        # worker spans crossed the process boundary onto an OS-pid lane
+        worker = next(s for s in spans if s.name == "svc:components[0]")
+        assert isinstance(worker.lane, int)
+        # the export is a valid, nesting-clean Chrome trace
+        validate_chrome_trace(chrome_trace(recorder.log))
+
+    def test_coalesced_request_links_to_lead_span(self):
+        recorder = WallRecorder(source="test-svc")
+        service = BatchService(
+            ServiceConfig(workers=2, max_delay_s=0.05), recorder=recorder
+        )
+
+        async def scenario():
+            await service.start()
+            try:
+                image = darpa_like(32, 256, seed=6)
+                await asyncio.gather(
+                    service.submit("histogram", image, k=256),
+                    service.submit("histogram", image, k=256),
+                )
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+        recorder.drain()
+        spans = [s for s in recorder.log.spans if s.args.get("trace")]
+        requests = [s for s in spans if s.name == SVC_REQUEST]
+        assert len(requests) == 2
+        coalesced = [s for s in requests if s.args.get("coalesced_onto")]
+        assert len(coalesced) == 1
+        lead = next(s for s in requests if s is not coalesced[0])
+        assert coalesced[0].args["coalesced_onto"] == lead.args["span"]
+        batch = next(s for s in spans if s.name == SVC_BATCH)
+        assert lead.args["span"] in batch.args["links"]
+
+    def test_untraced_service_records_nothing(self):
+        service = BatchService(ServiceConfig(workers=2))
+
+        async def scenario():
+            await service.start()
+            try:
+                await service.submit(
+                    "histogram", darpa_like(16, 256, seed=7), k=256
+                )
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+        assert service.recorder is None
+
+
+class TestSnapshotV2:
+    def run_requests(self, config=None):
+        service = BatchService(config or ServiceConfig(workers=2))
+
+        async def scenario():
+            await service.start()
+            try:
+                image = darpa_like(24, 256, seed=8)
+                await service.submit("histogram", image, k=256)
+                await service.submit("histogram", image, k=256)  # cache hit
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+        return service
+
+    def test_schema_hit_rate_and_highwater(self):
+        snap = self.run_requests().snapshot()
+        assert snap["schema"] == "repro-service-stats/v2"
+        assert snap["cache"]["hit_rate"] == pytest.approx(0.5)
+        assert snap["admission"]["depth_highwater"] >= 1
+
+    def test_latency_quantiles_present(self):
+        snap = self.run_requests().snapshot()
+        lat = snap["latency"]["histogram"]
+        assert lat["count"] == 2
+        assert 0 < lat["p50_ms"] <= lat["p95_ms"] <= lat["p99_ms"]
+
+    def test_metrics_disabled_omits_latency(self):
+        snap = self.run_requests(
+            ServiceConfig(workers=2, metrics=False)
+        ).snapshot()
+        assert "latency" not in snap
+        assert snap["schema"] == "repro-service-stats/v2"
+
+
+class TestInstruments:
+    def test_request_lifecycle_counts(self):
+        from repro.obs import MetricsRegistry
+        from repro.service.instruments import M_ERRORS, M_INFLIGHT, M_REQUESTS
+
+        reg = MetricsRegistry()
+        ins = ServiceInstruments(reg)
+        ins.request_started("histogram")
+        assert reg.gauge(M_INFLIGHT).value == 1
+        ins.request_finished("histogram", 0.01)
+        assert reg.gauge(M_INFLIGHT).value == 0
+        ins.request_error("histogram", ValueError("x"))
+        assert reg.counter(M_REQUESTS, labels={"op": "histogram"}).value == 1
+        fam = reg.family(M_ERRORS)
+        assert sum(c.value for c in fam.children.values()) == 1
+
+    def test_unknown_op_clamped_to_other(self):
+        from repro.obs import MetricsRegistry
+        from repro.service.instruments import M_REQUESTS, op_label
+
+        assert op_label("histogram") == "histogram"
+        assert op_label("__proto__") == "other"
+        reg = MetricsRegistry()
+        ins = ServiceInstruments(reg)
+        ins.request_started("nonsense")
+        assert reg.counter(M_REQUESTS, labels={"op": "other"}).value == 1
+
+    def test_latency_summary_quantiles(self):
+        from repro.obs import MetricsRegistry
+
+        ins = ServiceInstruments(MetricsRegistry())
+        for _ in range(20):
+            ins.request_finished("histogram", 0.010)
+        summary = ins.latency_summary()
+        assert summary["histogram"]["count"] == 20
+        assert summary["histogram"]["p50_ms"] == pytest.approx(10.0, rel=0.10)
+
+
+class _LiveServer:
+    """A socket server on its own thread, for CLI- and client-side tests."""
+
+    def __init__(self, tmp_path, config=None, recorder=None):
+        self.socket_path = str(tmp_path / "svc.sock")
+        self.config = config or ServiceConfig(workers=2)
+        self.recorder = recorder
+        self.service = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            self.service = BatchService(self.config, recorder=self.recorder)
+            server = ServiceServer(self.service, self.socket_path)
+            await server.start()
+            self._ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=30), "server did not come up"
+        return self
+
+    def __exit__(self, *exc):
+        self.ask({"op": "shutdown"})
+        self._thread.join(timeout=30)
+
+    def ask(self, obj, **kw):
+        return asyncio.run(
+            request_over_socket(self.socket_path, obj, **kw)
+        )
+
+
+class TestSocketObservability:
+    def test_metrics_op_exposes_latency_histogram(self, tmp_path):
+        with _LiveServer(tmp_path) as live:
+            img = encode_array(darpa_like(24, 256, seed=9))
+            reply = live.ask(
+                {"op": "histogram", "image": img, "params": {"k": 256}}
+            )
+            assert reply["ok"]
+            text = live.ask({"op": "metrics"})["result"]
+            families = parse_prometheus_text(text)
+            lat = families["repro_request_latency_seconds"]
+            assert lat["type"] == "histogram"
+            counts = [
+                s for s in lat["samples"]
+                if s["name"].endswith("_count")
+                and s["labels"].get("op") == "histogram"
+            ]
+            assert counts and counts[0]["value"] >= 1
+
+    def test_metrics_disabled_is_a_typed_error(self, tmp_path):
+        config = ServiceConfig(workers=2, metrics=False)
+        with _LiveServer(tmp_path, config=config) as live:
+            reply = live.ask({"op": "metrics"})
+            assert not reply["ok"]
+            assert reply["error"]["type"] == "ValidationError"
+
+    def test_trace_id_echoed_and_client_context_honored(self, tmp_path):
+        recorder = WallRecorder(source="test-serve")
+        with _LiveServer(tmp_path, recorder=recorder) as live:
+            ctx = TraceContext.mint()
+            reply = live.ask(
+                {"op": "components", "image": {"pattern": 3, "size": 24},
+                 "trace": ctx.to_wire()},
+            )
+            assert reply["ok"]
+            assert reply["trace_id"] == ctx.trace_id
+            exported = live.ask({"op": "trace"})["result"]
+            validate_chrome_trace(exported)
+            mine = [
+                e for e in exported["traceEvents"]
+                if e.get("ph") == "X"
+                and e.get("args", {}).get("trace") == ctx.trace_id
+            ]
+            names = {e["name"] for e in mine}
+            assert CLIENT_REQUEST in names and SVC_REQUEST in names
+
+    def test_minted_trace_id_when_client_sends_none(self, tmp_path):
+        with _LiveServer(tmp_path) as live:
+            reply = live.ask(
+                {"op": "components", "image": {"pattern": 1, "size": 16}}
+            )
+            assert reply["ok"]
+            assert len(reply["trace_id"]) == 32
+
+    def test_trace_inside_params_rejected(self, tmp_path):
+        with _LiveServer(tmp_path) as live:
+            reply = live.ask(
+                {"op": "components", "image": {"pattern": 1, "size": 16},
+                 "params": {"trace": {"trace_id": "x"}}},
+            )
+            assert not reply["ok"]
+            assert reply["error"]["type"] == "ValidationError"
+            assert "top-level" in reply["error"]["message"]
+
+    def test_trace_op_without_recorder_is_a_typed_error(self, tmp_path):
+        with _LiveServer(tmp_path) as live:
+            reply = live.ask({"op": "trace"})
+            assert not reply["ok"]
+            assert reply["error"]["type"] == "ValidationError"
+
+
+class TestCliViews:
+    def run_cli(self, capsys, *argv):
+        from repro.cli import main
+
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_top_renders_one_frame(self, tmp_path, capsys):
+        with _LiveServer(tmp_path) as live:
+            img = encode_array(darpa_like(24, 256, seed=10))
+            req = {"op": "histogram", "image": img, "params": {"k": 256}}
+            live.ask(req)
+            live.ask(req)
+            out = self.run_cli(
+                capsys, "top", "--socket", live.socket_path,
+                "--count", "1", "--no-clear",
+            )
+        assert "requests 2" in out
+        assert "hit-rate 50.0%" in out
+        assert "p99" in out and "histogram" in out
+
+    def test_follow_prints_the_span_tree(self, tmp_path, capsys):
+        recorder = WallRecorder(source="test-serve")
+        with _LiveServer(tmp_path, recorder=recorder) as live:
+            reply = live.ask(
+                {"op": "components", "image": {"pattern": 2, "size": 24}}
+            )
+            out = self.run_cli(
+                capsys, "trace", "--follow", reply["trace_id"][:8],
+                "--socket", live.socket_path,
+            )
+        assert f"trace {reply['trace_id']}" in out
+        for name in (CLIENT_REQUEST, SVC_REQUEST, "kernel:tile_label"):
+            assert name in out
+
+    def test_follow_unknown_id_errors_with_known_ids(self, tmp_path, capsys):
+        from repro.cli import main
+
+        recorder = WallRecorder(source="test-serve")
+        with _LiveServer(tmp_path, recorder=recorder) as live:
+            live.ask({"op": "components", "image": {"pattern": 1, "size": 16}})
+            code = main(
+                ["trace", "--follow", "feedfeed",
+                 "--socket", live.socket_path]
+            )
+        err = capsys.readouterr().err
+        assert code != 0
+        assert "known trace(s)" in err
+
+
+class TestWireTraceStamping:
+    def test_compute_requests_are_stamped(self, tmp_path):
+        with _LiveServer(tmp_path) as live:
+            ctx = TraceContext.mint()
+            reply = live.ask(
+                {"op": "components", "image": {"pattern": 1, "size": 16}},
+                trace=ctx,
+            )
+            assert reply["trace_id"] == ctx.trace_id
+
+    def test_control_ops_are_not_stamped(self, tmp_path):
+        with _LiveServer(tmp_path) as live:
+            reply = live.ask({"op": "ping"}, trace=TraceContext.mint())
+            assert reply["ok"] and "trace_id" not in reply
+
+
+def test_numpy_results_survive_tracing(tmp_path):
+    """Tracing must not perturb results: traced == untraced output."""
+    image = darpa_like(32, 256, seed=11)
+
+    def run(recorder):
+        service = BatchService(ServiceConfig(workers=2), recorder=recorder)
+
+        async def scenario():
+            await service.start()
+            try:
+                return await service.submit("components", image, grey=True)
+            finally:
+                await service.stop()
+
+        return asyncio.run(scenario())
+
+    untraced = run(None)
+    traced = run(WallRecorder(source="check"))
+    assert np.array_equal(untraced, traced)
