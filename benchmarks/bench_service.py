@@ -45,9 +45,13 @@ Run as a script (CI runs the smoke variant)::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import concurrent.futures
+import os
 import pathlib
+import subprocess
 import sys
+import tempfile
 import threading
 import time
 
@@ -62,7 +66,12 @@ from benchmarks.emit import emit_json  # noqa: E402
 from repro.faults import assert_no_shm_leak  # noqa: E402
 from repro.images import darpa_like  # noqa: E402
 from repro.obs import WallRecorder  # noqa: E402
-from repro.service import Client, ServiceConfig  # noqa: E402
+from repro.service import (  # noqa: E402
+    Client,
+    ServiceConfig,
+    WireClient,
+    request_over_socket,
+)
 from repro.utils.errors import ServiceOverloadError  # noqa: E402
 
 K = 256
@@ -274,6 +283,103 @@ def _saturate(args) -> dict:
     return row
 
 
+def _wire_compare(args) -> tuple[list[dict], float]:
+    """ndjson base64 vs the zero-copy shmem wire on a real socket server.
+
+    A genuine ``repro serve`` subprocess (descriptors must cross a real
+    process boundary) is driven sequentially over one persistent
+    connection per wire.  Every request carries a distinct image -- and
+    each wire gets its *own* distinct set -- so the shared
+    content-addressed cache cannot serve either side the other's
+    computations; both wires pay the full materialize+compute path and
+    the measured difference is pure wire cost: base64+JSON framing of
+    the pixels vs a segment memcpy plus a descriptor line.
+    """
+    size = min(args.wire_size, 64) if args.smoke else args.wire_size
+    n = 6 if args.smoke else 24
+    # Per-wire warmup requests (distinct images, so nothing is cached
+    # for the timed set): the first shmem materialization in each pool
+    # worker pays one-time costs (tracker process spawn, first segment
+    # map) that belong to process start, not to the wire.
+    n_warm = max(3, args.workers + 1)
+    workloads = {
+        wire: [darpa_like(size, K, seed=base + i) for i in range(n + n_warm)]
+        for wire, base in (("ndjson", 2000), ("shmem", 5000))
+    }
+
+    async def drive(sock: str, wire: str) -> dict:
+        latencies = []
+        async with WireClient(sock, wire=wire) as client:
+            for image in workloads[wire][:n_warm]:
+                await client.compute("histogram", image, k=K)
+            t0 = time.perf_counter()
+            for image in workloads[wire][n_warm:]:
+                s = time.perf_counter()
+                await client.compute("histogram", image, k=K)
+                latencies.append(time.perf_counter() - s)
+            elapsed = time.perf_counter() - t0
+        lat = np.array(sorted(latencies))
+        return {
+            "config": f"wire:{wire}",
+            "wire": wire,
+            "requests": n,
+            "served": n,
+            "shed": 0,
+            "elapsed_s": elapsed,
+            "throughput_rps": n / elapsed if elapsed else 0.0,
+            "p50_ms": float(np.percentile(lat, 50) * 1e3),
+            "p95_ms": float(np.percentile(lat, 95) * 1e3),
+            "p99_ms": float(np.percentile(lat, 99) * 1e3),
+            "image_size": size,
+            "workers": args.workers,
+        }
+
+    rows = []
+    with assert_no_shm_leak(grace_s=2.0), tempfile.TemporaryDirectory() as tmp:
+        sock = os.path.join(tmp, "bench.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", sock, "--workers", str(args.workers)],
+            env=env,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while not os.path.exists(sock):
+                if proc.poll() is not None:
+                    raise AssertionError(f"bench server exited {proc.returncode}")
+                assert time.monotonic() < deadline, "bench server never came up"
+                time.sleep(0.05)
+            for wire in ("ndjson", "shmem"):
+                rows.append(asyncio.run(drive(sock, wire)))
+        finally:
+            if proc.poll() is None:
+                try:
+                    asyncio.run(request_over_socket(sock, {"op": "shutdown"}))
+                    proc.wait(timeout=30)
+                except (OSError, ConnectionError, subprocess.TimeoutExpired):
+                    proc.kill()
+                    proc.wait()
+    by_wire = {row["wire"]: row for row in rows}
+    tp_gain = (by_wire["shmem"]["throughput_rps"]
+               / max(by_wire["ndjson"]["throughput_rps"], 1e-12))
+    p95_gain = (by_wire["ndjson"]["p95_ms"]
+                / max(by_wire["shmem"]["p95_ms"], 1e-12))
+    wire_gain = max(tp_gain, p95_gain)
+    for row in rows:
+        print(
+            f"  {row['config']:<20} {row['throughput_rps']:>8.1f} req/s   "
+            f"p50 {row['p50_ms']:.2f}ms  p95 {row['p95_ms']:.2f}ms  "
+            f"({row['image_size']}x{row['image_size']} images)"
+        )
+    print(
+        f"  shmem wire gain: {tp_gain:.2f}x throughput, "
+        f"{p95_gain:.2f}x lower p95"
+    )
+    return rows, wire_gain
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="tiny, fast variant")
@@ -282,6 +388,8 @@ def main(argv=None) -> int:
     parser.add_argument("--requests", type=int, default=240)
     parser.add_argument("--distinct", type=int, default=8)
     parser.add_argument("--size", type=int, default=128)
+    parser.add_argument("--wire-size", type=int, default=512,
+                        help="image side for the wire-mode comparison")
     args = parser.parse_args(argv)
     if args.smoke:
         args.workers = min(args.workers, 2)
@@ -299,11 +407,20 @@ def main(argv=None) -> int:
     rows.append(_saturate(args))
     obs_rows, obs_overhead_pct = _obs_overhead(args)
     rows.extend(obs_rows)
+    wire_rows, wire_gain = _wire_compare(args)
+    rows.extend(wire_rows)
 
     floor = 1.2 if args.smoke else 2.0
     assert speedup >= floor, (
         f"batched+cached speedup {speedup:.2f}x is below the {floor}x floor"
     )
+    # The zero-copy plane must beat base64 by >= 2x on throughput *or*
+    # p95 at full size; tiny smoke images don't move enough bytes for a
+    # meaningful floor, so smoke only records the rows.
+    if not args.smoke:
+        assert wire_gain >= 2.0, (
+            f"shmem wire gain {wire_gain:.2f}x is below the 2x floor"
+        )
     # The observability plane must stay cheap.  The formal budget is 5%;
     # the gate leaves headroom for loaded CI runners, where a single
     # closed-loop run easily wobbles by more than the budget itself.
@@ -324,6 +441,7 @@ def main(argv=None) -> int:
             "k": K,
             "speedup": speedup,
             "obs_overhead_pct": obs_overhead_pct,
+            "wire_gain": wire_gain,
             "smoke": args.smoke,
         },
         rows=rows,
@@ -332,7 +450,10 @@ def main(argv=None) -> int:
         "'saturation' row offers more concurrency than the admission queue "
         "holds and records typed load shedding; the 'batched+cached+obs' / "
         "'batched+cached-noobs' pair measures the tracing+metrics overhead "
-        "on the identical stream (params.obs_overhead_pct)",
+        "on the identical stream (params.obs_overhead_pct); the 'wire:*' "
+        "rows drive a real socket server over one persistent connection "
+        "per wire mode and record the zero-copy shmem win over ndjson "
+        "base64 (params.wire_gain)",
     )
     return 0
 

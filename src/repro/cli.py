@@ -100,10 +100,11 @@ def _add_input_args(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument(
         "--kernel",
-        choices=("python", "numpy"),
+        choices=("python", "numpy", "numba"),
         default=None,
         help="local-step kernel backend (default: $REPRO_KERNEL_BACKEND or numpy); "
-        "python = per-pixel reference, numpy = vectorized (bit-identical)",
+        "python = per-pixel reference, numpy = vectorized (bit-identical), "
+        "numba = JIT-compiled (requires the optional numba package)",
     )
     sub.add_argument(
         "--trace-out",
@@ -769,10 +770,24 @@ def cmd_chaos(args) -> int:
     return 0
 
 
-def _serve_selftest(config, recorder=None, trace_out=None) -> int:
-    """In-process round-trip: batched requests, then a cache hit on repeat."""
+def _serve_selftest(config, recorder=None, trace_out=None, wire="ndjson") -> int:
+    """In-process round-trip: batched requests, then a cache hit on repeat.
+
+    A live-socket leg follows in the requested ``wire`` mode (ndjson or
+    the zero-copy shmem descriptors) and must agree bit-for-bit with
+    the in-process answer, with no shared-memory segment left behind.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.faults.leakcheck import assert_no_shm_leak
     from repro.images import darpa_like
-    from repro.service import Client
+    from repro.service import (
+        BatchService,
+        Client,
+        ServiceServer,
+        compute_over_socket,
+    )
 
     with Client(config, recorder=recorder) as client:
         image = darpa_like(64, 256)
@@ -787,6 +802,22 @@ def _serve_selftest(config, recorder=None, trace_out=None) -> int:
     cache = snap.get("cache", {})
     if config.cache and not cache.get("hits"):
         raise ReproError("selftest: repeated request did not hit the cache")
+
+    async def _socket_leg() -> np.ndarray:
+        sock = os.path.join(tempfile.mkdtemp(prefix="repro-selftest-"), "svc.sock")
+        server = ServiceServer(BatchService(config), sock)
+        await server.start()
+        try:
+            return await compute_over_socket(
+                sock, "histogram", image, wire=wire, k=256
+            )
+        finally:
+            await server.stop()
+
+    with assert_no_shm_leak():
+        wired = asyncio.run(_socket_leg())
+    if not np.array_equal(first, wired):
+        raise ReproError(f"selftest: {wire} socket round trip diverged")
     if recorder is not None and trace_out:
         from repro.obs import write_chrome_trace
 
@@ -796,7 +827,8 @@ def _serve_selftest(config, recorder=None, trace_out=None) -> int:
     print(
         f"selftest OK: {snap['service']['completed']} request(s) served, "
         f"{snap['batcher']['batches']} batch(es), "
-        f"{cache.get('hits', 0)} cache hit(s)"
+        f"{cache.get('hits', 0)} cache hit(s), "
+        f"socket round trip via {wire} wire"
     )
     return 0
 
@@ -829,7 +861,7 @@ def cmd_serve(args) -> int:
         metrics=not args.no_metrics,
     )
     if args.selftest:
-        return _serve_selftest(config, recorder, args.trace_out)
+        return _serve_selftest(config, recorder, args.trace_out, args.wire)
     if not args.socket:
         raise ReproError("provide --socket PATH (or use --selftest)")
 
@@ -1200,7 +1232,7 @@ def build_parser() -> argparse.ArgumentParser:
     cha.add_argument("--grey", action="store_true")
     cha.add_argument("--connectivity", type=int, choices=(4, 8), default=8)
     cha.add_argument(
-        "--kernel", choices=("python", "numpy"), default=None,
+        "--kernel", choices=("python", "numpy", "numba"), default=None,
         help="local-step kernel backend",
     )
     cha.add_argument("--seed", type=int, default=0, help="fault-plan seed")
@@ -1262,8 +1294,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-task retry budget (default $REPRO_TASK_RETRIES or 2)",
     )
     srv.add_argument(
-        "--kernel", choices=("python", "numpy"), default=None,
+        "--kernel", choices=("python", "numpy", "numba"), default=None,
         help="local-step kernel backend",
+    )
+    srv.add_argument(
+        "--wire", choices=("ndjson", "shmem"), default="ndjson",
+        help="wire mode for the --selftest socket round trip: ndjson = "
+        "base64 pixels inline, shmem = zero-copy shared-memory descriptors",
     )
     srv.add_argument(
         "--fault-plan",

@@ -25,6 +25,7 @@ hang, never a leaked ``/dev/shm`` segment
 
 from repro.faults.inject import (
     corrupt_labels,
+    corrupt_pixels,
     fire,
     install_plan,
     validate_border_labels,
@@ -51,6 +52,7 @@ __all__ = [
     "install_plan",
     "fire",
     "corrupt_labels",
+    "corrupt_pixels",
     "validate_border_labels",
     "shm_segments",
     "leaked_since",

@@ -80,6 +80,17 @@ def corrupt_labels(labels: np.ndarray) -> np.ndarray:
     return out
 
 
+def corrupt_pixels(image: np.ndarray) -> np.ndarray:
+    """Return a bit-flipped copy of a shared-memory image payload.
+
+    Every pixel's low bit is toggled, so the copy can never hash to the
+    descriptor's digest -- :func:`repro.runtime.shmem.
+    verify_descriptor_digest` always detects the damage (the
+    ``svc:shmem`` analogue of :func:`corrupt_labels`).
+    """
+    return np.array(image, copy=True) ^ 1
+
+
 def validate_border_labels(labels: np.ndarray, *, site: str = "cc:merge") -> None:
     """Reject a border payload carrying out-of-range labels.
 

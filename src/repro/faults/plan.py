@@ -75,7 +75,10 @@ from repro.utils.errors import ValidationError
 SCHEMA = "repro-faults/v1"
 
 #: Recognized fault sites.
-SITES = ("hist:band", "cc:label", "cc:merge", "cc:final", "sim:merge", "svc:exec")
+SITES = (
+    "hist:band", "cc:label", "cc:merge", "cc:final", "sim:merge",
+    "svc:exec", "svc:shmem",
+)
 
 #: Recognized fault kinds.
 KINDS = ("crash", "hang", "exception", "corrupt")
@@ -115,8 +118,10 @@ class FaultSpec:
             raise ValidationError(f"unknown fault site {self.site!r}; known: {list(SITES)}")
         if self.kind not in KINDS:
             raise ValidationError(f"unknown fault kind {self.kind!r}; known: {list(KINDS)}")
-        if self.kind == "corrupt" and self.site != "cc:merge":
-            raise ValidationError("kind 'corrupt' is only defined for site 'cc:merge'")
+        if self.kind == "corrupt" and self.site not in ("cc:merge", "svc:shmem"):
+            raise ValidationError(
+                "kind 'corrupt' is only defined for sites 'cc:merge' and 'svc:shmem'"
+            )
         if self.site == "sim:merge" and self.kind != "crash":
             raise ValidationError("site 'sim:merge' models processor loss; use kind 'crash'")
         if self.target not in TARGETS:

@@ -25,7 +25,9 @@ row_offset, col_offset)``
 Backend selection precedence: explicit ``backend=`` argument >
 ``REPRO_KERNEL_BACKEND`` environment variable > ``"numpy"``.  The
 ``"python"`` backend is the per-pixel reference; ``"numpy"`` is proven
-bit-identical to it by the differential property suite.  See
+bit-identical to it by the differential property suite, and the
+optional ``"numba"`` backend (JIT-compiled loops; registered only when
+the numba package is installed) is held to the same contract.  See
 docs/KERNELS.md.
 """
 
@@ -33,6 +35,7 @@ from repro.kernels.registry import (
     BACKENDS,
     DEFAULT_BACKEND,
     ENV_VAR,
+    available_backends,
     backends_of,
     get,
     kernel_names,
@@ -40,13 +43,18 @@ from repro.kernels.registry import (
     resolve_backend,
 )
 
-# Importing the backend modules populates the registry.
-from repro.kernels import python_backend, numpy_backend  # noqa: E402,F401
+# Importing the backend modules populates the registry.  The numba
+# module always imports cleanly; it registers nothing when the numba
+# package is absent (see NUMBA_AVAILABLE).
+from repro.kernels import python_backend, numpy_backend, numba_backend  # noqa: E402,F401
+from repro.kernels.numba_backend import NUMBA_AVAILABLE  # noqa: E402
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
     "ENV_VAR",
+    "NUMBA_AVAILABLE",
+    "available_backends",
     "backends_of",
     "get",
     "kernel_names",

@@ -7,10 +7,14 @@ Procedure 1 -- are isolated behind a tiny registry so each can be
 served by either
 
 * ``"python"`` -- the per-pixel reference implementations (the exact
-  procedures the paper describes, at interpreter speed), or
+  procedures the paper describes, at interpreter speed),
 * ``"numpy"``  -- vectorized equivalents proven **bit-identical** by
   the differential property suite (``tests/test_kernels_differential``)
-  and the golden fixtures (``tests/test_kernels_golden``).
+  and the golden fixtures (``tests/test_kernels_golden``), or
+* ``"numba"``  -- JIT-compiled scalar loops (optional: registered only
+  when the ``numba`` package is importable; selecting it without numba
+  installed raises a clear :class:`ValidationError`).  Held to the same
+  bit-identity contract by the same suites.
 
 Only local computation hides behind a kernel; communication, cost
 accounting (``CostCounter``) and observability (``repro.obs``) are
@@ -35,8 +39,11 @@ ENV_VAR = "REPRO_KERNEL_BACKEND"
 #: Fallback backend when neither argument nor environment selects one.
 DEFAULT_BACKEND = "numpy"
 
-#: The recognized backends, in reference-first order.
-BACKENDS = ("python", "numpy")
+#: The recognized backends, in reference-first order.  ``numba`` is
+#: recognized even when the package is absent (so CLI/env selection
+#: fails with a clear message, not "unknown backend"); whether it is
+#: *usable* is a registration question -- see :func:`available_backends`.
+BACKENDS = ("python", "numpy", "numba")
 
 _REGISTRY: dict[tuple[str, str], Callable] = {}
 
@@ -57,13 +64,24 @@ def register(name: str, backend: str) -> Callable[[Callable], Callable]:
 
 
 def resolve_backend(backend: str | None = None) -> str:
-    """Resolve a backend name from the argument, environment, or default."""
+    """Resolve a backend name from the argument, environment, or default.
+
+    A *recognized but unavailable* backend (``numba`` without the numba
+    package) is rejected here, at selection time, so a misconfigured
+    service fails its config validation instead of its first request.
+    """
     if backend is None:
         backend = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
     backend = str(backend).strip().lower()
     if backend not in BACKENDS:
         raise ValidationError(
             f"unknown kernel backend {backend!r}; known: {list(BACKENDS)}"
+        )
+    if backend not in available_backends():
+        raise ValidationError(
+            f"kernel backend {backend!r} is not available in this "
+            f"environment (is the {backend!r} package installed?); "
+            f"available: {available_backends()}"
         )
     return backend
 
@@ -99,6 +117,12 @@ def get(name: str, backend: str | None = None) -> Callable:
     """
     backend = resolve_backend(backend)
     if (name, backend) not in _REGISTRY:
+        if backend not in available_backends():
+            raise ValidationError(
+                f"kernel backend {backend!r} is not available in this "
+                f"environment (is the {backend!r} package installed?); "
+                f"available: {available_backends()}"
+            )
         known = sorted({n for n, _ in _REGISTRY})
         raise ValidationError(
             f"unknown kernel {name!r} for backend {backend!r}; known kernels: {known}"
@@ -109,6 +133,16 @@ def get(name: str, backend: str | None = None) -> Callable:
 def kernel_names() -> list[str]:
     """Sorted names of all registered kernels."""
     return sorted({name for name, _ in _REGISTRY})
+
+
+def available_backends() -> list[str]:
+    """Backends with at least one registered kernel, reference-first.
+
+    ``python`` and ``numpy`` are always present; ``numba`` appears only
+    when the optional package imported cleanly at startup.
+    """
+    registered = {b for _, b in _REGISTRY}
+    return [b for b in BACKENDS if b in registered]
 
 
 def backends_of(name: str) -> list[str]:

@@ -16,7 +16,22 @@ On a single-core host (or ``backend="serial"``) both fall back to the
 vectorized sequential implementations.
 """
 
-from repro.runtime.shmem import SharedNDArray
+from repro.runtime.shmem import (
+    SharedNDArray,
+    ShmArena,
+    ShmDescriptor,
+    array_digest,
+    verify_descriptor_digest,
+)
 from repro.runtime.parallel import histogram, components, resolve_workers
 
-__all__ = ["SharedNDArray", "histogram", "components", "resolve_workers"]
+__all__ = [
+    "SharedNDArray",
+    "ShmArena",
+    "ShmDescriptor",
+    "array_digest",
+    "components",
+    "histogram",
+    "resolve_workers",
+    "verify_descriptor_digest",
+]

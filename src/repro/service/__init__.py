@@ -29,8 +29,14 @@ from repro.service.cache import (
     result_key,
 )
 from repro.service.instruments import ServiceInstruments
-from repro.service.ops import OPS, canonical_params, compute
+from repro.service.ops import (
+    OPS,
+    canonical_params,
+    compute,
+    materialize_request_image,
+)
 from repro.service.server import (
+    WIRES,
     BatchExecutor,
     BatchService,
     Client,
@@ -39,6 +45,12 @@ from repro.service.server import (
     decode_array,
     encode_array,
     request_over_socket,
+)
+from repro.service.wire import (
+    WireClient,
+    compute_over_socket,
+    mint_shared_image,
+    raise_reply_error,
 )
 
 __all__ = [
@@ -62,11 +74,17 @@ __all__ = [
     "ServiceConfig",
     "ServiceInstruments",
     "ServiceServer",
+    "WIRES",
+    "WireClient",
     "canonical_params",
     "compute",
+    "compute_over_socket",
     "decode_array",
     "encode_array",
     "image_digest",
+    "materialize_request_image",
+    "mint_shared_image",
+    "raise_reply_error",
     "request_over_socket",
     "result_key",
 ]

@@ -22,12 +22,12 @@ is taken on the hot path.  Stats counters are plain ints and safe to
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.runtime.shmem import array_digest as _array_digest
 from repro.utils.errors import ValidationError
 
 #: Default bound on cached entries.
@@ -42,13 +42,15 @@ def image_digest(image: np.ndarray) -> str:
 
     The dtype and shape are folded in so a (64, 64) int32 image and its
     flattened or reinterpreted twin cannot collide.
+
+    This is :func:`repro.runtime.shmem.array_digest` by another name --
+    deliberately the *same* function, so the digest a shared-memory
+    client stamps into its descriptor and the digest the server computes
+    for an ndjson image address the same cache entry.  A zero-copy
+    request is keyed by its descriptor's digest without the server ever
+    reading a pixel; the bytes are verified in the worker on a miss.
     """
-    image = np.ascontiguousarray(image)
-    h = hashlib.sha256()
-    h.update(str(image.dtype).encode())
-    h.update(str(image.shape).encode())
-    h.update(image.tobytes())
-    return h.hexdigest()
+    return _array_digest(image)
 
 
 def result_key(digest: str, op: str, params) -> str:

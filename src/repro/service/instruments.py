@@ -51,9 +51,18 @@ M_CACHE_ENTRIES = "repro_cache_entries"
 M_CACHE_BYTES = "repro_cache_bytes"
 
 
+#: Wire-mode label values for the front-end decode/encode histograms.
+WIRE_LABELS = ("ndjson", "shmem")
+
+
 def op_label(op) -> str:
     """Clamp an op name to a bounded label value."""
     return op if op in OPS else "other"
+
+
+def wire_label(wire) -> str:
+    """Clamp a wire mode to a bounded label value."""
+    return wire if wire in WIRE_LABELS else "ndjson"
 
 
 class ServiceInstruments:
@@ -109,10 +118,19 @@ class ServiceInstruments:
             M_CACHE_BYTES, "Cached result bytes", unit="bytes")
         self._coalesced = registry.counter(
             M_COALESCED, "Requests coalesced onto an in-flight twin")
-        self._decode = registry.histogram(
-            M_DECODE, "Wire image decode time", unit="seconds")
-        self._encode = registry.histogram(
-            M_ENCODE, "Wire result encode time", unit="seconds")
+        # Decode/encode are split by wire mode, so the shmem-vs-ndjson
+        # comparison the zero-copy plane exists for is readable straight
+        # off the exposition instead of needing a benchmark run.
+        self._decode = {
+            w: registry.histogram(M_DECODE, "Wire image decode time",
+                                  unit="seconds", labels={"wire": w})
+            for w in WIRE_LABELS
+        }
+        self._encode = {
+            w: registry.histogram(M_ENCODE, "Wire result encode time",
+                                  unit="seconds", labels={"wire": w})
+            for w in WIRE_LABELS
+        }
 
     # -- request lifecycle -------------------------------------------------
 
@@ -177,11 +195,11 @@ class ServiceInstruments:
 
     # -- wire front-end ----------------------------------------------------
 
-    def decode(self, seconds: float) -> None:
-        self._decode.observe(seconds)
+    def decode(self, seconds: float, *, wire: str = "ndjson") -> None:
+        self._decode[wire_label(wire)].observe(seconds)
 
-    def encode(self, seconds: float) -> None:
-        self._encode.observe(seconds)
+    def encode(self, seconds: float, *, wire: str = "ndjson") -> None:
+        self._encode[wire_label(wire)].observe(seconds)
 
     # -- reading back ------------------------------------------------------
 

@@ -28,12 +28,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.equalization import equalization_lut
-from repro.faults.inject import fire, install_plan
+from repro.faults.inject import corrupt_pixels, fire, install_plan
 from repro.faults.plan import FaultPlan
 from repro.kernels import get as get_kernel
 from repro.obs import trace as _trace
 from repro.obs.runtime import init_worker_sink, task_span
 from repro.obs.trace import TraceContext
+from repro.runtime.shmem import (
+    SharedNDArray,
+    ShmDescriptor,
+    verify_descriptor_digest,
+)
 from repro.utils.errors import ReproError, ValidationError
 from repro.utils.validation import check_image, check_power_of_two
 
@@ -41,12 +46,17 @@ from repro.utils.validation import check_image, check_power_of_two
 OPS = ("histogram", "components", "equalize")
 
 
-def canonical_params(op: str, image: np.ndarray, params: dict) -> tuple:
+def canonical_params(op: str, image: np.ndarray | None, params: dict) -> tuple:
     """Validate a request and return its canonical, hashable param tuple.
 
     The tuple is sorted by name and fully defaulted, so two requests
     that mean the same computation always produce the same batch key
     and the same cache key, however the caller spelled them.
+
+    ``image`` is ``None`` for a shared-memory descriptor request: the
+    driver never reads descriptor pixels (that is the zero-copy
+    contract), so the grey-level-vs-``k`` check is deferred to the
+    kernel's own validation inside the worker.
     """
     if op not in OPS:
         raise ValidationError(f"unknown service op {op!r}; known: {list(OPS)}")
@@ -55,7 +65,7 @@ def canonical_params(op: str, image: np.ndarray, params: dict) -> tuple:
     if op in ("histogram", "equalize"):
         k = int(params.pop("k", 256))
         check_power_of_two("k", k)
-        if image.max(initial=0) >= k:
+        if image is not None and image.max(initial=0) >= k:
             raise ValidationError(f"image has grey levels >= k={k}")
         out["k"] = k
     else:  # components
@@ -75,6 +85,40 @@ def check_request_image(image) -> np.ndarray:
     """Validate and canonicalize a request image (contiguous int array)."""
     image = check_image(np.asarray(image), square=False)
     return np.ascontiguousarray(image)
+
+
+def materialize_request_image(image, *, task=None, attempt: int = 0) -> np.ndarray:
+    """Resolve a request image to pixels wherever the task runs.
+
+    An ndarray passes through untouched.  A :class:`~repro.runtime.
+    shmem.ShmDescriptor` is the zero-copy path: attach to the named
+    segment, copy the view out **once** (a single memcpy -- the wire
+    never carried the pixels), close the mapping, then verify the copy
+    against the descriptor's content digest.  Copy-before-verify means
+    the computation can never see a torn concurrent write that the
+    digest check missed, and closing before compute means a client
+    unlinking its segment mid-request cannot fault the worker.
+
+    Failure typing matters here: a missing/undersized segment raises
+    :class:`~repro.utils.errors.ValidationError` (a per-request JSON
+    error), while a digest mismatch raises :class:`~repro.utils.errors.
+    CorruptPayloadError` -- retryable, because a torn write heals on
+    re-read.  The ``svc:shmem`` fault site fires between attach and
+    verify; its ``corrupt`` kind tampers the copied pixels so the
+    digest check must catch it, exactly like ``cc:merge`` corruption.
+    """
+    if not isinstance(image, ShmDescriptor):
+        return image
+    spec = fire("svc:shmem", task=task, attempt=attempt)
+    seg = SharedNDArray.attach_descriptor(image)
+    try:
+        pixels = np.array(seg.array, copy=True)
+    finally:
+        seg.close()
+    if spec is not None and spec.kind == "corrupt":
+        pixels = corrupt_pixels(pixels)
+    verify_descriptor_digest(image, pixels)
+    return pixels
 
 
 def compute(op: str, image: np.ndarray, params: tuple, kernel: str) -> np.ndarray:
@@ -128,6 +172,15 @@ def svc_task(arg):
     ctx = TraceContext.from_wire(trace_wire) if trace_wire is not None else None
     with _trace.activate(ctx):
         with task_span(f"svc:{op}[{index}]", op=op, index=index):
+            # Descriptor materialization sits *outside* the marker
+            # wrapper for its fault-typed errors: CorruptPayloadError
+            # must reach the dispatcher (it is retryable -- the re-run
+            # re-reads the segment), while a ValidationError (unknown
+            # or undersized segment) is this request's own typed error.
+            try:
+                image = materialize_request_image(image, task=index, attempt=attempt)
+            except ValidationError as exc:
+                return ("err", type(exc).__name__, str(exc))
             try:
                 return ("ok", compute(op, image, params, _SVC.get("kernel", "numpy")))
             except ReproError as exc:

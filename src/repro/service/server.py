@@ -63,6 +63,7 @@ from repro.runtime.dispatch import (
     run_tasks,
 )
 from repro.runtime.parallel import _pool_context
+from repro.runtime.shmem import ShmArena, ShmDescriptor
 from repro.service.admission import (
     DEFAULT_QUEUE_DEPTH,
     AdmissionQueue,
@@ -87,6 +88,7 @@ from repro.service.ops import (
     canonical_params,
     check_request_image,
     compute,
+    materialize_request_image,
     svc_init,
     svc_task,
 )
@@ -241,6 +243,11 @@ class BatchExecutor:
     def _serial(self, payload) -> tuple:
         index, op, image, params, _ctx = payload
         try:
+            # Descriptor requests materialize here too (the degrade path
+            # runs on the driver, where the segment is just as visible);
+            # a corrupt segment surfaces as this request's own typed
+            # CorruptPayloadError marker, not a batch-level failure.
+            image = materialize_request_image(image, task=index)
             return ("ok", compute(op, image, params, self._config.kernel))
         except ReproError as exc:
             return ("err", type(exc).__name__, str(exc))
@@ -365,6 +372,12 @@ class BatchService:
                      **params) -> np.ndarray:
         """Serve one request; returns the result array (caller-owned).
 
+        ``image`` is either an ndarray (validated and digested here) or
+        a :class:`~repro.runtime.shmem.ShmDescriptor` naming a shared
+        segment the caller has already written and digested -- the
+        zero-copy path, where pixels are only touched by the worker
+        serving a cache miss.
+
         ``trace`` is the request's trace context (e.g. parsed off the
         wire by the socket front-end).  With a recorder attached a
         context is minted when none is given, so every served request
@@ -413,13 +426,27 @@ class BatchService:
 
     async def _serve_request(self, op, image, params,
                              req_ctx: TraceContext | None, handle=None) -> tuple:
-        """The cache / coalesce / admit path; returns ``(result, via)``."""
-        image = check_request_image(image)
-        canonical = canonical_params(op, image, params)
+        """The cache / coalesce / admit path; returns ``(result, via)``.
+
+        A :class:`~repro.runtime.shmem.ShmDescriptor` image is the
+        zero-copy path: no pixel is read on this thread -- validation
+        of the actual bytes happens in the worker that materializes the
+        segment, and the cache key reuses the digest the *client*
+        already computed.  A cache hit therefore costs zero segment
+        reads (the regression test holds us to that by unlinking the
+        segment before the second request).
+        """
+        descriptor = isinstance(image, ShmDescriptor)
+        if descriptor:
+            canonical = canonical_params(op, None, params)
+        else:
+            image = check_request_image(image)
+            canonical = canonical_params(op, image, params)
         key = None
         if self.cache is not None:
             t_lookup = time.perf_counter()
-            key = result_key(image_digest(image), op, canonical)
+            digest = image.digest if descriptor else image_digest(image)
+            key = result_key(digest, op, canonical)
             hit = self.cache.get(key)
             if self.instruments is not None:
                 self.instruments.cache_lookup(
@@ -676,6 +703,11 @@ MAX_REQUEST_BYTES = 64 << 20
 #: ndarray dtypes accepted from the wire.
 WIRE_DTYPES = ("uint8", "int8", "uint16", "int16", "int32", "int64")
 
+#: Wire encodings a request may ask its reply in.  ``ndjson`` is the
+#: portable fallback (base64 pixels inline in the JSON line); ``shmem``
+#: carries only a segment descriptor -- pixels never touch the socket.
+WIRES = ("ndjson", "shmem")
+
 
 def encode_array(arr: np.ndarray) -> dict:
     """JSON-encodable form of an ndarray (shape, dtype, base64 bytes)."""
@@ -717,8 +749,14 @@ def decode_array(obj: dict) -> np.ndarray:
     return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
 
 
-def _materialize_image(obj) -> np.ndarray:
-    """An image from the wire: explicit array or a named test pattern."""
+def _materialize_image(obj):
+    """An image from the wire: shm descriptor, explicit array, or a
+    named test pattern."""
+    if isinstance(obj, dict) and "shm" in obj:
+        # The zero-copy request form: {"shm": {name, dtype, shape,
+        # digest}}.  Only the descriptor is validated here; the pixels
+        # stay untouched until a worker serves a cache miss.
+        return ShmDescriptor.from_wire(obj["shm"])
     if isinstance(obj, dict) and "pattern" in obj:
         from repro.images import binary_test_image, darpa_like
 
@@ -743,12 +781,25 @@ class ServiceServer:
     One request object per line in, one response object per line out;
     responses carry the request's ``id`` (if any) so clients may
     pipeline.  Ops: the three compute ops plus ``ping``, ``stats``,
-    and ``shutdown`` (which stops the server after responding).
+    ``shm_release``, and ``shutdown`` (which stops the server after
+    responding).
+
+    **Shared-memory replies.**  A compute request with ``"wire":
+    "shmem"`` (the default when its image arrived as a descriptor) gets
+    its result in a server-minted segment: the reply carries ``{"shm":
+    descriptor}`` and the client owes one ``shm_release`` for that
+    segment name, on the *same connection*.  Segment lifetime is pinned
+    to the connection that requested it -- whatever a client fails to
+    release is torn down when it disconnects, and :meth:`stop` releases
+    everything, so no reply segment can outlive the server (the
+    leakcheck contract).
     """
 
     def __init__(self, service: BatchService, socket_path: str):
         self.service = service
         self.socket_path = str(socket_path)
+        #: Owner of every reply segment this server ever mints.
+        self.arena = ShmArena()
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
 
@@ -775,10 +826,14 @@ class ServiceServer:
             await self._server.wait_closed()
             self._server = None
         await self.service.stop()
+        self.arena.release_all()
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # Reply segments minted for this connection and not yet released
+        # by the client; reclaimed below however the connection ends.
+        owned: set[str] = set()
         try:
             while not self._shutdown.is_set():
                 try:
@@ -796,15 +851,20 @@ class ServiceServer:
                     break
                 if not line:
                     break
-                response = await self._respond(line)
+                response = await self._respond(line, owned)
                 writer.write(response)
                 await writer.drain()
         finally:
+            for name in owned:
+                # Raced releases (client released right as it hung up,
+                # or stop() already swept the arena) are fine here.
+                with contextlib.suppress(ValidationError):
+                    self.arena.release(name)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    async def _respond(self, line: bytes) -> bytes:
+    async def _respond(self, line: bytes, owned: set[str] | None = None) -> bytes:
         req_id = None
         try:
             try:
@@ -832,10 +892,18 @@ class ServiceServer:
                     )
                 self.service.recorder.drain()
                 return _ok_line(req_id, chrome_trace(self.service.recorder.log))
+            if op == "shm_release":
+                name = obj.get("name")
+                if not isinstance(name, str):
+                    raise ValidationError("'name' must be a segment name string")
+                self.arena.release(name)  # unknown/double -> ValidationError
+                if owned is not None:
+                    owned.discard(name)
+                return _ok_line(req_id, "released")
             if op == "shutdown":
                 self._shutdown.set()
                 return _ok_line(req_id, "shutting down")
-            return await self._respond_compute(req_id, op, obj)
+            return await self._respond_compute(req_id, op, obj, owned)
         except ReproError as exc:
             return _error_line(req_id, exc)
         except Exception as exc:
@@ -845,8 +913,14 @@ class ServiceServer:
                 req_id, ReproError(f"internal error ({type(exc).__name__}): {exc}")
             )
 
-    async def _respond_compute(self, req_id, op, obj: dict) -> bytes:
-        """One compute request: decode, trace, submit, encode."""
+    async def _respond_compute(self, req_id, op, obj: dict,
+                               owned: set[str] | None = None) -> bytes:
+        """One compute request: decode, trace, submit, encode.
+
+        The ``wire`` request field picks the *reply* encoding; left
+        unset it follows the image encoding in kind, so a zero-copy
+        request gets a zero-copy reply without saying so twice.
+        """
         ctx = (
             TraceContext.from_wire(obj["trace"])
             if obj.get("trace") is not None
@@ -862,8 +936,16 @@ class ServiceServer:
         try:
             t_dec = time.perf_counter()
             image = _materialize_image(obj.get("image"))
+            image_wire = "shmem" if isinstance(image, ShmDescriptor) else "ndjson"
             if instruments is not None:
-                instruments.decode(time.perf_counter() - t_dec)
+                instruments.decode(time.perf_counter() - t_dec, wire=image_wire)
+            wire = obj.get("wire")
+            if wire is None:
+                wire = image_wire
+            if wire not in WIRES:
+                raise ValidationError(
+                    f"unknown reply wire {wire!r}; known: {list(WIRES)}"
+                )
             params = obj.get("params", {})
             if not isinstance(params, dict):
                 raise ValidationError("'params' must be an object")
@@ -873,9 +955,15 @@ class ServiceServer:
                 )
             result = await self.service.submit(op, image, trace=ctx, **params)
             t_enc = time.perf_counter()
-            payload = encode_array(result)
+            if wire == "shmem":
+                desc = self.arena.mint(result)
+                if owned is not None:
+                    owned.add(desc.name)
+                payload = {"shm": desc.to_wire()}
+            else:
+                payload = encode_array(result)
             if instruments is not None:
-                instruments.encode(time.perf_counter() - t_enc)
+                instruments.encode(time.perf_counter() - t_enc, wire=wire)
             return _ok_line(req_id, payload, trace_id=ctx.trace_id)
         finally:
             if handle is not None:

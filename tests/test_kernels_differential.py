@@ -62,8 +62,23 @@ class TestRegistry:
             "relabel",
             "tile_label",
         ]
+        expected = ["python", "numpy"] + (
+            ["numba"] if kernels.NUMBA_AVAILABLE else []
+        )
         for name in kernels.kernel_names():
-            assert kernels.backends_of(name) == ["python", "numpy"]
+            assert kernels.backends_of(name) == expected
+        assert kernels.available_backends() == expected
+
+    def test_numba_is_recognized_even_when_absent(self):
+        """``numba`` is always a *recognized* backend: selecting it
+        without the package raises the is-it-installed message, never
+        "unknown backend"."""
+        assert "numba" in kernels.BACKENDS
+        if not kernels.NUMBA_AVAILABLE:
+            with pytest.raises(ValidationError, match="not available"):
+                kernels.resolve_backend("numba")
+            with pytest.raises(ValidationError, match="not available"):
+                kernels.get("histogram", backend="numba")
 
     def test_unknown_kernel_rejected(self):
         with pytest.raises(ValidationError):
@@ -158,7 +173,7 @@ class TestTileLabelDifferential:
         seed never counts as visited); now both backends raise.
         """
         img = np.ones((3, 3), dtype=np.int32)
-        for backend in kernels.BACKENDS:
+        for backend in kernels.available_backends():
             with pytest.raises(ValidationError):
                 kernels.get("tile_label", backend=backend)(img, label_base=0)
 
@@ -219,7 +234,7 @@ class TestHistogramDifferential:
     @example(image=np.full((2, 5), 7, dtype=np.int32), k=8)
     def test_backends_match_reference(self, image, k):
         expected = sequential_histogram(image, k)
-        for backend in kernels.BACKENDS:
+        for backend in kernels.available_backends():
             got = kernels.get("histogram", backend=backend)(image, k)
             assert got.dtype == expected.dtype
             assert np.array_equal(got, expected)
@@ -227,7 +242,7 @@ class TestHistogramDifferential:
 
     def test_level_overflow_rejected(self):
         img = np.full((2, 2), 9, dtype=np.int32)
-        for backend in kernels.BACKENDS:
+        for backend in kernels.available_backends():
             with pytest.raises(ValidationError):
                 kernels.get("histogram", backend=backend)(img, 8)
 
@@ -248,7 +263,7 @@ class TestRelabelDifferential:
         alphas = np.array(sorted(mapping), dtype=np.int64)
         betas = np.array([mapping[a] for a in sorted(mapping)], dtype=np.int64)
         expected = apply_changes(labels, ChangeArray(alphas, betas))
-        for backend in kernels.BACKENDS:
+        for backend in kernels.available_backends():
             got = kernels.get("relabel", backend=backend)(labels, alphas, betas)
             assert got.dtype == expected.dtype
             assert np.array_equal(got, expected)
@@ -256,14 +271,14 @@ class TestRelabelDifferential:
     @given(labels=arrays(np.int64, (4, 5), elements=st.integers(0, 9)))
     def test_empty_change_array_is_identity_copy(self, labels):
         empty = np.empty(0, dtype=np.int64)
-        for backend in kernels.BACKENDS:
+        for backend in kernels.available_backends():
             got = kernels.get("relabel", backend=backend)(labels, empty, empty)
             assert np.array_equal(got, labels)
             assert got is not labels  # a copy, like apply_changes
 
     def test_mismatched_pairs_rejected(self):
         labels = np.arange(4, dtype=np.int64)
-        for backend in kernels.BACKENDS:
+        for backend in kernels.available_backends():
             with pytest.raises(ValidationError):
                 kernels.get("relabel", backend=backend)(
                     labels, np.array([1, 2]), np.array([3])
@@ -283,13 +298,13 @@ class TestBorderExtractDifferential:
     def test_backends_match_edge_indices(self, tile, edge):
         rows, cols = tile.shape
         expected = tile.ravel()[edge_indices(rows, cols, edge)]
-        for backend in kernels.BACKENDS:
+        for backend in kernels.available_backends():
             got = kernels.get("border_extract", backend=backend)(tile, edge)
             assert np.array_equal(got, expected)
 
     def test_unknown_edge_rejected(self):
         tile = np.zeros((3, 3), dtype=np.int32)
-        for backend in kernels.BACKENDS:
+        for backend in kernels.available_backends():
             with pytest.raises(ValidationError):
                 kernels.get("border_extract", backend=backend)(tile, "diagonal")
 
@@ -327,3 +342,69 @@ class TestKernelEngine:
         )
         ref = repro.parallel_components(small_binary, 4, engine="runs")
         assert np.array_equal(res.labels, ref.labels)
+
+
+# ---------------------------------------------------------------------------
+# numba backend (skipped cleanly when the package is absent)
+# ---------------------------------------------------------------------------
+
+
+needs_numba = pytest.mark.skipif(
+    not kernels.NUMBA_AVAILABLE, reason="numba is not installed"
+)
+
+
+@needs_numba
+class TestNumbaDifferential:
+    """The compiled backend is held to the same bit-identity bar.
+
+    The generic loops above already include ``numba`` via
+    ``available_backends()`` when it is installed; these legs pin the
+    two kernels with real algorithmic content (union-find labeling and
+    the single-pass tally) against the per-pixel references directly.
+    """
+
+    @given(image=_image_strategy(), connectivity=connectivities, grey=grey_flags)
+    @settings(max_examples=40)
+    def test_tile_label_bit_identical_to_bfs(self, image, connectivity, grey):
+        expected = bfs_label(image, connectivity=connectivity, grey=grey)
+        got = kernels.get("tile_label", backend="numba")(
+            image, connectivity=connectivity, grey=grey
+        )
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+
+    @given(
+        image=_image_strategy(max_side=8),
+        connectivity=connectivities,
+        label_base=st.integers(1, 3),
+        label_stride=st.integers(1, 64) | st.none(),
+        row_offset=st.integers(0, 32),
+        col_offset=st.integers(0, 32),
+    )
+    @settings(max_examples=40)
+    def test_tile_offset_labels_match(
+        self, image, connectivity, label_base, label_stride, row_offset, col_offset
+    ):
+        kw = dict(
+            connectivity=connectivity,
+            label_base=label_base,
+            label_stride=label_stride,
+            row_offset=row_offset,
+            col_offset=col_offset,
+        )
+        assert np.array_equal(
+            kernels.get("tile_label", backend="numba")(image, **kw),
+            bfs_label(image, **kw),
+        )
+
+    @given(
+        image=_image_strategy(max_side=12, max_level=7),
+        k=st.sampled_from([8, 16, 64]),
+    )
+    @settings(max_examples=40)
+    def test_histogram_matches_reference(self, image, k):
+        expected = sequential_histogram(image, k)
+        got = kernels.get("histogram", backend="numba")(image, k)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)

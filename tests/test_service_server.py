@@ -6,13 +6,16 @@ import json
 import numpy as np
 import pytest
 
+from repro.faults.leakcheck import assert_no_shm_leak
 from repro.images import darpa_like
 from repro.service import (
     BatchService,
     ServiceConfig,
     ServiceServer,
+    WireClient,
     decode_array,
     encode_array,
+    mint_shared_image,
     request_over_socket,
 )
 from repro.utils.errors import ValidationError
@@ -60,7 +63,13 @@ class TestWireEncoding:
 
 
 def _serve_scenario(handler):
-    """Run ``handler(server)`` against a live server on a temp socket."""
+    """Run ``handler(server)`` against a live server on a temp socket.
+
+    Every live-socket scenario -- including ones that end in client
+    disconnects or server shutdown -- runs inside the shared-memory
+    leak check: a test that leaves a ``/dev/shm`` segment behind fails
+    even if its assertions all passed.
+    """
 
     async def scenario(tmp_path):
         service = BatchService(ServiceConfig(workers=2))
@@ -71,7 +80,11 @@ def _serve_scenario(handler):
         finally:
             await server.stop()
 
-    return scenario
+    def run(tmp_path):
+        with assert_no_shm_leak(grace_s=2.0):
+            asyncio.run(scenario(tmp_path))
+
+    return run
 
 
 class TestSocketServer:
@@ -87,7 +100,7 @@ class TestSocketServer:
             hist = decode_array(reply["result"])
             assert np.array_equal(hist, np.bincount(img.ravel(), minlength=256))
 
-        asyncio.run(_serve_scenario(handler)(tmp_path))
+        _serve_scenario(handler)(tmp_path)
 
     def test_pattern_image_spec(self, tmp_path):
         async def handler(server):
@@ -99,7 +112,7 @@ class TestSocketServer:
             labels = decode_array(reply["result"])
             assert labels.shape == (32, 32)
 
-        asyncio.run(_serve_scenario(handler)(tmp_path))
+        _serve_scenario(handler)(tmp_path)
 
     def test_ping_stats_and_cache_hit(self, tmp_path):
         async def handler(server):
@@ -116,7 +129,7 @@ class TestSocketServer:
             assert stats["cache"]["hits"] == 1
             assert stats["service"]["completed"] == 2
 
-        asyncio.run(_serve_scenario(handler)(tmp_path))
+        _serve_scenario(handler)(tmp_path)
 
     def test_errors_are_typed_not_fatal(self, tmp_path):
         async def handler(server):
@@ -130,7 +143,7 @@ class TestSocketServer:
                 server.socket_path, {"op": "ping"}
             ))["result"] == "pong"
 
-        asyncio.run(_serve_scenario(handler)(tmp_path))
+        _serve_scenario(handler)(tmp_path)
 
     async def _raw_line(self, path, line: bytes) -> dict:
         reader, writer = await asyncio.open_unix_connection(path)
@@ -159,7 +172,7 @@ class TestSocketServer:
             finally:
                 writer.close()
 
-        asyncio.run(_serve_scenario(handler)(tmp_path))
+        _serve_scenario(handler)(tmp_path)
 
     def test_large_request_line_is_served(self, tmp_path):
         # A 256x256 int32 image is ~350 KB of base64 -- far past the
@@ -176,7 +189,7 @@ class TestSocketServer:
             hist = decode_array(reply["result"])
             assert np.array_equal(hist, np.bincount(img.ravel(), minlength=256))
 
-        asyncio.run(_serve_scenario(handler)(tmp_path))
+        _serve_scenario(handler)(tmp_path)
 
     def test_oversized_line_gets_typed_error(self, tmp_path, monkeypatch):
         monkeypatch.setattr("repro.service.server.MAX_REQUEST_BYTES", 4096)
@@ -199,7 +212,7 @@ class TestSocketServer:
                 server.socket_path, {"op": "ping"}
             ))["result"] == "pong"
 
-        asyncio.run(_serve_scenario(handler)(tmp_path))
+        _serve_scenario(handler)(tmp_path)
 
     def test_internal_errors_reply_typed(self, tmp_path):
         async def handler(server):
@@ -216,7 +229,7 @@ class TestSocketServer:
                 server.socket_path, {"op": "ping"}
             ))["result"] == "pong"
 
-        asyncio.run(_serve_scenario(handler)(tmp_path))
+        _serve_scenario(handler)(tmp_path)
 
     def test_bad_levels_is_a_validation_error(self, tmp_path):
         async def handler(server):
@@ -229,7 +242,7 @@ class TestSocketServer:
             assert reply["error"]["type"] == "ValidationError"
             assert "levels" in reply["error"]["message"]
 
-        asyncio.run(_serve_scenario(handler)(tmp_path))
+        _serve_scenario(handler)(tmp_path)
 
     def test_shutdown_request_stops_server(self, tmp_path):
         async def scenario():
@@ -241,4 +254,105 @@ class TestSocketServer:
             await asyncio.wait_for(server.serve_until_shutdown(), timeout=10)
             assert not service.running
 
-        asyncio.run(scenario())
+        with assert_no_shm_leak(grace_s=2.0):
+            asyncio.run(scenario())
+
+
+class TestShmemWire:
+    """Zero-copy wire lifetime rules at the server boundary."""
+
+    def test_shmem_cache_hit_reads_zero_segments(self, tmp_path):
+        """A repeated shmem request must be served from the cache
+        without touching the segment at all.
+
+        Proven destructively: after the first (miss) request the client
+        *unlinks* the segment, so any server-side attach on the second
+        request would fail with an unknown-segment error.  A successful
+        bit-identical reply is therefore a proof of zero segment reads.
+        """
+
+        async def handler(server):
+            img = darpa_like(24, 256, seed=9)
+            expected = np.bincount(img.ravel(), minlength=256)
+            seg, desc = mint_shared_image(img)
+            async with WireClient(server.socket_path, wire="ndjson") as client:
+                try:
+                    first = await client.compute("histogram", desc, k=256)
+                finally:
+                    seg.close()
+                    seg.unlink()  # the segment is now gone from /dev/shm
+                second = await client.compute("histogram", desc, k=256)
+                stats = (await client.request({"op": "stats"}))["result"]
+            assert np.array_equal(first, expected)
+            assert np.array_equal(second, expected)
+            assert stats["cache"]["hits"] == 1
+
+        _serve_scenario(handler)(tmp_path)
+
+    def test_client_disconnect_mid_request_releases_reply_segments(self, tmp_path):
+        """A client that vanishes without sending ``shm_release`` --
+        before or after reading its shmem reply -- must not leak the
+        server-minted reply segment; the connection teardown reclaims
+        it (verified by the leak check around the scenario)."""
+
+        async def handler(server):
+            img = darpa_like(24, 256, seed=10)
+            for read_reply in (True, False):
+                seg, desc = mint_shared_image(img)
+                try:
+                    reader, writer = await asyncio.open_unix_connection(
+                        server.socket_path)
+                    try:
+                        obj = {"op": "histogram",
+                               "image": {"shm": desc.to_wire()},
+                               "params": {"k": 256}, "wire": "shmem"}
+                        writer.write((json.dumps(obj) + "\n").encode())
+                        await writer.drain()
+                        if read_reply:
+                            reply = json.loads(await reader.readline())
+                            assert reply["ok"] and "shm" in reply["result"]
+                    finally:
+                        # Vanish without releasing the reply segment.
+                        writer.close()
+                finally:
+                    seg.close()
+                    seg.unlink()
+            # Give the server's connection teardown a beat, then prove
+            # the arena is empty while the server is still running.
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 2.0
+            while len(server.arena) and loop.time() < deadline:
+                await asyncio.sleep(0.02)
+            assert len(server.arena) == 0
+
+        _serve_scenario(handler)(tmp_path)
+
+    def test_server_stop_sweeps_unreleased_reply_segments(self, tmp_path):
+        """``stop()`` must reclaim reply segments a live client still
+        holds -- shutdown beats politeness."""
+
+        async def scenario():
+            service = BatchService(ServiceConfig(workers=2))
+            server = ServiceServer(service, str(tmp_path / "svc.sock"))
+            await server.start()
+            img = darpa_like(24, 256, seed=11)
+            seg, desc = mint_shared_image(img)
+            try:
+                client = WireClient(server.socket_path, wire="shmem")
+                await client.connect()
+                reply = await client.request({
+                    "op": "histogram", "image": {"shm": desc.to_wire()},
+                    "params": {"k": 256}, "wire": "shmem",
+                })
+                assert reply["ok"] and "shm" in reply["result"]
+                assert len(server.arena) == 1
+                # Stop with the connection open and the reply unreleased.
+                await server.stop()
+                assert len(server.arena) == 0
+                await client.aclose()
+            finally:
+                seg.close()
+                seg.unlink()
+
+        with assert_no_shm_leak(grace_s=2.0):
+            asyncio.run(scenario())
