@@ -55,14 +55,31 @@ register_rules(
         "the teardown. Move the release to a finally or use a context "
         "manager.",
     ),
+    LintRule(
+        "RES203",
+        "child process reap does not post-dominate the spawn",
+        "warning",
+        "A subprocess.Popen/multiprocessing.Process handle is waited/"
+        "killed only in straight-line code: an exception between spawn "
+        "and reap leaves a zombie (and possibly a live process group) "
+        "behind. Reap in a finally, or own the handle on an object whose "
+        "teardown kills and waits.",
+    ),
 )
 
 #: Factory shapes: last attribute path component(s) -> resource kind.
 _POOLISH = {"Pool", "ThreadPool", "PoolSupervisor"}
 _SOCKETISH = {"socket.socket", "socket.create_connection"}
 _SHM_METHODS = {"create", "from_array"}  # on a SharedNDArray-ish receiver
+#: Child-process handles (subprocess.Popen, multiprocessing/ctx.Process):
+#: the shard-supervisor shape -- spawned, then waited/killed somewhere
+#: that an exception edge can skip.
+_PROCESSISH = {"Popen", "Process"}
 
-_RELEASE_METHODS = {"close", "unlink", "terminate", "shutdown", "release", "join"}
+_RELEASE_METHODS = {
+    "close", "unlink", "terminate", "shutdown", "release", "join",
+    "wait", "kill",
+}
 _GUARD_WRAPPERS = {"enter_context", "callback", "push"}
 
 
@@ -89,6 +106,8 @@ def _factory_kind(call: ast.Call) -> str | None:
         return "shm"
     if last in _POOLISH:
         return "pool"
+    if last in _PROCESSISH:
+        return "process"
     if name in _SOCKETISH:
         return "socket"
     return None
@@ -183,6 +202,12 @@ def check(tree: ast.AST, filename: str) -> list[LintDiagnostic]:
                     f"shared-memory segment {cand.name!r} is not guarded by "
                     "with/ExitStack or a try whose finally unlinks it; an "
                     "exception before teardown leaks it in /dev/shm"
+                )
+            elif cand.kind == "process" and straightline:
+                rule, message = "RES203", (
+                    f"child process {cand.name!r} is reaped only in "
+                    "straight-line code; an exception between spawn and reap "
+                    "leaves a zombie (or a live process group) behind"
                 )
             elif straightline:
                 rule, message = "RES202", (

@@ -728,6 +728,8 @@ def cmd_chaos(args) -> int:
     from repro.core.tiles import ProcessorGrid
     from repro.faults import assert_no_shm_leak, single_fault_plans
 
+    if args.tier == "service":
+        return _chaos_service(args)
     image = _load_image(args)
     if args.engine == "sim" and args.workload == "histogram":
         raise ReproError("the simulator fault model covers components only")
@@ -833,6 +835,294 @@ def _serve_selftest(config, recorder=None, trace_out=None, wire="ndjson") -> int
     return 0
 
 
+def _shard_passthrough(args) -> list[str]:
+    """The ``repro serve`` argv forwarded to every spawned shard."""
+    argv = [
+        "--batch-size", str(args.batch_size),
+        "--max-delay", str(args.max_delay),
+        "--queue-depth", str(args.queue_depth),
+        "--cache-entries", str(args.cache_entries),
+        "--cache-bytes", str(args.cache_bytes),
+        "--drain-deadline", str(args.drain_deadline),
+    ]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.no_metrics:
+        argv.append("--no-metrics")
+    if args.kernel:
+        argv.extend(["--kernel", args.kernel])
+    if args.timeout is not None:
+        argv.extend(["--timeout", str(args.timeout)])
+    if args.retries is not None:
+        argv.extend(["--retries", str(args.retries)])
+    return argv
+
+
+def _serve_router(args) -> int:
+    """``repro serve --shards N``: spawn N shards, route on --socket."""
+    import asyncio
+
+    from repro.service import RouterConfig, ShardRouter
+
+    config = RouterConfig(
+        shards=args.shards,
+        workers_per_shard=args.workers,
+        shard_args=_shard_passthrough(args),
+        drain_deadline_s=args.drain_deadline,
+    )
+
+    async def _run() -> None:
+        router = ShardRouter(args.socket, config)
+        await router.start()
+        print(
+            f"routing on {args.socket}: {args.shards} shard(s) x "
+            f"{args.workers} worker(s), vnodes={config.vnodes}, "
+            f"hedge after {config.hedge_s * 1e3:.0f}ms",
+            flush=True,
+        )
+        try:
+            await router.serve_until_shutdown()
+        finally:
+            rt = router.snapshot()["router"]
+            print(
+                f"routed {rt['completed']} request(s); "
+                f"{rt['reroutes']} reroute(s), {rt['hedges']} hedge(s), "
+                f"{rt['respawns']} respawn(s)",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted", flush=True)
+    finally:
+        if args.socket and os.path.exists(args.socket):
+            os.unlink(args.socket)
+    return 0
+
+
+def _serve_router_selftest(args) -> int:
+    """Routed-tier round trip: N spawned shards behind one router socket.
+
+    Two passes of a distinct-image workload go through the router in
+    the requested wire mode.  Every reply must be bit-identical to the
+    serial reference; the repeat pass must be answered from the shard
+    caches (digest affinity pins each image to one shard, so aggregate
+    cache capacity is the *sum* of the shards'); traffic must actually
+    spread across shards; and nothing may leak in ``/dev/shm``.
+    """
+    import asyncio
+    import json as _json
+    import tempfile
+
+    from repro.faults.leakcheck import assert_no_shm_leak
+    from repro.kernels import resolve_backend
+    from repro.service import RouterConfig, ShardRouter, WireClient
+    from repro.service.ops import canonical_params, compute
+
+    kernel = resolve_backend(args.kernel)
+    rng = np.random.default_rng(0)
+    images = [
+        rng.integers(0, 256, size=(48, 48), dtype=np.uint8) for _ in range(6)
+    ]
+    refs = [
+        compute("histogram", im,
+                canonical_params("histogram", im, {"k": 256}), kernel)
+        for im in images
+    ]
+
+    async def _run() -> tuple[dict, int]:
+        base = tempfile.mkdtemp(prefix="repro-router-")
+        config = RouterConfig(
+            shards=args.shards,
+            runtime_dir=base,
+            workers_per_shard=args.workers,
+            shard_args=_shard_passthrough(args),
+            drain_deadline_s=args.drain_deadline,
+        )
+        router = ShardRouter(os.path.join(base, "router.sock"), config)
+        await router.start()
+        try:
+            async with WireClient(router.socket_path, wire=args.wire) as client:
+                for _pass in range(2):
+                    for im, ref in zip(images, refs):
+                        out = await client.compute("histogram", im, k=256)
+                        if not np.array_equal(out, ref):
+                            raise ReproError(
+                                "router selftest: reply diverged from the "
+                                "serial reference"
+                            )
+            cache_hits = 0
+            for sid in router.shard_ids:
+                reply = _json.loads(await router._one_shot(
+                    sid, b'{"op": "stats"}\n', timeout_s=5.0
+                ))
+                cache_hits += reply["result"].get("cache", {}).get("hits", 0)
+            return router.snapshot(), cache_hits
+        finally:
+            await router.stop()
+
+    with assert_no_shm_leak():
+        snap, cache_hits = asyncio.run(_run())
+    rt = snap["router"]
+    shards_hit = sum(1 for s in snap["shards"].values() if s["forwards"])
+    expect = 2 * len(images)
+    if rt["completed"] != expect or rt["errors"]:
+        raise ReproError(
+            f"router selftest: {rt['completed']}/{expect} request(s) completed, "
+            f"{rt['errors']} error(s)"
+        )
+    if args.shards > 1 and shards_hit < 2:
+        raise ReproError(
+            "router selftest: all traffic landed on one shard "
+            "(consistent-hash affinity is not spreading)"
+        )
+    if not args.no_cache and cache_hits < len(images):
+        raise ReproError(
+            f"router selftest: repeat pass hit the partitioned cache only "
+            f"{cache_hits}x (expected >= {len(images)})"
+        )
+    print(
+        f"router selftest OK: {rt['completed']} request(s) over {args.wire} "
+        f"wire across {shards_hit}/{args.shards} shard(s), "
+        f"{cache_hits} partitioned cache hit(s), "
+        f"{rt['reroutes']} reroute(s), healthy={rt['healthy']}"
+    )
+    return 0
+
+
+def _chaos_service(args) -> int:
+    """The service-tier chaos drill: SIGKILL one of N shards mid-load.
+
+    A seeded repeated-image workload streams through the router over
+    the ndjson wire while one shard -- the home shard of the *next*
+    request, so the failure sits on the critical path -- is killed with
+    SIGKILL.  Acceptance: every request completes bit-identical to the
+    serial reference, the killed shard's breaker walks open ->
+    half-open -> closed against the respawned process, at least one
+    respawn happened, and ``/dev/shm`` ends clean.
+    """
+    import asyncio
+    import base64 as _b64
+    import hashlib as _hashlib
+    import tempfile
+    import time as _time
+
+    from repro.faults import assert_no_shm_leak
+    from repro.kernels import resolve_backend
+    from repro.service import RouterConfig, ShardRouter, WireClient
+    from repro.service.ops import canonical_params, compute
+
+    if args.requests < 2:
+        raise ReproError("--tier service needs at least 2 requests")
+    kill_at = (
+        args.kill_after if args.kill_after is not None
+        else max(1, args.requests // 3)
+    )
+    if not 0 < kill_at < args.requests:
+        raise ReproError(
+            f"--kill-after must be in 1..{args.requests - 1} "
+            f"(the kill must land mid-load)"
+        )
+    kernel = resolve_backend(args.kernel)
+    rng = np.random.default_rng(args.seed)
+    images = [
+        rng.integers(0, 256, size=(48, 48), dtype=np.uint8)
+        for _ in range(min(8, args.requests))
+    ]
+    refs = [
+        compute("histogram", im,
+                canonical_params("histogram", im, {"k": args.levels}), kernel)
+        for im in images
+    ]
+
+    def _ndjson_key(im: np.ndarray) -> bytes:
+        # The router's affinity key for an ndjson request: sha256 of
+        # the base64 pixel span (repro.service.router.routing_key).
+        return _hashlib.sha256(
+            _b64.b64encode(np.ascontiguousarray(im).tobytes())
+        ).digest()
+
+    async def _run() -> dict:
+        base = tempfile.mkdtemp(prefix="repro-chaos-svc-")
+        shard_args = ["--timeout", str(args.timeout),
+                      "--retries", str(args.retries)]
+        if args.kernel:
+            shard_args.extend(["--kernel", args.kernel])
+        config = RouterConfig(
+            shards=args.shards,
+            runtime_dir=base,
+            workers_per_shard=1,
+            open_s=0.2,
+            probe_interval_s=0.05,
+            hedge_s=0.5,
+            shard_args=shard_args,
+        )
+        router = ShardRouter(os.path.join(base, "router.sock"), config)
+        await router.start()
+        outcome = {"served": 0, "mismatches": 0, "killed": None}
+        try:
+            async with WireClient(router.socket_path, wire="ndjson") as client:
+                for i in range(args.requests):
+                    idx = i % len(images)
+                    if i == kill_at:
+                        sid = router.ring.route(_ndjson_key(images[idx]))
+                        outcome["killed"] = sid
+                        router.kill_shard(sid)
+                        print(f"  [kill] SIGKILL shard {sid} "
+                              f"before request {i}", flush=True)
+                    out = await client.compute(
+                        "histogram", images[idx], k=args.levels
+                    )
+                    outcome["served"] += 1
+                    if not np.array_equal(out, refs[idx]):
+                        outcome["mismatches"] += 1
+            # Load is done; let the breaker finish its open -> half-open
+            # -> closed walk against the respawned shard.
+            breaker = router.breakers[outcome["killed"]]
+            deadline = _time.monotonic() + 30.0
+            while not breaker.recovered() and _time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+            outcome["breaker"] = breaker.snapshot()
+            outcome["snapshot"] = router.snapshot()
+        finally:
+            await router.stop()
+        return outcome
+
+    print(
+        f"service chaos: {args.shards} shard(s), {args.requests} request(s), "
+        f"SIGKILL before request {kill_at} (seed {args.seed})"
+    )
+    with assert_no_shm_leak(grace_s=2.0):
+        outcome = asyncio.run(_run())
+    rt = outcome["snapshot"]["router"]
+    br = outcome["breaker"]
+    print(
+        f"  {outcome['served']}/{args.requests} request(s) served, "
+        f"{outcome['mismatches']} mismatch(es) vs the serial reference"
+    )
+    print(
+        f"  shard {outcome['killed']}: breaker opened {br['opened']}x, "
+        f"half-opened {br['half_opened']}x, closed {br['closed']}x "
+        f"(recovered={br['recovered']}); {rt['respawns']} respawn(s), "
+        f"{rt['reroutes']} reroute(s), {rt['hedges']} hedge(s)"
+    )
+    ok = (
+        outcome["served"] == args.requests
+        and outcome["mismatches"] == 0
+        and br["recovered"]
+        and rt["respawns"] >= 1
+    )
+    if not ok:
+        print("service chaos FAILED")
+        return 1
+    print(
+        "service chaos OK: kill absorbed, replies bit-identical, "
+        "breaker recovered, no leaked shm segments"
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     import asyncio
     import contextlib
@@ -859,7 +1149,14 @@ def cmd_serve(args) -> int:
         retries=args.retries,
         fault_plan=plan,
         metrics=not args.no_metrics,
+        drain_deadline_s=args.drain_deadline,
     )
+    if args.shards > 1:
+        if args.selftest:
+            return _serve_router_selftest(args)
+        if not args.socket:
+            raise ReproError("provide --socket PATH (or use --selftest)")
+        return _serve_router(args)
     if args.selftest:
         return _serve_selftest(config, recorder, args.trace_out, args.wire)
     if not args.socket:
@@ -869,7 +1166,7 @@ def cmd_serve(args) -> int:
         from repro.service import BatchService
 
         service = BatchService(config, recorder=recorder)
-        server = ServiceServer(service, args.socket)
+        server = ServiceServer(service, args.socket, shard_id=args.shard_id)
         await server.start()
         print(
             f"serving on {args.socket} "
@@ -1235,6 +1532,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=("python", "numpy", "numba"), default=None,
         help="local-step kernel backend",
     )
+    cha.add_argument(
+        "--tier",
+        choices=("engine", "service"),
+        default="engine",
+        help="engine = seeded single-fault matrix inside one run (default); "
+        "service = SIGKILL a live shard process mid-load behind the router "
+        "and require bit-identical replies, breaker recovery, a respawn, "
+        "and zero /dev/shm leaks",
+    )
+    cha.add_argument(
+        "--shards", type=int, default=3,
+        help="shard count for --tier service (default 3)",
+    )
+    cha.add_argument(
+        "--requests", type=int, default=30,
+        help="requests to drive for --tier service (default 30)",
+    )
+    cha.add_argument(
+        "--kill-after", type=int, default=None,
+        help="kill the target shard before this request index "
+        "(default: a third of the way in)",
+    )
     cha.add_argument("--seed", type=int, default=0, help="fault-plan seed")
     cha.add_argument(
         "--timeout", type=float, default=2.0,
@@ -1259,9 +1578,25 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--selftest",
         action="store_true",
-        help="serve a short in-process workload (batched + cached) and exit",
+        help="serve a short in-process workload (batched + cached) and exit; "
+        "with --shards N, spin a routed shard tier and check affinity instead",
     )
     srv.add_argument("--workers", type=int, default=2, help="pool workers (default 2)")
+    srv.add_argument(
+        "--shards", type=int, default=1,
+        help="front N shard processes with a consistent-hash router on "
+        "--socket (default 1 = a single plain server, no router)",
+    )
+    srv.add_argument(
+        "--shard-id", type=int, default=None,
+        help="identity of this server inside a sharded tier (set by the "
+        "router when it spawns shards; echoed in ping/stats replies)",
+    )
+    srv.add_argument(
+        "--drain-deadline", type=float, default=5.0,
+        help="seconds graceful shutdown waits for in-flight requests "
+        "before cancelling them (default 5.0)",
+    )
     srv.add_argument(
         "--batch-size", type=int, default=8,
         help="max requests coalesced per dispatch (default 8)",

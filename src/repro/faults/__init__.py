@@ -27,6 +27,7 @@ from repro.faults.inject import (
     corrupt_labels,
     corrupt_pixels,
     fire,
+    fire_async,
     install_plan,
     validate_border_labels,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "single_fault_plans",
     "install_plan",
     "fire",
+    "fire_async",
     "corrupt_labels",
     "corrupt_pixels",
     "validate_border_labels",

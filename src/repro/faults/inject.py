@@ -68,6 +68,37 @@ def fire(site: str, *, round=None, group=None, task=None, attempt: int = 0) -> F
     return spec  # corrupt: caller applies it to the payload
 
 
+async def fire_async(site: str, *, round=None, group=None, task=None,
+                     attempt: int = 0) -> FaultSpec | None:
+    """Event-loop-safe :func:`fire` for the router's ``svc:route`` /
+    ``svc:health`` sites.
+
+    A ``hang`` spec awaits ``asyncio.sleep`` instead of blocking the
+    loop (a blocked router loop would stall *every* shard's traffic,
+    not just the faulted one); the other kinds behave exactly as
+    :func:`fire`.
+    """
+    if _PLAN is None:
+        return None
+    spec = _PLAN.match(site, round=round, group=group, task=task, attempt=attempt)
+    if spec is None:
+        return None
+    if spec.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if spec.kind == "hang":
+        import asyncio
+
+        await asyncio.sleep(spec.hang_s)
+        return None
+    if spec.kind == "exception":
+        raise TransientTaskError(
+            f"injected transient fault at {site} "
+            f"(round={round}, group={group}, task={task}, attempt={attempt})",
+            site=site,
+        )
+    return spec
+
+
 def corrupt_labels(labels: np.ndarray) -> np.ndarray:
     """Return a corrupted copy of a border label payload.
 

@@ -36,6 +36,18 @@ Sites
     serving: the dispatcher retries/respawns underneath the batch and
     the executor falls back to in-process serial compute when recovery
     is exhausted.
+``svc:route``
+    One forward of a request from the shard router to a shard
+    (:mod:`repro.service.router`; ``task`` selects the shard index,
+    ``attempt`` the routing attempt).  ``hang`` delays the forward past
+    the hedge budget (exercising hedged retries), ``exception`` fails
+    it (exercising ring-successor rerouting).
+``svc:health``
+    One health probe of the router's per-shard monitor
+    (:mod:`repro.service.health`; ``task`` selects the shard index,
+    ``attempt`` the probe sequence number).  ``hang``/``exception``
+    make the probe miss its deadline, driving the shard's breaker
+    open without harming a real process.
 
 Kinds
 -----
@@ -77,7 +89,7 @@ SCHEMA = "repro-faults/v1"
 #: Recognized fault sites.
 SITES = (
     "hist:band", "cc:label", "cc:merge", "cc:final", "sim:merge",
-    "svc:exec", "svc:shmem",
+    "svc:exec", "svc:shmem", "svc:route", "svc:health",
 )
 
 #: Recognized fault kinds.
@@ -124,6 +136,12 @@ class FaultSpec:
             )
         if self.site == "sim:merge" and self.kind != "crash":
             raise ValidationError("site 'sim:merge' models processor loss; use kind 'crash'")
+        if self.site in ("svc:route", "svc:health") and self.kind not in ("hang", "exception"):
+            raise ValidationError(
+                f"site {self.site!r} runs on the router's event loop; only "
+                f"'hang' and 'exception' are defined (kill shard *processes* "
+                f"with 'repro chaos --tier service' instead)"
+            )
         if self.target not in TARGETS:
             raise ValidationError(f"unknown target {self.target!r}; known: {list(TARGETS)}")
         if self.times < -1 or self.times == 0:

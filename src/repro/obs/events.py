@@ -65,6 +65,18 @@ SVC_CACHE_MISS = "service:cache-miss"    # count: cache misses
 SVC_CACHE_EVICT = "service:cache-evict"  # count: LRU evictions
 SVC_DEGRADED = "service:degraded-batch"  # instant: batch fell back to serial
 
+#: Names emitted by the shard router (:mod:`repro.service.router`) and
+#: its health monitor (:mod:`repro.service.health`).  The router span
+#: sits between the client edge and the shard's own request tree: with
+#: tracing on, ``router:request`` parents the shard-side
+#: ``client:request`` span through the forwarded child context.
+ROUTER_REQUEST = "router:request"        # span: one routed request, router edge
+ROUTER_REROUTE = "router:reroute"        # instant: forwarded to a ring successor
+ROUTER_HEDGE = "router:hedge"            # instant: hedged duplicate sent
+ROUTER_SHARD_DOWN = "router:shard-down"  # instant: breaker opened for a shard
+ROUTER_SHARD_UP = "router:shard-up"      # instant: breaker closed again
+ROUTER_RESPAWN = "router:shard-respawn"  # instant: dead shard process respawned
+
 
 @dataclass(frozen=True)
 class Span:

@@ -28,6 +28,7 @@ from repro.service.cache import (
     image_digest,
     result_key,
 )
+from repro.service.health import CircuitBreaker, HealthMonitor
 from repro.service.instruments import ServiceInstruments
 from repro.service.ops import (
     OPS,
@@ -35,13 +36,21 @@ from repro.service.ops import (
     compute,
     materialize_request_image,
 )
+from repro.service.router import (
+    HashRing,
+    RouterConfig,
+    ShardProcess,
+    ShardRouter,
+)
 from repro.service.server import (
+    SUN_PATH_MAX,
     WIRES,
     BatchExecutor,
     BatchService,
     Client,
     ServiceConfig,
     ServiceServer,
+    check_socket_path,
     decode_array,
     encode_array,
     request_over_socket,
@@ -61,22 +70,30 @@ __all__ = [
     "BatchService",
     "BatcherStats",
     "CacheStats",
+    "CircuitBreaker",
     "Client",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_BYTES",
     "DEFAULT_MAX_DELAY_S",
     "DEFAULT_MAX_ENTRIES",
     "DEFAULT_QUEUE_DEPTH",
+    "HashRing",
+    "HealthMonitor",
     "MicroBatcher",
     "OPS",
     "PendingRequest",
     "ResultCache",
+    "RouterConfig",
+    "SUN_PATH_MAX",
     "ServiceConfig",
     "ServiceInstruments",
     "ServiceServer",
+    "ShardProcess",
+    "ShardRouter",
     "WIRES",
     "WireClient",
     "canonical_params",
+    "check_socket_path",
     "compute",
     "compute_over_socket",
     "decode_array",

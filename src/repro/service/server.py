@@ -32,6 +32,7 @@ import base64
 import contextlib
 import json
 import math
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -93,10 +94,12 @@ from repro.service.ops import (
     svc_task,
 )
 from repro.utils import errors as _errors
+from repro.utils.aio import cancel_and_reap
 from repro.utils.errors import (
     FaultError,
     ReproError,
     ServiceClosedError,
+    ServiceDrainingError,
     ValidationError,
 )
 
@@ -127,10 +130,17 @@ class ServiceConfig:
     #: Maintain the live metrics plane (counters / gauges / latency
     #: histograms; the ``metrics`` control op).  Off = zero overhead.
     metrics: bool = True
+    #: How long :meth:`BatchService.stop` waits for in-flight requests
+    #: to finish before tearing the batcher down.  New requests shed
+    #: with :class:`~repro.utils.errors.ServiceDrainingError` the whole
+    #: time, so the wait is bounded by the work already admitted.
+    drain_deadline_s: float = 5.0
 
     def __post_init__(self):
         if self.workers < 1:
             raise ValidationError("service needs at least one worker")
+        if self.drain_deadline_s < 0:
+            raise ValidationError("drain_deadline_s must be non-negative")
         self.kernel = resolve_backend(self.kernel)
         self.timeout_s = resolve_timeout(self.timeout_s)
         self.retries = resolve_retries(self.retries)
@@ -316,16 +326,26 @@ class BatchService:
         self._inflight: dict[str, tuple[asyncio.Future, str | None]] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
         self._closed = False
+        self._draining = False
+        #: Requests currently inside :meth:`submit` (admitted or about
+        #: to be); the drain protocol waits on this, not on queue sizes,
+        #: so a request between queues cannot be raced to cancellation.
+        self._open_requests = 0
         self._prev_sink = None
 
     @property
     def running(self) -> bool:
         return self._batcher_task is not None and not self._closed
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     async def start(self) -> None:
         if self.running:
             return
         self._closed = False
+        self._draining = False
         self._loop = asyncio.get_running_loop()
         self.executor.start()
         if self.recorder is not None:
@@ -348,10 +368,43 @@ class BatchService:
         )
         self._batcher_task = asyncio.ensure_future(self._batcher.run())
 
+    def begin_drain(self) -> None:
+        """Stop admitting: every new :meth:`submit` sheds immediately
+        with :class:`~repro.utils.errors.ServiceDrainingError` while
+        already-admitted requests keep flowing toward their futures."""
+        self._draining = True
+
+    async def drain(self, deadline_s: float | None = None) -> bool:
+        """Drain in-flight requests; True when all of them resolved.
+
+        Sheds new work, then waits -- bounded by ``deadline_s``
+        (default :attr:`ServiceConfig.drain_deadline_s`) -- until no
+        request is still inside :meth:`submit`.  The batcher stays up
+        throughout, so queued requests finish as final batches rather
+        than racing a cancellation.
+        """
+        self.begin_drain()
+        budget = (
+            self.config.drain_deadline_s if deadline_s is None else deadline_s
+        )
+        deadline = time.monotonic() + budget
+        while self._open_requests:
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.005)
+        return True
+
     async def stop(self) -> None:
-        """Graceful shutdown: flush queued work, then tear the pool down."""
+        """Graceful shutdown: drain in-flight work, then tear the pool down.
+
+        Admitted requests get up to the drain deadline to resolve
+        before the batcher is cancelled -- ``stop()`` no longer races
+        pending futures; only requests still stuck *past* the deadline
+        fall through to the cancellation flush below.
+        """
         if self._batcher_task is None:
             return
+        await self.drain()
         self._closed = True
         # Hand still-queued requests to the batcher before cancelling so
         # its cancellation path flushes them as final batches.
@@ -359,9 +412,11 @@ class BatchService:
         await asyncio.sleep(0)
         for req in self._admission.drain_nowait():
             self._batcher._absorb(req)
-        task.cancel()
-        with contextlib.suppress(asyncio.CancelledError):
-            await task
+        # Not a plain ``await task``: the batcher parks in wait_for
+        # (batch-window timeouts), which on 3.11 can swallow the first
+        # cancel if it lands as the window expires; cancel_and_reap
+        # re-cancels until the task actually finishes.
+        await cancel_and_reap(task)
         self.executor.close()
         if self.recorder is not None:
             _trace.set_span_sink(self._prev_sink)
@@ -393,6 +448,11 @@ class BatchService:
         """
         if not self.running:
             raise ServiceClosedError("service is not running (call start())")
+        if self._draining:
+            raise ServiceDrainingError(
+                "service is draining for shutdown; retry against another shard"
+            )
+        self._open_requests += 1
         self.stats.requests += 1
         t0 = time.perf_counter()
         if trace is None:
@@ -419,6 +479,7 @@ class BatchService:
                 self.instruments.request_error(op, exc)
             raise
         finally:
+            self._open_requests -= 1
             if handle is not None:
                 handle.finish(via=via)
             if self.instruments is not None:
@@ -606,6 +667,8 @@ class BatchService:
                 "errors": self.stats.errors,
                 "coalesced": self.stats.coalesced,
                 "running": self.running,
+                "draining": self._draining,
+                "open_requests": self._open_requests,
             },
             "executor": {**self.executor.stats.snapshot(),
                          "respawns": self.executor.respawns},
@@ -699,6 +762,35 @@ class Client:
 #: Hard cap on one wire request line (64 MiB of base64 covers a
 #: 4096x4096 int16 image; anything bigger is a client bug or an attack).
 MAX_REQUEST_BYTES = 64 << 20
+
+#: Longest usable unix socket path: ``sockaddr_un.sun_path`` is 108
+#: bytes on Linux *including* the trailing NUL.  ``bind()`` past it
+#: fails with a bare OSError naming neither the limit nor the path;
+#: tmpdir-nested shard sockets (pytest tmp_path, mkdtemp under a deep
+#: CWD) hit this in practice, so it is validated at config time.
+SUN_PATH_MAX = 107
+
+
+def check_socket_path(path) -> str:
+    """Validate a unix socket path against the ``sun_path`` limit.
+
+    Returns the path as ``str``; raises
+    :class:`~repro.utils.errors.ValidationError` (instead of the raw
+    ``OSError`` a late ``bind()`` would give) when its *encoded* length
+    exceeds :data:`SUN_PATH_MAX` bytes.
+    """
+    path = os.fspath(path)
+    if isinstance(path, bytes):
+        encoded, path = path, os.fsdecode(path)
+    else:
+        encoded = os.fsencode(path)
+    if len(encoded) > SUN_PATH_MAX:
+        raise ValidationError(
+            f"unix socket path is {len(encoded)} bytes, over the "
+            f"{SUN_PATH_MAX}-byte sun_path limit: {path!r} -- bind under a "
+            f"shorter directory (e.g. /tmp)"
+        )
+    return path
 
 #: ndarray dtypes accepted from the wire.
 WIRE_DTYPES = ("uint8", "int8", "uint16", "int16", "int32", "int64")
@@ -795,9 +887,15 @@ class ServiceServer:
     leakcheck contract).
     """
 
-    def __init__(self, service: BatchService, socket_path: str):
+    def __init__(self, service: BatchService, socket_path: str, *,
+                 shard_id: int | None = None):
         self.service = service
-        self.socket_path = str(socket_path)
+        self.socket_path = check_socket_path(socket_path)
+        #: Position of this server in a sharded tier (``None`` when it
+        #: serves alone).  Echoed in ``ping`` and ``stats`` replies so
+        #: the router's health probes confirm they reached the shard
+        #: they think they did.
+        self.shard_id = shard_id
         #: Owner of every reply segment this server ever mints.
         self.arena = ShmArena()
         self._server: asyncio.AbstractServer | None = None
@@ -835,7 +933,11 @@ class ServiceServer:
         # by the client; reclaimed below however the connection ends.
         owned: set[str] = set()
         try:
-            while not self._shutdown.is_set():
+            # The loop survives a shutdown request on purpose: while the
+            # service drains, compute requests still deserve their typed
+            # ServiceDrainingError reply (so a router can retry them
+            # elsewhere) rather than a silently dropped connection.
+            while True:
                 try:
                     line = await reader.readline()
                 except ConnectionResetError:
@@ -876,9 +978,18 @@ class ServiceServer:
             req_id = obj.get("id")
             op = obj.get("op")
             if op == "ping":
-                return _ok_line(req_id, "pong")
+                if self.shard_id is None:
+                    return _ok_line(req_id, "pong")
+                return _ok_line(req_id, {
+                    "pong": True,
+                    "shard_id": self.shard_id,
+                    "draining": self.service.draining,
+                })
             if op == "stats":
-                return _ok_line(req_id, self.service.snapshot())
+                snap = self.service.snapshot()
+                if self.shard_id is not None:
+                    snap["shard"] = {"id": self.shard_id}
+                return _ok_line(req_id, snap)
             if op == "metrics":
                 if self.service.metrics is None:
                     raise ValidationError(
@@ -901,8 +1012,13 @@ class ServiceServer:
                     owned.discard(name)
                 return _ok_line(req_id, "released")
             if op == "shutdown":
+                # Drain protocol: shed from this moment on (new compute
+                # requests get a typed ServiceDrainingError reply), let
+                # in-flight batches finish inside stop()'s drain
+                # deadline, then exit.
+                self.service.begin_drain()
                 self._shutdown.set()
-                return _ok_line(req_id, "shutting down")
+                return _ok_line(req_id, "draining")
             return await self._respond_compute(req_id, op, obj, owned)
         except ReproError as exc:
             return _error_line(req_id, exc)

@@ -1,0 +1,30 @@
+"""Asyncio lifecycle helpers shared across the service tier."""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+
+async def cancel_and_reap(task: asyncio.Task, *, poke_s: float = 0.25) -> None:
+    """Cancel ``task`` and wait until it has actually finished.
+
+    A bare ``task.cancel(); await task`` can hang forever on Python
+    3.11: when an external cancellation lands in the same event-loop
+    step as an inner ``asyncio.wait_for`` settling (timeout fired or
+    result arrived), ``wait_for`` consumes the cancellation and returns
+    normally.  A long-lived loop -- a health-probe monitor, a
+    micro-batcher -- then keeps running with the one cancel request
+    spent, and the awaiting ``stop()`` never returns.
+
+    Re-issuing the cancel every ``poke_s`` until the task reports done
+    closes the race: a swallowed cancel is simply retried, and once one
+    lands at a plain ``await`` point it terminates the loop.  When the
+    first cancel is delivered cleanly (the overwhelmingly common case)
+    the retry loop runs exactly once and adds nothing.
+    """
+    while not task.done():
+        task.cancel()
+        await asyncio.wait({task}, timeout=poke_s)
+    with contextlib.suppress(asyncio.CancelledError):
+        await task

@@ -121,6 +121,31 @@ class ServiceClosedError(ReproError, RuntimeError):
     """A request was submitted to a service that is not running."""
 
 
+class ServiceDrainingError(ReproError, RuntimeError):
+    """A request arrived while the service was draining for shutdown.
+
+    Raised (and sent as a typed wire reply) once a ``shutdown`` control
+    op -- or a router-initiated shard retirement -- has been accepted:
+    the service stops admitting new work, finishes its in-flight
+    batches within the drain deadline, and only then exits.  Clients
+    should retry against another shard; the router does so
+    automatically.
+    """
+
+
+class ShardDownError(ReproError, RuntimeError):
+    """Every routing candidate for a request was down or unreachable.
+
+    Raised by the shard router when the ring walk exhausts all shards
+    (each one open-circuited, dead, or failing) without an answer.
+    ``attempts`` carries the per-shard failure summary when known.
+    """
+
+    def __init__(self, message: str, *, attempts: list | None = None):
+        super().__init__(message)
+        self.attempts = attempts or []
+
+
 class DegradedRunWarning(UserWarning):
     """The process-parallel runtime fell back to the serial engine.
 

@@ -361,6 +361,83 @@ class TestRes202StraightLineRelease:
         assert diags == []
 
 
+class TestRes203ChildProcessReap:
+    """Fixture for the shard-respawn shape (PR 9): a spawned shard
+    process whose reap sits in straight-line code, so the exception
+    edge between spawn and reap (a failed readiness wait, a routing
+    error) leaves a zombie -- and, with ``start_new_session``, a whole
+    orphaned process group -- behind."""
+
+    PRE_FIX_SHAPE = """
+        import subprocess
+        import sys
+
+        def respawn_shard(argv, socket_path):
+            proc = subprocess.Popen(argv, start_new_session=True)
+            wait_until_ready(socket_path)
+            proc.kill()
+            proc.wait()
+        """
+
+    FIXED_SHAPE = """
+        import subprocess
+        import sys
+
+        def respawn_shard(argv, socket_path):
+            proc = subprocess.Popen(argv, start_new_session=True)
+            try:
+                wait_until_ready(socket_path)
+            finally:
+                proc.kill()
+                proc.wait()
+        """
+
+    def test_fires_on_pre_fix_shape(self):
+        diags = analyze(self.PRE_FIX_SHAPE)
+        assert rules_of(diags) == ["RES203"]
+        assert "zombie" in diags[0].message
+
+    def test_silent_on_fixed_shape(self):
+        assert analyze(self.FIXED_SHAPE) == []
+
+    def test_never_reaped_is_res200(self):
+        diags = analyze(
+            """
+            import subprocess
+
+            def spawn(argv):
+                proc = subprocess.Popen(argv)
+                return proc.pid
+            """
+        )
+        assert rules_of(diags) == ["RES200"]
+
+    def test_multiprocessing_process_flagged(self):
+        diags = analyze(
+            """
+            def run(ctx, fn):
+                worker = ctx.Process(target=fn)
+                worker.start()
+                out = collect()
+                worker.join()
+                return out
+            """
+        )
+        assert rules_of(diags) == ["RES203"]
+
+    def test_owned_handle_is_object_lifetime(self):
+        diags = analyze(
+            """
+            import subprocess
+
+            class ShardProcess:
+                def spawn(self, argv):
+                    self.proc = subprocess.Popen(argv, start_new_session=True)
+            """
+        )
+        assert diags == []
+
+
 class TestErr301BroadExcept:
     def test_swallowing_broad_except_flagged(self):
         diags = analyze(

@@ -9,16 +9,18 @@ import pytest
 from repro.faults.leakcheck import assert_no_shm_leak
 from repro.images import darpa_like
 from repro.service import (
+    SUN_PATH_MAX,
     BatchService,
     ServiceConfig,
     ServiceServer,
     WireClient,
+    check_socket_path,
     decode_array,
     encode_array,
     mint_shared_image,
     request_over_socket,
 )
-from repro.utils.errors import ValidationError
+from repro.utils.errors import ServiceDrainingError, ValidationError
 
 
 class TestWireEncoding:
@@ -252,6 +254,106 @@ class TestSocketServer:
             reply = await request_over_socket(server.socket_path, {"op": "shutdown"})
             assert reply["ok"]
             await asyncio.wait_for(server.serve_until_shutdown(), timeout=10)
+            assert not service.running
+
+        with assert_no_shm_leak(grace_s=2.0):
+            asyncio.run(scenario())
+
+
+class TestSocketPathValidation:
+    """sun_path length is checked at *config* time, not at bind()."""
+
+    def test_ok_path_round_trips(self, tmp_path):
+        p = tmp_path / "svc.sock"
+        assert check_socket_path(p) == str(p)
+
+    def test_bytes_path_is_decoded(self):
+        assert check_socket_path(b"/tmp/svc.sock") == "/tmp/svc.sock"
+
+    def test_over_limit_is_a_typed_config_error(self):
+        long_path = "/tmp/" + "x" * SUN_PATH_MAX
+        with pytest.raises(ValidationError, match="sun_path"):
+            check_socket_path(long_path)
+
+    def test_limit_boundary(self):
+        exactly = "/" + "x" * (SUN_PATH_MAX - 1)
+        assert check_socket_path(exactly) == exactly
+        with pytest.raises(ValidationError):
+            check_socket_path(exactly + "x")
+
+    def test_server_rejects_long_path_at_construction(self):
+        service = BatchService(ServiceConfig(workers=1))
+        with pytest.raises(ValidationError, match="sun_path"):
+            ServiceServer(service, "/tmp/" + "y" * 200)
+
+
+class TestDrainProtocol:
+    def test_draining_sheds_new_submits_but_finishes_admitted(self):
+        async def scenario():
+            service = BatchService(ServiceConfig(workers=2))
+            await service.start()
+            try:
+                img = darpa_like(24, 256, seed=20)
+                first = asyncio.ensure_future(
+                    service.submit("histogram", img, k=256)
+                )
+                await asyncio.sleep(0.01)  # let it get admitted
+                service.begin_drain()
+                assert service.draining
+                with pytest.raises(ServiceDrainingError):
+                    await service.submit("histogram", img, k=2)
+                # The already-admitted request still resolves normally.
+                hist = await first
+                assert np.array_equal(
+                    hist, np.bincount(img.ravel(), minlength=256)
+                )
+                assert await service.drain() is True
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_drain_deadline_zero_reports_unfinished_work(self):
+        async def scenario():
+            service = BatchService(ServiceConfig(workers=2))
+            await service.start()
+            try:
+                # Pin an open request deterministically (a real compute
+                # can finish before a zero-budget drain even looks).
+                service._open_requests += 1
+                assert await service.drain(0.0) is False
+                assert service.draining  # drain still flipped the gate
+                service._open_requests -= 1
+                assert await service.drain() is True
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_shutdown_op_drains_inflight_compute(self, tmp_path):
+        """The shutdown/drain race regression: a compute already on the
+        wire when ``shutdown`` lands must still get its typed reply."""
+
+        async def scenario():
+            service = BatchService(ServiceConfig(workers=2))
+            server = ServiceServer(service, str(tmp_path / "svc.sock"))
+            await server.start()
+            img = darpa_like(64, 256, seed=22)
+            inflight = asyncio.ensure_future(request_over_socket(
+                server.socket_path,
+                {"op": "histogram", "image": encode_array(img),
+                 "params": {"k": 256}},
+            ))
+            await asyncio.sleep(0.01)
+            reply = await request_over_socket(
+                server.socket_path, {"op": "shutdown"}
+            )
+            assert reply["ok"] and reply["result"] == "draining"
+            first = await inflight
+            assert first["ok"]
+            hist = decode_array(first["result"])
+            assert np.array_equal(hist, np.bincount(img.ravel(), minlength=256))
+            await asyncio.wait_for(server.serve_until_shutdown(), timeout=15)
             assert not service.running
 
         with assert_no_shm_leak(grace_s=2.0):
