@@ -46,7 +46,7 @@ from repro.baselines.sequential import (
 )
 from repro.machines.params import MACHINES, get_machine
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "kernels",

@@ -118,6 +118,67 @@ def _add_input_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_darray_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--engine",
+        choices=("sim", "runtime", "darray"),
+        default="sim",
+        help="execution engine: sim = BDM cost simulator (default), "
+        "runtime = hardened multiprocessing backend (same as --runtime), "
+        "darray = DistributedArray over a pluggable transport",
+    )
+    sub.add_argument(
+        "--transport",
+        choices=("local", "shmem", "mmap"),
+        default="local",
+        help="darray tile placement: local = in-process, shmem = "
+        "shared-memory shards on a supervised pool, mmap = out-of-core "
+        "spill files over a memory-mapped PGM (--engine darray only)",
+    )
+    sub.add_argument(
+        "--resident-tiles",
+        type=int,
+        default=1,
+        metavar="N",
+        help="out-of-core working-set budget: max label tiles resident "
+        "at once (mmap transport, default 1)",
+    )
+    sub.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        help="out-of-core spill directory (mmap transport; default: a "
+        "private temp dir removed on exit)",
+    )
+
+
+def _resolve_engine(args) -> str:
+    """The selected engine, honoring the legacy ``--runtime`` flag."""
+    if args.runtime:
+        return "runtime"
+    return args.engine
+
+
+def _darray_source(args):
+    """Image source for the darray engine.
+
+    A file path is handed through untouched so the ``mmap`` transport
+    can map it instead of reading it; generated patterns come back as
+    arrays (``mmap`` stages them to its spill directory).
+    """
+    if args.pattern is None and args.image:
+        return args.image
+    return _load_image(args)
+
+
+def _print_darray_stats(stats) -> None:
+    print(
+        f"darray stats: border {stats.border_bytes} B, "
+        f"changes {stats.change_bytes} B, "
+        f"spills {stats.spill_reads}r/{stats.spill_writes}w, "
+        f"resident highwater {stats.resident_highwater}"
+    )
+
+
 def cmd_generate(args) -> int:
     if args.pattern == 0:
         img = darpa_like(args.size, 256)
@@ -205,11 +266,48 @@ def _export_wall(args, rec) -> None:
         print(f"metrics written to {args.metrics_out}")
 
 
+def _wall_recorder(args, plan):
+    if args.trace_out or args.metrics_out or plan is not None:
+        from repro.obs import WallRecorder
+
+        return WallRecorder()
+    return None
+
+
+def _histogram_darray(args, plan) -> np.ndarray:
+    from repro.darray import darray_histogram
+
+    rec = _wall_recorder(args, plan)
+    hist = darray_histogram(
+        _darray_source(args),
+        args.levels,
+        p=args.processors,
+        transport=args.transport,
+        kernel=args.kernel,
+        recorder=rec,
+        fault_plan=plan,
+        spill_dir=args.spill_dir,
+        resident_tiles=args.resident_tiles,
+    )
+    print(
+        f"histogram k={args.levels} via darray/{args.transport}, "
+        f"p={args.processors}"
+    )
+    if plan is not None:
+        _print_fault_events(rec)
+    _export_wall(args, rec)
+    return hist
+
+
 def cmd_histogram(args) -> int:
-    image = _load_image(args)
+    engine = _resolve_engine(args)
     params = load_machine(args.machine)
     plan = _load_fault_plan(args)
-    if args.runtime:
+    if engine == "darray":
+        hist = _histogram_darray(args, plan)
+        image = None
+    elif engine == "runtime":
+        image = _load_image(args)
         from repro.obs import WallRecorder
         from repro.runtime import histogram as rt_histogram, resolve_workers
 
@@ -233,6 +331,7 @@ def cmd_histogram(args) -> int:
             _print_fault_events(rec)
         _export_wall(args, rec)
     else:
+        image = _load_image(args)
         if plan is not None and not plan.is_empty:
             raise ReproError(
                 "the simulator fault model covers components only; "
@@ -260,17 +359,69 @@ def cmd_histogram(args) -> int:
             bar = "#" * max(1, int(40 * hist[level] / hist.max()))
             print(f"  level {level:>4}: {hist[level]:>9}  {bar}")
     if args.equalize:
+        if image is None:
+            image = _load_image(args)
         eq = parallel_equalize(image, args.levels, args.processors, params)
         write_pgm(args.equalize, eq.image)
         print(f"equalized image written to {args.equalize}")
     return 0
 
 
+def _components_darray(args, plan) -> int:
+    from repro.darray import darray_components
+
+    rec = _wall_recorder(args, plan)
+    res = darray_components(
+        _darray_source(args),
+        p=args.processors,
+        transport=args.transport,
+        connectivity=args.connectivity,
+        grey=args.grey,
+        kernel=args.kernel,
+        recorder=rec,
+        fault_plan=plan,
+        spill_dir=args.spill_dir,
+        resident_tiles=args.resident_tiles,
+    )
+    labels = res.labels
+    print(
+        f"darray/{args.transport}: {labels.shape[0]}x{labels.shape[1]}, "
+        f"p={args.processors} ({res.grid.v}x{res.grid.w} tiles)"
+    )
+    print(
+        f"{res.n_components} components ({args.connectivity}-connectivity, "
+        f"{'grey' if args.grey else 'binary'})"
+    )
+    _print_darray_stats(res.stats)
+    if plan is not None:
+        _print_fault_events(rec)
+    _export_wall(args, rec)
+    if args.ascii:
+        print(ascii_labels(np.asarray(labels), width=args.ascii))
+    if args.output:
+        from repro.analysis.regions import compact_labels
+
+        compacted = compact_labels(np.asarray(labels))
+        n_regions = int(compacted.max(initial=0))
+        if n_regions > 255:
+            raise ReproError(
+                f"label map has {n_regions} components, which does not fit an "
+                f"8-bit PGM (max 255); use a smaller image or coarser levels"
+            )
+        write_pgm(args.output, compacted)
+        print(f"label map written to {args.output} (compacted labels)")
+    return 0
+
+
 def cmd_components(args) -> int:
+    engine = _resolve_engine(args)
+    if engine == "darray":
+        plan = _load_fault_plan(args)
+        return _components_darray(args, plan)
     image = _load_image(args)
     params = load_machine(args.machine)
     plan = _load_fault_plan(args)
-    if args.runtime:
+    if engine == "runtime":
         wall_rec = None
         if args.trace_out or args.metrics_out or plan is not None:
             from repro.obs import WallRecorder
@@ -1356,10 +1507,12 @@ def build_parser() -> argparse.ArgumentParser:
     hist.add_argument("-k", "--levels", type=int, default=256)
     hist.add_argument("--equalize", metavar="OUT.pgm", help="write equalized image")
     hist.add_argument("--runtime", action="store_true", help="use the real-parallel backend")
+    _add_darray_args(hist)
     hist.add_argument(
         "--fault-plan",
         metavar="PLAN.json",
-        help="inject faults from a repro-faults/v1 plan (requires --runtime)",
+        help="inject faults from a repro-faults/v1 plan (requires --runtime "
+        "or --engine darray --transport shmem)",
     )
     hist.set_defaults(func=cmd_histogram)
 
@@ -1368,11 +1521,13 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--grey", action="store_true", help="grey-scale CC (Section 6)")
     comp.add_argument("--connectivity", type=int, choices=(4, 8), default=8)
     comp.add_argument("--runtime", action="store_true", help="use the real-parallel backend")
+    _add_darray_args(comp)
     comp.add_argument(
         "--fault-plan",
         metavar="PLAN.json",
         help="inject faults from a repro-faults/v1 plan (process sites with "
-        "--runtime, sim:merge shadow-manager failover without)",
+        "--runtime, darray:* sites with --engine darray --transport shmem, "
+        "sim:merge shadow-manager failover without)",
     )
     comp.add_argument("--ascii", type=int, metavar="WIDTH", help="print an ASCII label map")
     comp.add_argument("-o", "--output", metavar="OUT.pgm", help="write the label map")

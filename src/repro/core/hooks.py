@@ -116,6 +116,39 @@ def apply_hooks(tile_labels: np.ndarray, hooks: TileHooks) -> np.ndarray:
     return out.reshape(tile_labels.shape)
 
 
+def apply_hooks_isolated(
+    tile_labels: np.ndarray, hooks: TileHooks, border_labels: np.ndarray
+) -> np.ndarray:
+    """Final interior update of a tile processed in isolation.
+
+    The out-of-core path (:mod:`repro.darray`'s ``mmap`` transport)
+    spills a tile to disk right after initial labeling and keeps only
+    its perimeter labels resident through the merge rounds.  The
+    spilled tile therefore holds *initial* labels everywhere -- border
+    included -- unlike the all-resident path, where the merge rounds
+    have already written the current labels onto the border.
+
+    ``border_labels`` holds the tile's post-merge perimeter labels in
+    :func:`~repro.core.tiles.perimeter_indices` order.  Writing them
+    back restores exactly the state :func:`apply_hooks` expects, so the
+    two paths produce identical tiles (tested).
+    """
+    tile_labels = np.asarray(tile_labels)
+    if tile_labels.ndim != 2:
+        raise ValidationError(f"tile_labels must be 2-D, got {tile_labels.shape}")
+    q, r = tile_labels.shape
+    border = perimeter_indices(q, r)
+    border_labels = np.asarray(border_labels, dtype=tile_labels.dtype)
+    if border_labels.shape != border.shape:
+        raise ValidationError(
+            f"border_labels has {border_labels.size} entries, expected "
+            f"{border.size} for a {q}x{r} tile"
+        )
+    flat = tile_labels.ravel().copy()
+    flat[border] = border_labels
+    return apply_hooks(flat.reshape(q, r), hooks)
+
+
 def apply_hooks_bfs(tile_labels: np.ndarray, hooks: TileHooks, *, connectivity: int = 8) -> np.ndarray:
     """Paper-faithful interior update: BFS relabel from each changed hook.
 

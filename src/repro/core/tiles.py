@@ -7,6 +7,18 @@ assigned to grid positions in row-major order.  An ``n x n`` image is
 split into tiles of ``q x r = n/v x n/w`` pixels; processor at grid
 position ``(I, J)`` owns the tile whose top-left global pixel is
 ``(I q, J r)``.
+
+Two extensions beyond the paper's setting:
+
+* an explicit grid ``shape=(v, w)`` overrides the near-square split
+  (degenerate ``1 x p`` / ``p x 1`` strips included), and
+* ``strict=False`` accepts images the grid does not divide evenly --
+  tiles then follow the *balanced* partition ``rows*I//v .. rows*(I+1)//v``
+  (heights differing by at most one pixel), which reduces exactly to
+  the uniform tiling whenever the grid divides the image.  Non-uniform
+  grids have no single ``q``/``r``; per-tile shapes come from
+  :meth:`ProcessorGrid.tile_shape`, which is what the
+  :mod:`repro.darray` shards rely on.
 """
 
 from __future__ import annotations
@@ -33,12 +45,28 @@ class ProcessorGrid:
         Image dimensions; ``n`` is an alias for ``rows`` on square
         images (reading it on a rectangular grid raises).
     v, w:
-        Grid rows and columns (``v * w == p``, ``w in (v, 2v)``).
+        Grid rows and columns (``v * w == p``; ``w in (v, 2v)`` unless
+        an explicit ``shape`` was given).
     q, r:
-        Tile height ``rows/v`` and width ``cols/w`` in pixels.
+        Tile height ``rows/v`` and width ``cols/w`` in pixels.  Only
+        defined on a uniform tiling; reading them on a non-dividing
+        ``strict=False`` grid raises (use :meth:`tile_shape`).
+    uniform:
+        Whether every tile has the same ``q x r`` shape.
+
+    Parameters
+    ----------
+    strict:
+        ``True`` (default) rejects images the grid does not divide --
+        the historical contract every simulator-era caller relies on.
+        ``False`` accepts them with the balanced partition described in
+        the module docstring.
+    shape:
+        Optional explicit ``(v, w)`` grid shape with ``v * w == p``;
+        ``None`` picks the paper's near-square split.
     """
 
-    def __init__(self, p: int, n):
+    def __init__(self, p: int, n, *, strict: bool = True, shape=None):
         if not isinstance(p, (int, np.integer)) or p <= 0 or (p & (p - 1)) != 0:
             raise ConfigurationError(f"p must be a power of two, got {p!r}")
         if isinstance(n, (int, np.integer)):
@@ -56,14 +84,39 @@ class ProcessorGrid:
         self.p = p
         self.rows = rows
         self.cols = cols
-        self.v = 1 << (d // 2)
-        self.w = 1 << (d - d // 2)
+        if shape is None:
+            self.v = 1 << (d // 2)
+            self.w = 1 << (d - d // 2)
+        else:
+            try:
+                v, w = (int(x) for x in shape)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"shape must be a (v, w) pair, got {shape!r}"
+                ) from None
+            if v <= 0 or w <= 0 or v * w != p:
+                raise ConfigurationError(
+                    f"grid shape {v}x{w} does not factor p={p}"
+                )
+            self.v = v
+            self.w = w
         if rows % self.v != 0 or cols % self.w != 0:
-            raise ConfigurationError(
-                f"grid {self.v}x{self.w} does not divide image {rows}x{cols}"
-            )
-        self.q = rows // self.v
-        self.r = cols // self.w
+            if strict:
+                raise ConfigurationError(
+                    f"grid {self.v}x{self.w} does not divide image {rows}x{cols}"
+                )
+            if self.v > rows or self.w > cols:
+                raise ConfigurationError(
+                    f"grid {self.v}x{self.w} exceeds image {rows}x{cols}: "
+                    f"some tiles would be empty"
+                )
+            self.uniform = False
+            self._q = None
+            self._r = None
+        else:
+            self.uniform = True
+            self._q = rows // self.v
+            self._r = cols // self.w
         if p > rows * cols:
             raise ConfigurationError(f"p={p} exceeds pixel count {rows * cols}")
 
@@ -76,6 +129,26 @@ class ProcessorGrid:
                 ".rows/.cols"
             )
         return self.rows
+
+    @property
+    def q(self) -> int:
+        """Uniform tile height (raises on a non-uniform tiling)."""
+        if self._q is None:
+            raise ConfigurationError(
+                f"grid {self.v}x{self.w} tiles {self.rows}x{self.cols} "
+                f"non-uniformly; use tile_shape(pid)"
+            )
+        return self._q
+
+    @property
+    def r(self) -> int:
+        """Uniform tile width (raises on a non-uniform tiling)."""
+        if self._r is None:
+            raise ConfigurationError(
+                f"grid {self.v}x{self.w} tiles {self.rows}x{self.cols} "
+                f"non-uniformly; use tile_shape(pid)"
+            )
+        return self._r
 
     # -- coordinates -------------------------------------------------------
 
@@ -93,15 +166,40 @@ class ProcessorGrid:
             )
         return I * self.w + J
 
+    def row_bounds(self, I: int) -> tuple[int, int]:
+        """Global row interval ``[start, stop)`` of grid row ``I``."""
+        if not (0 <= I < self.v):
+            raise ConfigurationError(f"grid row {I} out of range [0, {self.v})")
+        return self.rows * I // self.v, self.rows * (I + 1) // self.v
+
+    def col_bounds(self, J: int) -> tuple[int, int]:
+        """Global column interval ``[start, stop)`` of grid column ``J``."""
+        if not (0 <= J < self.w):
+            raise ConfigurationError(f"grid column {J} out of range [0, {self.w})")
+        return self.cols * J // self.w, self.cols * (J + 1) // self.w
+
     def tile_origin(self, pid: int) -> tuple[int, int]:
         """Global pixel coordinates of the tile's top-left corner."""
         I, J = self.coords(pid)
-        return I * self.q, J * self.r
+        return self.row_bounds(I)[0], self.col_bounds(J)[0]
+
+    def tile_shape(self, pid: int) -> tuple[int, int]:
+        """Exact ``(height, width)`` of processor ``pid``'s tile.
+
+        Equals ``(q, r)`` on a uniform tiling; on a balanced non-uniform
+        tiling heights/widths differ by at most one pixel between tiles.
+        """
+        I, J = self.coords(pid)
+        r0, r1 = self.row_bounds(I)
+        c0, c1 = self.col_bounds(J)
+        return r1 - r0, c1 - c0
 
     def tile_slices(self, pid: int) -> tuple[slice, slice]:
         """Row/column slices selecting processor ``pid``'s tile."""
-        r0, c0 = self.tile_origin(pid)
-        return slice(r0, r0 + self.q), slice(c0, c0 + self.r)
+        I, J = self.coords(pid)
+        r0, r1 = self.row_bounds(I)
+        c0, c1 = self.col_bounds(J)
+        return slice(r0, r1), slice(c0, c1)
 
     # -- data movement (initial placement / final collection) --------------
 
@@ -129,17 +227,18 @@ class ProcessorGrid:
         out = np.empty((self.rows, self.cols), dtype=dtype)
         for pid, tile in enumerate(tiles):
             tile = np.asarray(tile)
-            if tile.shape != (self.q, self.r):
+            if tile.shape != self.tile_shape(pid):
                 raise ConfigurationError(
-                    f"tile {pid} has shape {tile.shape}, expected {(self.q, self.r)}"
+                    f"tile {pid} has shape {tile.shape}, expected {self.tile_shape(pid)}"
                 )
             out[self.tile_slices(pid)] = tile
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tile = f"{self._q}x{self._r}" if self.uniform else "balanced"
         return (
-            f"ProcessorGrid(p={self.p}, image={self.rows}x{self.cols}, grid={self.v}x{self.w}, "
-            f"tile={self.q}x{self.r})"
+            f"ProcessorGrid(p={self.p}, image={self.rows}x{self.cols}, "
+            f"grid={self.v}x{self.w}, tile={tile})"
         )
 
 

@@ -1,0 +1,87 @@
+"""DistributedArray: a tile-sharded 2-D array behind a transport.
+
+The user-facing handle of the subsystem.  A :class:`DistributedArray`
+pairs a :class:`~repro.core.tiles.ProcessorGrid` with a
+:class:`~repro.darray.transport.Transport` instance and exposes the
+three verbs plus shard introspection; the engine
+(:mod:`repro.darray.engine`) drives it through the paper's schedule.
+
+It is also the placement facade the BDM simulator uses: ``place()``
+opens a ``local`` transport over an in-memory image so the simulator's
+free initial distribution reads tile shards through the same surface
+the real transports implement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.border_graph import BorderSide
+from repro.core.hooks import TileHooks
+from repro.core.tiles import ProcessorGrid
+from repro.darray.transport import Transport, TransportStats, open_transport
+
+
+class DistributedArray:
+    """A ``v x w`` grid of tile shards owned by a transport."""
+
+    def __init__(self, grid: ProcessorGrid, transport: Transport):
+        self.grid = grid
+        self.transport = transport
+
+    @classmethod
+    def open(cls, name: str, grid: ProcessorGrid, image, **opts) -> "DistributedArray":
+        """Open a registered transport over ``grid`` and ``image``."""
+        return cls(grid, open_transport(name, grid, image, **opts))
+
+    @classmethod
+    def place(cls, image: np.ndarray, grid: ProcessorGrid) -> "DistributedArray":
+        """In-process placement of an image's tiles (simulator seam)."""
+        from repro.darray.local import LocalTransport
+
+        return cls(grid, LocalTransport(grid, image))
+
+    # -- shard introspection ------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.grid.rows, self.grid.cols)
+
+    @property
+    def stats(self) -> TransportStats:
+        return self.transport.stats
+
+    def tile(self, pid: int) -> np.ndarray:
+        """Shard-local image tile (only placements that expose one)."""
+        return self.transport.tile(pid)
+
+    # -- the three verbs, delegated -----------------------------------------
+
+    def label(self) -> dict[int, TileHooks]:
+        return self.transport.label()
+
+    def finalize(self, hooks: dict[int, TileHooks]) -> None:
+        self.transport.finalize(hooks)
+
+    def histogram(self, k: int) -> np.ndarray:
+        return self.transport.histogram(k)
+
+    def border(self, step_index, group_index, pids, edge) -> BorderSide:
+        return self.transport.border(step_index, group_index, tuple(pids), edge)
+
+    def publish(self, step_index, group_index, pids, alphas, betas) -> None:
+        self.transport.publish(step_index, group_index, tuple(pids), alphas, betas)
+
+    # -- collection / lifecycle --------------------------------------------
+
+    def gather(self) -> np.ndarray:
+        return self.transport.gather()
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "DistributedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,239 @@
+"""Out-of-core transport: memory-mapped pixels, spill-file label shards.
+
+Pixels stream from a memory-mapped binary PGM (``read_pnm(path,
+mmap=True)``); label tiles live as raw int64 spill files in a spill
+directory and pass through a bounded resident set (an LRU of at most
+``resident_tiles`` tiles).  The paper's communication structure is
+what makes this work: after the initial labeling pass, the ``log p``
+merge rounds need only each tile's *perimeter labels* -- O(n) bytes
+total -- so the transport keeps exactly those resident and never
+touches a spilled tile again until the final hook-based relabel, which
+streams tiles through the working set one at a time
+(:func:`~repro.core.hooks.apply_hooks_isolated`).
+
+Peak residency is therefore ``resident_tiles`` label tiles plus the
+borders, independent of image size; ``stats.resident_highwater``
+records the enforced maximum and the CI smoke asserts it under an RSS
+cap.  :meth:`MmapTransport.gather` assembles the result as a read-only
+``numpy.memmap`` over a spill-directory file, so even the output never
+materializes in RAM.
+
+A transport-owned spill directory is deleted on :meth:`close` (every
+path out -- the leak scans assert no stray spill files); a caller-
+provided ``spill_dir`` keeps its assembled ``labels.bin`` for
+inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import tempfile
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.border_graph import BorderSide
+from repro.core.hooks import TileHooks, apply_hooks_isolated, create_tile_hooks
+from repro.core.tiles import ProcessorGrid, perimeter_indices
+from repro.darray.borders import edge_positions, side_nbytes
+from repro.darray.transport import Transport
+from repro.kernels import get as get_kernel, resolve_backend
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_positive
+
+
+class MmapTransport(Transport):
+    """Bounded-working-set shards over a memory-mapped image."""
+
+    name = "mmap"
+
+    def __init__(
+        self,
+        grid: ProcessorGrid,
+        image,
+        *,
+        connectivity: int = 8,
+        grey: bool = False,
+        kernel: str | None = None,
+        spill_dir=None,
+        resident_tiles: int = 1,
+        **_ignored,
+    ):
+        super().__init__(grid)
+        self.connectivity = connectivity
+        self.grey = grey
+        self.kernel = resolve_backend(kernel)
+        self._budget = check_positive("resident_tiles", resident_tiles)
+        self._own_spill = spill_dir is None
+        self._spill = pathlib.Path(
+            tempfile.mkdtemp(prefix="repro-darray-") if self._own_spill else spill_dir
+        )
+        self._spill.mkdir(parents=True, exist_ok=True)
+        self.image = self._open_image(image)
+        if self.image.shape != (grid.rows, grid.cols):
+            raise ValidationError(
+                f"image shape {self.image.shape} does not match grid "
+                f"{grid.rows}x{grid.cols}"
+            )
+        self._resident: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._dirty: set[int] = set()
+        self._borders: dict[int, np.ndarray] = {}
+        self._closed = False
+
+    def _open_image(self, image) -> np.ndarray:
+        """Memory-map the pixel source, staging non-P5 inputs first."""
+        from repro.images.io import read_pnm, write_pgm
+
+        if isinstance(image, (str, pathlib.Path)):
+            try:
+                return read_pnm(image, mmap=True)
+            except ValidationError:
+                # Not a binary PGM: decode once, stage as P5, then map.
+                image = read_pnm(image)
+        image = np.asarray(image)
+        staged = self._spill / "image.pgm"
+        write_pgm(staged, image)
+        return read_pnm(staged, mmap=True)
+
+    # -- residency ---------------------------------------------------------
+
+    def _tile_path(self, pid: int) -> pathlib.Path:
+        return self._spill / f"tile-{pid:05d}.bin"
+
+    def _evict_one(self) -> None:
+        pid, arr = self._resident.popitem(last=False)
+        if pid in self._dirty:
+            arr.tofile(self._tile_path(pid))
+            self._dirty.discard(pid)
+            self.stats.spill_writes += 1
+
+    def _admit(self, pid: int, arr: np.ndarray, *, dirty: bool) -> None:
+        """Make a tile resident, evicting to stay within the budget."""
+        while len(self._resident) >= self._budget:
+            self._evict_one()
+        self._resident[pid] = arr
+        if dirty:
+            self._dirty.add(pid)
+        self.stats.resident_highwater = max(
+            self.stats.resident_highwater, len(self._resident)
+        )
+
+    def _checkout(self, pid: int) -> np.ndarray:
+        """Resident label tile of ``pid``, loading from spill if needed."""
+        if pid in self._resident:
+            self._resident.move_to_end(pid)
+            return self._resident[pid]
+        h, w = self.grid.tile_shape(pid)
+        arr = np.fromfile(self._tile_path(pid), dtype=np.int64).reshape(h, w)
+        self.stats.spill_reads += 1
+        self._admit(pid, arr, dirty=False)
+        return arr
+
+    def _image_tile(self, pid: int) -> np.ndarray:
+        """One image tile, materialized from the mapped pixels."""
+        return np.ascontiguousarray(
+            self.image[self.grid.tile_slices(pid)], dtype=np.int32
+        )
+
+    # -- verb 1: tile-local compute ---------------------------------------
+
+    def label(self) -> dict[int, TileHooks]:
+        label_kernel = get_kernel("tile_label", backend=self.kernel)
+        hooks: dict[int, TileHooks] = {}
+        for pid in range(self.grid.p):
+            r0, c0 = self.grid.tile_origin(pid)
+            lab = label_kernel(
+                self._image_tile(pid),
+                connectivity=self.connectivity,
+                grey=self.grey,
+                label_base=1,
+                label_stride=self.grid.cols,
+                row_offset=r0,
+                col_offset=c0,
+            )
+            hooks[pid] = create_tile_hooks(lab)
+            h, w = lab.shape
+            self._borders[pid] = lab.ravel()[perimeter_indices(h, w)].copy()
+            self._admit(pid, lab, dirty=True)
+        return hooks
+
+    def finalize(self, hooks: dict[int, TileHooks]) -> None:
+        for pid in range(self.grid.p):
+            initial = self._checkout(pid)
+            final = apply_hooks_isolated(initial, hooks[pid], self._borders[pid])
+            self._resident[pid] = final
+            self._dirty.add(pid)
+
+    def histogram(self, k: int) -> np.ndarray:
+        tally = get_kernel("histogram", backend=self.kernel)
+        out = np.zeros(k, dtype=np.int64)
+        for pid in range(self.grid.p):
+            out += tally(self._image_tile(pid), k)
+        return out
+
+    # -- verb 2: border exchange -------------------------------------------
+
+    def border(self, step_index, group_index, pids, edge) -> BorderSide:
+        extract = get_kernel("border_extract", backend=self.kernel)
+        lab_parts = []
+        col_parts = []
+        for pid in pids:
+            h, w = self.grid.tile_shape(pid)
+            lab_parts.append(self._borders[pid][edge_positions(h, w, edge)])
+            col_parts.append(
+                np.asarray(extract(self.image[self.grid.tile_slices(pid)], edge))
+            )
+        side = BorderSide(np.concatenate(lab_parts), np.concatenate(col_parts))
+        self.stats.border_bytes += side_nbytes(side)
+        return side
+
+    # -- verb 3: change publish/fetch --------------------------------------
+
+    def publish(self, step_index, group_index, pids, alphas, betas) -> None:
+        relabel = get_kernel("relabel", backend=self.kernel)
+        for pid in pids:
+            self._borders[pid] = relabel(self._borders[pid], alphas, betas)
+        self.stats.change_bytes += int((alphas.nbytes + betas.nbytes) * len(pids))
+
+    # -- collection / lifecycle --------------------------------------------
+
+    def gather(self) -> np.ndarray:
+        """Assemble the labels into a read-only memmap, tile by tile."""
+        for pid in list(self._resident):
+            # Flush residency so the spill files are authoritative.
+            self._resident.move_to_end(pid, last=False)
+            self._evict_one()
+        rows, cols = self.grid.rows, self.grid.cols
+        out_path = self._spill / "labels.bin"
+        itemsize = np.dtype(np.int64).itemsize
+        with open(out_path, "wb") as fh:
+            fh.truncate(rows * cols * itemsize)
+            for pid in range(self.grid.p):
+                h, w = self.grid.tile_shape(pid)
+                tile = np.fromfile(self._tile_path(pid), dtype=np.int64)
+                self.stats.spill_reads += 1
+                tile = tile.reshape(h, w)
+                r0, c0 = self.grid.tile_origin(pid)
+                for i in range(h):
+                    fh.seek(((r0 + i) * cols + c0) * itemsize)
+                    fh.write(tile[i].tobytes())
+        return np.memmap(out_path, dtype=np.int64, mode="r", shape=(rows, cols))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._resident.clear()
+        self._dirty.clear()
+        self._borders.clear()
+        # The image memmap holds the staged file open; drop it first.
+        self.image = None
+        if self._own_spill:
+            shutil.rmtree(self._spill, ignore_errors=True)
+        else:
+            # Caller-owned directory: remove our shards, keep the
+            # assembled labels for inspection.
+            for path in self._spill.glob("tile-*.bin"):
+                path.unlink(missing_ok=True)
+            (self._spill / "image.pgm").unlink(missing_ok=True)

@@ -1,0 +1,171 @@
+"""The transport contract: three verbs move a distributed tile array.
+
+A :class:`Transport` owns the physical placement of a
+:class:`~repro.core.tiles.ProcessorGrid`'s tile shards -- in-process
+arrays, shared-memory segments, or spill files behind a memory-mapped
+image.  The algorithm layer (:mod:`repro.darray.engine`) never touches
+placement; everything it may ask of a transport is one of:
+
+1. **tile-local compute** -- run a named local step (initial labeling,
+   hook-based final relabel, histogram tally) on shards, where the
+   shards live;
+2. **border exchange** -- fetch one side of a merge border (labels +
+   colors, in scan order) out of the owning shards;
+3. **change publish/fetch** -- fan a solved change array out to the
+   merged region's shards, which relabel their perimeters.
+
+Everything else (the merge schedule, the border-graph solve, hook
+bookkeeping) is transport-independent and lives in the engine.  The
+verbs are deliberately those of the paper: the merge rounds move only
+border pixels and change arrays, which is what makes the out-of-core
+and multi-process placements drop-in.
+
+Transports accumulate :class:`TransportStats`; the engine republishes
+them as ``darray:*`` obs counters.
+"""
+
+from __future__ import annotations
+
+import abc
+import importlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.border_graph import BorderSide
+from repro.core.hooks import TileHooks
+from repro.core.tiles import ProcessorGrid
+from repro.utils.errors import ValidationError
+
+#: Registered transports: name -> "module:Class" (resolved lazily, so
+#: importing repro.darray does not drag in the multiprocessing runtime).
+TRANSPORTS = {
+    "local": "repro.darray.local:LocalTransport",
+    "shmem": "repro.darray.shmem_transport:ShmemTransport",
+    "mmap": "repro.darray.mmap_transport:MmapTransport",
+}
+
+
+@dataclass
+class TransportStats:
+    """Traffic and working-set accounting of one transport lifetime.
+
+    ``border_bytes`` counts every byte of border labels+colors fetched
+    (verb 2); ``change_bytes`` every byte of change array fanned out
+    (verb 3, bytes x receiving tiles).  ``spill_reads`` /
+    ``spill_writes`` count whole-tile transfers between residency and
+    the spill directory (out-of-core transport only);
+    ``resident_highwater`` is the maximum number of label tiles ever
+    resident at once.
+    """
+
+    border_bytes: int = 0
+    change_bytes: int = 0
+    spill_reads: int = 0
+    spill_writes: int = 0
+    resident_highwater: int = 0
+
+
+class Transport(abc.ABC):
+    """Abstract placement of a grid's tile shards behind the three verbs.
+
+    Concrete transports are constructed by :func:`open_transport` with
+    the grid, the image source, and the algorithm options; they are
+    context managers (``close`` must release every segment, spill file,
+    and pool on *every* path out).
+    """
+
+    #: Registry name, overridden by each implementation.
+    name = "abstract"
+
+    def __init__(self, grid: ProcessorGrid):
+        self.grid = grid
+        self.stats = TransportStats()
+
+    # -- verb 1: tile-local compute ---------------------------------------
+
+    @abc.abstractmethod
+    def label(self) -> dict[int, TileHooks]:
+        """Initial per-tile labeling on every shard; returns the hooks.
+
+        Each shard's labels use the paper's globally-offset convention
+        ``(Iq + i) * cols + (Jr + j) + 1``; the transport stores them
+        shard-locally and returns one :class:`TileHooks` per tile.
+        """
+
+    @abc.abstractmethod
+    def finalize(self, hooks: dict[int, TileHooks]) -> None:
+        """Hook-based final interior relabel, tile-local on every shard."""
+
+    @abc.abstractmethod
+    def histogram(self, k: int) -> np.ndarray:
+        """Per-shard grey-level tallies, reduced to one ``k``-bin vector."""
+
+    # -- verb 2: border exchange -------------------------------------------
+
+    @abc.abstractmethod
+    def border(
+        self, step_index: int, group_index: int, pids: tuple[int, ...], edge: str
+    ) -> BorderSide:
+        """Fetch one side of a merge border from the owning shards.
+
+        ``pids`` lists the side's tiles in scan order; ``edge`` names
+        the tile edge they contribute.  Returns the concatenated labels
+        and colors.
+        """
+
+    # -- verb 3: change-array publish/fetch --------------------------------
+
+    @abc.abstractmethod
+    def publish(
+        self,
+        step_index: int,
+        group_index: int,
+        pids: tuple[int, ...],
+        alphas: np.ndarray,
+        betas: np.ndarray,
+    ) -> None:
+        """Fan a change array out to the region's shards.
+
+        Every shard in ``pids`` relabels its tile perimeter through the
+        sorted ``(alpha, beta)`` pairs -- the paper's drastically
+        limited updating.
+        """
+
+    # -- collection / lifecycle --------------------------------------------
+
+    @abc.abstractmethod
+    def gather(self) -> np.ndarray:
+        """Assemble the full label array (diagnostic / result surface).
+
+        The out-of-core transport returns a read-only ``numpy.memmap``
+        so gathering does not materialize the image in RAM.
+        """
+
+    def close(self) -> None:
+        """Release every resource; idempotent."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_transport(name: str, grid: ProcessorGrid, image, **opts) -> Transport:
+    """Instantiate a registered transport over ``grid`` and ``image``.
+
+    ``image`` is a 2-D array (any transport) or a PNM file path (the
+    ``mmap`` transport streams it; the others read it up front).
+    Option keys a transport does not use are ignored, so one call site
+    can configure the whole matrix.
+    """
+    try:
+        target = TRANSPORTS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown transport {name!r}; known: {sorted(TRANSPORTS)}"
+        ) from None
+    module_name, _, class_name = target.partition(":")
+    cls = getattr(importlib.import_module(module_name), class_name)
+    return cls(grid, image, **opts)

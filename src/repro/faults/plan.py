@@ -42,6 +42,17 @@ Sites
     ``attempt`` the routing attempt).  ``hang`` delays the forward past
     the hedge budget (exercising hedged retries), ``exception`` fails
     it (exercising ring-successor rerouting).
+``darray:border``
+    One border-exchange task of the distributed-array ``shmem``
+    transport (:mod:`repro.darray`; ``round`` selects the merge
+    iteration, ``group`` the border group).  ``corrupt`` damages the
+    fetched border payload, which the transport's validation detects
+    and reports as the retryable
+    :class:`~repro.utils.errors.CorruptPayloadError`.
+``darray:fetch``
+    One change-array fetch/apply task of the ``shmem`` transport:
+    region tiles fetching the published change list and relabeling
+    their perimeters (``round``/``group`` as above).
 ``svc:health``
     One health probe of the router's per-shard monitor
     (:mod:`repro.service.health`; ``task`` selects the shard index,
@@ -60,9 +71,10 @@ Kinds
 ``exception``
     The task raises :class:`~repro.utils.errors.TransientTaskError`.
 ``corrupt``
-    Only at ``cc:merge``: the fetched border payload is corrupted
-    (labels negated), which the merge task's validation detects and
-    reports as :class:`~repro.utils.errors.CorruptPayloadError`.
+    Only at ``cc:merge`` and ``darray:border``: the fetched border
+    payload is corrupted (labels negated), which the consuming task's
+    validation detects and reports as
+    :class:`~repro.utils.errors.CorruptPayloadError`.
 
 Faults fire at *task entry*, before the task mutates shared state, so
 a retried task always starts from a consistent view.
@@ -90,6 +102,7 @@ SCHEMA = "repro-faults/v1"
 SITES = (
     "hist:band", "cc:label", "cc:merge", "cc:final", "sim:merge",
     "svc:exec", "svc:shmem", "svc:route", "svc:health",
+    "darray:border", "darray:fetch",
 )
 
 #: Recognized fault kinds.
@@ -130,9 +143,12 @@ class FaultSpec:
             raise ValidationError(f"unknown fault site {self.site!r}; known: {list(SITES)}")
         if self.kind not in KINDS:
             raise ValidationError(f"unknown fault kind {self.kind!r}; known: {list(KINDS)}")
-        if self.kind == "corrupt" and self.site not in ("cc:merge", "svc:shmem"):
+        if self.kind == "corrupt" and self.site not in (
+            "cc:merge", "svc:shmem", "darray:border",
+        ):
             raise ValidationError(
-                "kind 'corrupt' is only defined for sites 'cc:merge' and 'svc:shmem'"
+                "kind 'corrupt' is only defined for sites 'cc:merge', "
+                "'svc:shmem', and 'darray:border'"
             )
         if self.site == "sim:merge" and self.kind != "crash":
             raise ValidationError("site 'sim:merge' models processor loss; use kind 'crash'")
@@ -310,12 +326,23 @@ def single_fault_plans(
     """
     if workload not in ("histogram", "components"):
         raise ValidationError(f"unknown workload {workload!r}")
-    if engine not in ("process", "sim"):
+    if engine not in ("process", "sim", "darray"):
         raise ValidationError(f"unknown engine {engine!r}")
     plans: list[FaultPlan] = []
 
     def add(**kw):
         plans.append(FaultPlan(seed=seed, faults=(FaultSpec(**kw),)))
+
+    if engine == "darray":
+        if workload != "components":
+            raise ValidationError("the darray fault sites cover components only")
+        for kind in ("crash", "hang", "exception"):
+            for rnd in range(n_rounds):
+                add(site="darray:border", kind=kind, round=rnd, group=0)
+            add(site="darray:fetch", kind=kind, round=n_rounds - 1, group=0)
+        for rnd in range(n_rounds):
+            add(site="darray:border", kind="corrupt", round=rnd, group=0)
+        return plans
 
     if engine == "process":
         if workload == "histogram":

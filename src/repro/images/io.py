@@ -12,6 +12,20 @@ Deeper-than-8-bit greymaps are rejected on both read and write: the
 engines' grey-level pipeline is defined over <= 256 levels, and a file
 the writer can produce must always be one the reader accepts.
 
+Three entry points:
+
+* :func:`pnm_info` -- a header-only probe (magic, dimensions, maxval,
+  payload offset) that never touches pixel data, so callers can size
+  buffers and pick a grid before committing to a read;
+* :func:`read_pnm` -- the full reader.  Payload size is validated
+  against the header: a truncated *or* padded file raises a typed
+  :class:`~repro.utils.errors.ValidationError` instead of silently
+  mis-shaping (truncation) or dropping bytes (padding);
+* ``read_pnm(path, mmap=True)`` -- streaming ingestion for binary PGM
+  (``P5``): returns a read-only ``numpy.memmap`` over the payload, so
+  a gigapixel image costs address space, not RAM.  This is what the
+  :mod:`repro.darray` out-of-core transport feeds on.
+
 .. note:: **Compatibility break in 1.1.0.** Version 1.0.0 read and
    wrote 16-bit PGMs (``maxval`` up to 65535, big-endian samples).
    Those files never worked with the histogram/components pipeline
@@ -25,11 +39,16 @@ the writer can produce must always be one the reader accepts.
 from __future__ import annotations
 
 import pathlib
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_image
+
+#: How much of a file the header probe reads; PNM headers are a few
+#: dozen bytes plus comments, so this is generous.
+_HEADER_PROBE_BYTES = 64 << 10
 
 
 def _read_tokens(data: bytes):
@@ -50,9 +69,43 @@ def _read_tokens(data: bytes):
             yield data[start:pos], pos
 
 
-def read_pnm(path) -> np.ndarray:
-    """Read a PBM/PGM file into an int32 image array."""
-    data = pathlib.Path(path).read_bytes()
+@dataclass(frozen=True)
+class PnmInfo:
+    """Header facts of a PNM file, as :func:`pnm_info` probes them.
+
+    ``data_offset`` is the byte offset of the first payload byte for the
+    binary formats (``P4``/``P5``: one whitespace past the last header
+    token); for the ASCII formats it marks where the sample tokens
+    begin.  ``payload_bytes`` is the exact payload size the header
+    implies for a binary file (``None`` for ASCII, whose payload size
+    depends on formatting).
+    """
+
+    magic: str
+    width: int
+    height: int
+    maxval: int
+    data_offset: int
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.height, self.width
+
+    @property
+    def binary(self) -> bool:
+        return self.magic in ("P4", "P5")
+
+    @property
+    def payload_bytes(self) -> int | None:
+        if self.magic == "P5":
+            return self.width * self.height
+        if self.magic == "P4":
+            return (self.width + 7) // 8 * self.height
+        return None
+
+
+def _parse_header(data: bytes, path) -> PnmInfo:
+    """Parse the PNM header at the front of ``data``."""
     tokens = _read_tokens(data)
 
     def next_token() -> tuple[bytes, int]:
@@ -66,7 +119,12 @@ def read_pnm(path) -> np.ndarray:
         raise ValidationError(f"unsupported PNM magic {magic!r} (PBM/PGM only)")
     width_tok, _ = next_token()
     height_tok, pos = next_token()
-    width, height = int(width_tok), int(height_tok)
+    try:
+        width, height = int(width_tok), int(height_tok)
+    except ValueError:
+        raise ValidationError(
+            f"bad PNM dimensions {width_tok!r}x{height_tok!r} in {path}"
+        ) from None
     if width <= 0 or height <= 0:
         raise ValidationError(f"bad PNM dimensions {width}x{height}")
 
@@ -89,30 +147,119 @@ def read_pnm(path) -> np.ndarray:
     else:
         maxval = 1
 
-    if magic == b"P1":
+    # Binary payloads start exactly one whitespace byte past the last
+    # header token; ASCII payloads are a token stream from here on.
+    offset = pos + 1 if magic in (b"P4", b"P5") else pos
+    return PnmInfo(
+        magic=magic.decode("ascii"),
+        width=width,
+        height=height,
+        maxval=maxval,
+        data_offset=offset,
+    )
+
+
+def pnm_info(path) -> PnmInfo:
+    """Header-only probe of a PBM/PGM file.
+
+    Reads at most the first 64 KiB; pixel data is never touched, so the
+    probe is O(1) in image size -- cheap enough to size a processor
+    grid or a shard budget before deciding how to ingest the file.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(_HEADER_PROBE_BYTES)
+    return _parse_header(head, path)
+
+
+def _check_payload(info: PnmInfo, found: int, path) -> None:
+    """Reject a payload whose size disagrees with the header."""
+    expected = info.payload_bytes
+    if found != expected:
+        kind = "truncated" if found < expected else "oversized"
+        raise ValidationError(
+            f"{kind} {info.magic} payload in {path}: header "
+            f"{info.width}x{info.height} implies {expected} bytes, "
+            f"found {found}"
+        )
+
+
+def read_pnm(path, *, mmap: bool = False) -> np.ndarray:
+    """Read a PBM/PGM file into an int32 image array.
+
+    With ``mmap=True`` the file must be a binary PGM (``P5``); the
+    payload is returned as a read-only ``numpy.memmap`` of ``uint8``
+    with the image's shape -- pixels stream from the page cache on
+    access instead of being materialized up front.
+    """
+    if mmap:
+        return _read_pnm_mmap(path)
+    data = pathlib.Path(path).read_bytes()
+    info = _parse_header(data, path)
+    magic, width, height, pos = info.magic, info.width, info.height, info.data_offset
+
+    if magic == "P1":
         values = []
         rest = data[pos:].split()
         for chunk in rest:
             # P1 digits may run together ("0110"); split per character.
-            values.extend(int(ch) for ch in chunk.decode("ascii"))
-        img = np.array(values[: width * height], dtype=np.int32)
-    elif magic == b"P2":
-        values = [int(tok) for tok in data[pos:].split()]
-        img = np.array(values[: width * height], dtype=np.int32)
-    elif magic == b"P4":
-        pos += 1  # single whitespace after header
+            try:
+                values.extend(int(ch) for ch in chunk.decode("ascii"))
+            except (UnicodeDecodeError, ValueError):
+                raise ValidationError(
+                    f"bad P1 sample {chunk!r} in {path}"
+                ) from None
+        if len(values) != width * height:
+            raise ValidationError(
+                f"{'truncated' if len(values) < width * height else 'oversized'} "
+                f"P1 payload in {path}: header {width}x{height} implies "
+                f"{width * height} samples, found {len(values)}"
+            )
+        img = np.array(values, dtype=np.int32)
+    elif magic == "P2":
+        try:
+            values = [int(tok) for tok in data[pos:].split()]
+        except ValueError:
+            raise ValidationError(f"non-integer P2 sample in {path}") from None
+        if len(values) != width * height:
+            raise ValidationError(
+                f"{'truncated' if len(values) < width * height else 'oversized'} "
+                f"P2 payload in {path}: header {width}x{height} implies "
+                f"{width * height} samples, found {len(values)}"
+            )
+        img = np.array(values, dtype=np.int32)
+    elif magic == "P4":
+        _check_payload(info, len(data) - pos, path)
         row_bytes = (width + 7) // 8
-        raw = np.frombuffer(data[pos : pos + row_bytes * height], dtype=np.uint8)
+        raw = np.frombuffer(data[pos:], dtype=np.uint8)
         bits = np.unpackbits(raw.reshape(height, row_bytes), axis=1)[:, :width]
         img = bits.astype(np.int32).ravel()
     else:  # P5
-        pos += 1
-        raw = np.frombuffer(data[pos : pos + width * height], dtype=np.uint8)
+        _check_payload(info, len(data) - pos, path)
+        raw = np.frombuffer(data[pos:], dtype=np.uint8)
         img = raw.astype(np.int32)
 
     if img.size != width * height:
         raise ValidationError(f"truncated PNM pixel data in {path}")
     return img.reshape(height, width)
+
+
+def _read_pnm_mmap(path) -> np.ndarray:
+    """Memory-map a binary PGM's payload (read-only ``uint8`` view)."""
+    info = pnm_info(path)
+    if info.magic != "P5":
+        raise ValidationError(
+            f"mmap ingestion requires a binary PGM (P5), got {info.magic} "
+            f"in {path}; re-encode the file or read it without mmap"
+        )
+    size = pathlib.Path(path).stat().st_size
+    _check_payload(info, size - info.data_offset, path)
+    return np.memmap(
+        path,
+        dtype=np.uint8,
+        mode="r",
+        offset=info.data_offset,
+        shape=info.shape,
+    )
 
 
 def write_pgm(path, image: np.ndarray, *, binary: bool = True) -> None:

@@ -77,6 +77,22 @@ ROUTER_SHARD_DOWN = "router:shard-down"  # instant: breaker opened for a shard
 ROUTER_SHARD_UP = "router:shard-up"      # instant: breaker closed again
 ROUTER_RESPAWN = "router:shard-respawn"  # instant: dead shard process respawned
 
+#: Names emitted by the distributed-array subsystem (:mod:`repro.darray`).
+#: Spans cover the three algorithm phases on the driver lane; counts
+#: quantify the transport's traffic and working set: border-exchange
+#: payload bytes (the paper's O(n) bound per merge level), change-array
+#: bytes fanned out to region tiles, spill-file tile reads/writes of the
+#: out-of-core transport, and the maximum number of label tiles ever
+#: resident at once (the enforced working-set highwater).
+DARRAY_LABEL = "darray:label"            # span: initial per-tile labeling pass
+DARRAY_MERGE = "darray:merge"            # span: one merge round over borders
+DARRAY_FINAL = "darray:final"            # span: hook-based interior update
+DARRAY_BORDER_BYTES = "darray:border-bytes"      # count: border payload bytes
+DARRAY_CHANGE_BYTES = "darray:change-bytes"      # count: change-array bytes
+DARRAY_SPILL_READS = "darray:spill-reads"        # count: tile reads from spill
+DARRAY_SPILL_WRITES = "darray:spill-writes"      # count: tile writes to spill
+DARRAY_RESIDENT_HIGHWATER = "darray:resident-highwater"  # count: max resident tiles
+
 
 @dataclass(frozen=True)
 class Span:

@@ -42,7 +42,8 @@ import numpy as np
 from repro.core.border_graph import BorderSide, solve_border_merge
 from repro.core.hooks import apply_hooks, create_tile_hooks
 from repro.core.merge import merge_schedule
-from repro.core.tiles import ProcessorGrid, perimeter_indices
+from repro.core.tiles import ProcessorGrid
+from repro.darray.borders import collect_side, relabel_perimeters
 from repro.faults.inject import (
     corrupt_labels,
     fire,
@@ -332,11 +333,10 @@ def _cc_merge_group_inner(step_index, group_index, corrupt_spec=None):
     labels = _WORK["labels"].array
     step = merge_schedule(grid)[step_index]
     group = step.groups[group_index]
-    q, r = grid.q, grid.r
     edge_a, edge_b = step.edge_names
     extract = get_kernel("border_extract", backend=opts["kernel"])
-    side_a = _collect_side(labels, image, grid, group.side_a_pids, edge_a, extract)
-    side_b = _collect_side(labels, image, grid, group.side_b_pids, edge_b, extract)
+    side_a = collect_side(labels, image, grid, group.side_a_pids, edge_a, extract)
+    side_b = collect_side(labels, image, grid, group.side_b_pids, edge_b, extract)
     if corrupt_spec is not None:
         side_a = BorderSide(corrupt_labels(side_a.labels), side_a.colors)
     try:
@@ -353,26 +353,10 @@ def _cc_merge_group_inner(step_index, group_index, corrupt_spec=None):
     if len(solve.changes) == 0:
         return 0
     relabel = get_kernel("relabel", backend=opts["kernel"])
-    border_rows, border_cols = np.unravel_index(perimeter_indices(q, r), (q, r))
-    for pid in group.region:
-        r0, c0 = grid.tile_origin(pid)
-        rows = border_rows + r0
-        cols = border_cols + c0
-        labels[rows, cols] = relabel(
-            labels[rows, cols], solve.changes.alphas, solve.changes.betas
-        )
+    relabel_perimeters(
+        labels, grid, group.region, solve.changes.alphas, solve.changes.betas, relabel
+    )
     return len(solve.changes)
-
-
-def _collect_side(labels, image, grid, pids, edge, extract) -> BorderSide:
-    """One border side's labels and colors via the border_extract kernel."""
-    lab_parts = []
-    col_parts = []
-    for pid in pids:
-        sl = grid.tile_slices(pid)
-        lab_parts.append(extract(labels[sl], edge))
-        col_parts.append(extract(image[sl], edge))
-    return BorderSide(np.concatenate(lab_parts), np.concatenate(col_parts))
 
 
 def components(

@@ -1,0 +1,149 @@
+"""Out-of-core contract of the mmap transport.
+
+The paper's communication structure (border-only merges, hook-based
+final update) means labeling memory is bounded by the resident-tile
+budget, not the image: these tests pin the enforced working set, the
+spill accounting, the memmap result surface, and spill-file hygiene.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequential import sequential_components
+from repro.darray import darray_components, darray_histogram
+from repro.images import binary_test_image
+from repro.images.io import write_pgm
+
+N = 64
+P = 16  # 4x4 grid: a budget of 1 is a 16x ratio
+
+
+@pytest.fixture(scope="module")
+def image():
+    return binary_test_image(4, N)
+
+
+@pytest.fixture(scope="module")
+def serial_labels(image):
+    return sequential_components(image, connectivity=8)
+
+
+@pytest.fixture(scope="module")
+def image_path(tmp_path_factory, image):
+    path = tmp_path_factory.mktemp("ooc") / "img.pgm"
+    write_pgm(path, image)
+    return str(path)
+
+
+class TestWorkingSet:
+    def test_highwater_never_exceeds_budget(self, image_path, serial_labels):
+        for budget in (1, 2, 5):
+            res = darray_components(
+                image_path, p=P, transport="mmap", resident_tiles=budget
+            )
+            assert np.array_equal(np.asarray(res.labels), serial_labels)
+            assert 0 < res.stats.resident_highwater <= budget
+
+    def test_sixteen_x_ratio(self, image_path, serial_labels):
+        # 16 tiles through a 1-tile budget: the image is 16x larger
+        # than the enforced label working set.
+        res = darray_components(
+            image_path, p=P, transport="mmap", resident_tiles=1
+        )
+        assert np.array_equal(np.asarray(res.labels), serial_labels)
+        assert res.stats.resident_highwater == 1
+        assert P // res.stats.resident_highwater >= 16
+
+    def test_spills_counted(self, image_path):
+        res = darray_components(
+            image_path, p=P, transport="mmap", resident_tiles=1
+        )
+        # Every tile spills at least once during labeling (bar the one
+        # still resident) and is read back for finalize and gather.
+        assert res.stats.spill_writes >= P - 1
+        assert res.stats.spill_reads >= P
+
+    def test_generous_budget_still_spills_for_gather(self, image_path):
+        res = darray_components(
+            image_path, p=P, transport="mmap", resident_tiles=P
+        )
+        assert res.stats.resident_highwater == P
+        assert res.stats.spill_reads >= P  # gather streams from spill
+
+    def test_rejects_non_positive_budget(self, image_path):
+        from repro.utils.errors import ReproError
+
+        with pytest.raises(ReproError):
+            darray_components(
+                image_path, p=P, transport="mmap", resident_tiles=0
+            )
+
+
+class TestResultSurface:
+    def test_labels_are_read_only_memmap(self, image_path):
+        res = darray_components(image_path, p=P, transport="mmap")
+        assert isinstance(res.labels, np.memmap)
+        assert not res.labels.flags.writeable
+
+    def test_streaming_count_matches_unique(self, image_path):
+        res = darray_components(image_path, p=P, transport="mmap")
+        lab = np.asarray(res.labels)
+        assert res.n_components == int(np.unique(lab[lab != 0]).size)
+
+
+class TestSpillHygiene:
+    def test_owned_spill_dir_removed(self, image_path):
+        import repro.darray.mmap_transport as mt
+
+        created = []
+        original = mt.tempfile.mkdtemp
+
+        def spy(**kw):
+            path = original(**kw)
+            created.append(path)
+            return path
+
+        mt.tempfile.mkdtemp = spy
+        try:
+            res = darray_components(image_path, p=P, transport="mmap")
+        finally:
+            mt.tempfile.mkdtemp = original
+        assert len(created) == 1
+        # The result memmap is gone with the directory: the transport
+        # owns the spill dir, so close() removed everything.
+        assert not os.path.exists(created[0])
+        assert res.stats.spill_writes > 0
+
+    def test_caller_spill_dir_keeps_labels_only(self, tmp_path, image_path):
+        spill = tmp_path / "spill"
+        res = darray_components(
+            image_path, p=P, transport="mmap", spill_dir=str(spill)
+        )
+        left = sorted(p.name for p in spill.iterdir())
+        assert left == ["labels.bin"]  # tile shards cleaned up
+        assert np.asarray(res.labels).shape == (N, N)
+
+    def test_ndarray_input_staged_and_cleaned(self, tmp_path, image, serial_labels):
+        spill = tmp_path / "spill"
+        res = darray_components(
+            image, p=P, transport="mmap", spill_dir=str(spill)
+        )
+        assert np.array_equal(np.asarray(res.labels), serial_labels)
+        assert not (spill / "image.pgm").exists()
+
+    def test_ascii_pgm_staged(self, tmp_path, image, serial_labels):
+        # A non-P5 file cannot be mapped; the transport decodes and
+        # stages it, and the result is still bit-identical.
+        path = tmp_path / "ascii.pgm"
+        write_pgm(path, image, binary=False)
+        res = darray_components(str(path), p=P, transport="mmap")
+        assert np.array_equal(np.asarray(res.labels), serial_labels)
+
+
+class TestHistogramOutOfCore:
+    def test_parity(self, image_path, image):
+        expect = np.bincount(image.ravel(), minlength=2).astype(np.int64)
+        got = darray_histogram(image_path, 2, p=P, transport="mmap")
+        assert np.array_equal(got, expect)

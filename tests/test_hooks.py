@@ -149,3 +149,70 @@ def test_property_hooks_cover_exactly_border_components(img):
     hooks = create_tile_hooks(lab)
     border_labels = set(lab.ravel()[perimeter_indices(7, 7)].tolist()) - {0}
     assert set(hooks.labels.tolist()) == border_labels
+
+
+class TestIsolatedFinalUpdate:
+    """apply_hooks_isolated: the final update when a tile was spilled.
+
+    An out-of-core shard holds *initial* labels everywhere (the merge
+    rounds only touched its resident perimeter vector), whereas the
+    all-resident path holds a tile whose perimeter pixels were updated
+    in place.  The two final updates must agree exactly.
+    """
+
+    @staticmethod
+    def _case(seed, h, w):
+        from repro.core.hooks import apply_hooks_isolated
+
+        rng = np.random.default_rng(seed)
+        img = (rng.random((h, w)) < 0.55).astype(np.int32)
+        lab = labeled_tile(img)
+        hooks = create_tile_hooks(lab)
+        perim = perimeter_indices(h, w)
+        border = lab.ravel()[perim]
+        # A synthetic merge outcome: remap every other border label.
+        present = np.unique(border[border != 0])
+        if present.size == 0:
+            pytest.skip("tile has no border components")
+        alphas = present[::2]
+        changes = ChangeArray(alphas, alphas + 10_000)
+        new_border = apply_changes(border, changes)
+
+        resident = lab.ravel().copy()
+        resident[perim] = new_border
+        expected = apply_hooks(resident.reshape(h, w), hooks)
+        got = apply_hooks_isolated(lab, hooks, new_border)
+        return expected, got
+
+    @pytest.mark.parametrize("seed,h,w", [(0, 6, 6), (1, 8, 10), (2, 5, 12), (3, 16, 16)])
+    def test_matches_all_resident_path(self, seed, h, w):
+        expected, got = self._case(seed, h, w)
+        assert np.array_equal(expected, got)
+
+    def test_identity_changes_reproduce_apply_hooks(self):
+        from repro.core.hooks import apply_hooks_isolated
+
+        rng = np.random.default_rng(9)
+        img = (rng.random((7, 7)) < 0.5).astype(np.int32)
+        lab = labeled_tile(img)
+        hooks = create_tile_hooks(lab)
+        border = lab.ravel()[perimeter_indices(7, 7)]
+        assert np.array_equal(
+            apply_hooks_isolated(lab, hooks, border), apply_hooks(lab, hooks)
+        )
+
+    def test_rejects_wrong_border_length(self):
+        from repro.core.hooks import apply_hooks_isolated
+
+        lab = labeled_tile(np.ones((4, 4), dtype=np.int32))
+        hooks = create_tile_hooks(lab)
+        with pytest.raises(ValidationError):
+            apply_hooks_isolated(lab, hooks, np.zeros(5, dtype=np.int64))
+
+    def test_rejects_non_2d(self):
+        from repro.core.hooks import apply_hooks_isolated
+
+        lab = labeled_tile(np.ones((4, 4), dtype=np.int32))
+        hooks = create_tile_hooks(lab)
+        with pytest.raises(ValidationError):
+            apply_hooks_isolated(lab.ravel(), hooks, np.zeros(12, dtype=np.int64))

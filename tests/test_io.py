@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.images import binary_test_image, darpa_like
-from repro.images.io import read_pnm, write_pbm, write_pgm
+from repro.images.io import pnm_info, read_pnm, write_pbm, write_pgm
 from repro.utils.errors import ValidationError
 
 
@@ -118,3 +118,150 @@ class TestWriterValidation:
     def test_pgm_rejects_negative(self, tmp_path):
         with pytest.raises(ValidationError):
             write_pgm(tmp_path / "x.pgm", np.full((2, 2), -1, dtype=np.int32))
+
+
+class TestPnmInfo:
+    """Header-only probe: never touches pixel data."""
+
+    def test_p5(self, tmp_path):
+        img = darpa_like(32, 16, seed=2)
+        path = tmp_path / "a.pgm"
+        write_pgm(path, img, binary=True)
+        info = pnm_info(path)
+        assert (info.magic, info.shape) == ("P5", (32, 32))
+        assert info.binary
+        assert info.payload_bytes == 32 * 32
+        assert info.maxval == int(img.max())
+
+    def test_p2(self, tmp_path):
+        path = tmp_path / "a.pgm"
+        write_pgm(path, np.arange(12).reshape(3, 4), binary=False)
+        info = pnm_info(path)
+        assert (info.magic, info.shape) == ("P2", (3, 4))
+        assert not info.binary
+        assert info.payload_bytes is None
+
+    def test_p4_row_padding(self, tmp_path):
+        img = binary_test_image(9, 33)
+        path = tmp_path / "a.pbm"
+        write_pbm(path, img, binary=True)
+        info = pnm_info(path)
+        assert (info.magic, info.shape) == ("P4", (33, 33))
+        assert info.payload_bytes == 5 * 33  # ceil(33/8) bytes per row
+
+    def test_p1(self, tmp_path):
+        path = tmp_path / "a.pbm"
+        write_pbm(path, np.eye(4, dtype=np.int32), binary=False)
+        info = pnm_info(path)
+        assert (info.magic, info.shape, info.maxval) == ("P1", (4, 4), 1)
+
+    def test_offset_points_at_payload(self, tmp_path):
+        img = darpa_like(16, 16, seed=0)
+        path = tmp_path / "a.pgm"
+        write_pgm(path, img, binary=True)
+        info = pnm_info(path)
+        raw = path.read_bytes()[info.data_offset :]
+        assert np.array_equal(
+            np.frombuffer(raw, dtype=np.uint8).reshape(16, 16), img
+        )
+
+    def test_reads_header_only(self, tmp_path):
+        # A header followed by a payload-sized hole: the probe must not
+        # care that the pixels are missing.
+        path = tmp_path / "hollow.pgm"
+        path.write_bytes(b"P5\n100 100\n255\n")
+        info = pnm_info(path)
+        assert info.shape == (100, 100)
+
+
+class TestPayloadValidation:
+    """read_pnm rejects files whose payload size disagrees with the header."""
+
+    def _p5(self, tmp_path, payload: bytes) -> str:
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n" + payload)
+        return str(path)
+
+    def test_p5_truncated(self, tmp_path):
+        with pytest.raises(ValidationError, match="truncated P5 payload"):
+            read_pnm(self._p5(tmp_path, b"\x01" * 15))
+
+    def test_p5_oversized(self, tmp_path):
+        with pytest.raises(ValidationError, match="oversized P5 payload"):
+            read_pnm(self._p5(tmp_path, b"\x01" * 17))
+
+    def test_p5_exact_passes(self, tmp_path):
+        img = read_pnm(self._p5(tmp_path, bytes(range(16))))
+        assert np.array_equal(img.ravel(), np.arange(16))
+
+    def test_p4_truncated(self, tmp_path):
+        path = tmp_path / "bad.pbm"
+        path.write_bytes(b"P4\n16 4\n" + b"\xff" * 7)  # needs 8 bytes
+        with pytest.raises(ValidationError, match="truncated P4 payload"):
+            read_pnm(path)
+
+    def test_p4_oversized(self, tmp_path):
+        path = tmp_path / "bad.pbm"
+        path.write_bytes(b"P4\n16 4\n" + b"\xff" * 9)
+        with pytest.raises(ValidationError, match="oversized P4 payload"):
+            read_pnm(path)
+
+    def test_p2_truncated(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_text("P2\n4 4\n255\n" + " ".join(["7"] * 15) + "\n")
+        with pytest.raises(ValidationError, match="truncated P2 payload"):
+            read_pnm(path)
+
+    def test_p2_oversized(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_text("P2\n4 4\n255\n" + " ".join(["7"] * 17) + "\n")
+        with pytest.raises(ValidationError, match="oversized P2 payload"):
+            read_pnm(path)
+
+    def test_p1_truncated(self, tmp_path):
+        path = tmp_path / "bad.pbm"
+        path.write_text("P1\n4 4\n" + "0110" * 3 + "\n")
+        with pytest.raises(ValidationError, match="truncated P1 payload"):
+            read_pnm(path)
+
+    def test_p1_oversized(self, tmp_path):
+        path = tmp_path / "bad.pbm"
+        path.write_text("P1\n4 4\n" + "0110" * 5 + "\n")
+        with pytest.raises(ValidationError, match="oversized P1 payload"):
+            read_pnm(path)
+
+
+class TestMmapIngestion:
+    def test_parity_with_regular_read(self, tmp_path):
+        img = darpa_like(48, 256, seed=4)
+        path = tmp_path / "a.pgm"
+        write_pgm(path, img, binary=True)
+        mapped = read_pnm(path, mmap=True)
+        assert isinstance(mapped, np.memmap)
+        assert mapped.dtype == np.uint8
+        assert np.array_equal(np.asarray(mapped, dtype=np.int32), read_pnm(path))
+
+    def test_read_only(self, tmp_path):
+        path = tmp_path / "a.pgm"
+        write_pgm(path, np.ones((4, 4), dtype=np.int32), binary=True)
+        mapped = read_pnm(path, mmap=True)
+        with pytest.raises((ValueError, TypeError)):
+            mapped[0, 0] = 3
+
+    def test_rejects_ascii_pgm(self, tmp_path):
+        path = tmp_path / "a.pgm"
+        write_pgm(path, np.ones((4, 4), dtype=np.int32), binary=False)
+        with pytest.raises(ValidationError, match="requires a binary PGM"):
+            read_pnm(path, mmap=True)
+
+    def test_rejects_pbm(self, tmp_path):
+        path = tmp_path / "a.pbm"
+        write_pbm(path, np.eye(4, dtype=np.int32), binary=True)
+        with pytest.raises(ValidationError, match="requires a binary PGM"):
+            read_pnm(path, mmap=True)
+
+    def test_rejects_truncated_payload(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P5\n8 8\n255\n" + b"\x01" * 63)
+        with pytest.raises(ValidationError, match="truncated P5 payload"):
+            read_pnm(path, mmap=True)

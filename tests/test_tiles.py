@@ -163,3 +163,86 @@ class TestRectangularGrids:
             ProcessorGrid(4, "16x16")
         with pytest.raises(ConfigurationError):
             ProcessorGrid(4, (16, 0))
+
+
+class TestBalancedPartition:
+    """Non-strict (balanced) tilings: n need not divide by v or w."""
+
+    def test_strict_default_still_rejects(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorGrid(8, 30)
+        with pytest.raises(ConfigurationError):
+            ProcessorGrid(8, 30, strict=True)
+
+    def test_balanced_accepts_indivisible(self):
+        g = ProcessorGrid(8, 30, strict=False)  # 2x4 grid over 30x30
+        assert (g.v, g.w) == (2, 4)
+        assert not g.uniform
+
+    @pytest.mark.parametrize("p,rows,cols", [(8, 30, 30), (4, 7, 9), (16, 17, 23), (2, 5, 3)])
+    def test_tiles_partition_exactly(self, p, rows, cols):
+        g = ProcessorGrid(p, (rows, cols), strict=False)
+        seen = np.zeros((rows, cols), dtype=np.int64)
+        for pid in range(p):
+            sl = g.tile_slices(pid)
+            seen[sl] += 1
+            assert g.tile_shape(pid) == seen[sl].shape
+        assert (seen == 1).all()
+
+    @pytest.mark.parametrize("p,rows,cols", [(8, 30, 30), (16, 17, 23)])
+    def test_tile_shapes_within_one_pixel(self, p, rows, cols):
+        g = ProcessorGrid(p, (rows, cols), strict=False)
+        hs = {g.tile_shape(pid)[0] for pid in range(p)}
+        ws = {g.tile_shape(pid)[1] for pid in range(p)}
+        assert max(hs) - min(hs) <= 1
+        assert max(ws) - min(ws) <= 1
+
+    def test_uniform_accessors_raise_on_balanced(self):
+        g = ProcessorGrid(8, 30, strict=False)
+        with pytest.raises(ConfigurationError, match="non-uniform"):
+            g.q
+        with pytest.raises(ConfigurationError, match="non-uniform"):
+            g.r
+
+    def test_uniform_accessors_work_when_divisible(self):
+        # strict=False on a divisible image still yields uniform tiles.
+        g = ProcessorGrid(8, 32, strict=False)
+        assert g.uniform
+        assert (g.q, g.r) == (16, 8)
+
+    def test_rejects_empty_tiles(self):
+        # 2x4 grid needs at least 2 rows and 4 cols.
+        with pytest.raises(ConfigurationError, match="empty"):
+            ProcessorGrid(8, (1, 16), strict=False)
+
+    def test_scatter_gather_roundtrip_balanced(self):
+        rng = np.random.default_rng(3)
+        img = rng.integers(0, 9, size=(13, 21))
+        g = ProcessorGrid(4, img.shape, strict=False)
+        assert np.array_equal(g.gather(g.scatter(img)), img)
+
+
+class TestShapeOverride:
+    """Explicit (v, w) grids: strips and columns."""
+
+    def test_row_strip_1xp(self):
+        g = ProcessorGrid(4, (8, 64), shape=(1, 4))
+        assert (g.v, g.w) == (1, 4)
+        assert g.tile_shape(0) == (8, 16)
+
+    def test_column_strip_px1(self):
+        g = ProcessorGrid(4, (64, 8), shape=(4, 1))
+        assert (g.v, g.w) == (4, 1)
+        assert g.tile_shape(0) == (16, 8)
+
+    def test_strip_balanced_indivisible(self):
+        g = ProcessorGrid(4, (10, 64), shape=(4, 1), strict=False)
+        assert sum(g.tile_shape(pid)[0] for pid in range(4)) == 10
+
+    def test_shape_product_must_be_p(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorGrid(4, 64, shape=(2, 4))
+
+    def test_strict_strip_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorGrid(4, (10, 64), shape=(4, 1))
